@@ -1,0 +1,65 @@
+//! Ablation: MATIC vs hybrid 8T-6T MSB protection (related work).
+//!
+//! Srinivasan et al. (DATE 2016) protect weight MSBs with 8T bit-cells;
+//! the paper's §VI critique: "this approach has no adaptation mechanism".
+//! This harness runs both on identical fault maps: a naive model on a
+//! hybrid array (MSB faults removed, LSB faults remain, +7.5 % weight
+//! array area for 4 protected bits) versus memory-adaptive training on an
+//! all-6T array (all faults remain, zero area overhead).
+
+use matic_bench::{header, Effort};
+use matic_core::MatTrainer;
+use matic_datasets::Benchmark;
+use matic_nn::classification_error_percent;
+use matic_sram::hybrid::{area_overhead, protect_msbs};
+use matic_sram::{inject::bernoulli_fault_map, FaultMap};
+
+fn main() {
+    let effort = Effort::from_env();
+    header(
+        "Ablation — MATIC vs hybrid 8T-6T MSB protection (DATE'16 [20])",
+        "MSB hardening helps the naive model but cannot adapt; MATIC wins on all-6T",
+    );
+
+    let bench = Benchmark::Mnist;
+    let split = bench.generate_scaled(effort.seed, effort.data_scale);
+    let spec = bench.topology();
+    let cfg = effort.mat_config(bench);
+    let clean = FaultMap::clean(0.9, 8, 576, 16);
+    let naive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &clean);
+
+    let protected_bits = 4u8;
+    println!(
+        "hybrid array: top {protected_bits} bits in 8T cells, +{:.1} % weight-array area\n",
+        100.0 * area_overhead(protected_bits, 16)
+    );
+    println!(
+        "{:>8} | {:>12} | {:>14} | {:>12} | {:>14}",
+        "% bits", "naive (6T)", "naive (8T-6T)", "MATIC (6T)", "MATIC (8T-6T)"
+    );
+    println!(
+        "{:-<8}-+-{:-<12}-+-{:-<14}-+-{:-<12}-+-{:-<14}",
+        "", "", "", "", ""
+    );
+    for pct in [5.0, 10.0, 20.0, 30.0, 50.0] {
+        let map = bernoulli_fault_map(8, 576, 16, pct / 100.0, effort.seed + pct as u64);
+        let hybrid_map = protect_msbs(&map, protected_bits);
+        let adaptive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &map);
+        let adaptive_hybrid =
+            MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &hybrid_map);
+        let e_naive = classification_error_percent(&naive.deploy(&map), &split.test);
+        let e_hybrid = classification_error_percent(&naive.deploy(&hybrid_map), &split.test);
+        let e_matic = classification_error_percent(&adaptive.deploy(&map), &split.test);
+        let e_both =
+            classification_error_percent(&adaptive_hybrid.deploy(&hybrid_map), &split.test);
+        println!(
+            "{pct:>7.0}% | {e_naive:>11.1}% | {e_hybrid:>13.1}% | {e_matic:>11.1}% | {e_both:>13.1}%"
+        );
+    }
+    println!("\nreading the table honestly: MSB hardening removes exactly the");
+    println!("catastrophic faults, so it is competitive with (at deep fault");
+    println!("rates even better than) pure MATIC on raw error — at the price");
+    println!("of the area overhead, a fixed design-time choice, and no");
+    println!("runtime margin mechanism (the canaries need marginal 6T cells).");
+    println!("MATIC composes with it: the last column is the best of both.");
+}

@@ -1,0 +1,76 @@
+//! Figure 11: energy-per-cycle measurements for SNNAC (leakage/dynamic
+//! breakdown for logic and weight SRAM).
+//!
+//! Paper callouts: 5.1× SRAM energy reduction and 2.4× logic energy
+//! reduction at the energy-optimal points, 67.08 → ~20 pJ/cycle total.
+
+use matic_bench::header;
+use matic_energy::{EnergyModel, OperatingPoint, Scenario};
+
+fn main() {
+    header(
+        "Fig. 11 — energy-per-cycle breakdown (leakage vs dynamic)",
+        "5.1x SRAM reduction, 2.4x logic reduction at the MEP",
+    );
+
+    let model = EnergyModel::snnac();
+
+    println!("logic domain (clock tracks the logic rail):");
+    println!(
+        "{:>8} | {:>9} | {:>10} | {:>10} | {:>10}",
+        "V (V)", "f (MHz)", "dyn pJ", "leak pJ", "total pJ"
+    );
+    println!("{:-<8}-+-{:-<9}-+-{:-<10}-+-{:-<10}-+-{:-<10}", "", "", "", "", "");
+    for v in [0.9, 0.8, 0.7, 0.65, 0.6, 0.55] {
+        let f = model.delay().frequency(v).min(250.0e6);
+        let b = model.logic().breakdown(v, f);
+        println!(
+            "{v:>8.2} | {:>9.1} | {:>10.2} | {:>10.2} | {:>10.2}",
+            f / 1e6,
+            b.dynamic_pj,
+            b.leakage_pj,
+            b.total_pj()
+        );
+    }
+
+    println!("\nweight SRAM domain (clock set by the logic rail of the scenario):");
+    println!(
+        "{:>8} | {:>9} | {:>10} | {:>10} | {:>10}",
+        "V (V)", "f (MHz)", "dyn pJ", "leak pJ", "total pJ"
+    );
+    println!("{:-<8}-+-{:-<9}-+-{:-<10}-+-{:-<10}-+-{:-<10}", "", "", "", "", "");
+    for (v, f) in [
+        (0.90, 250.0e6),
+        (0.80, 250.0e6),
+        (0.70, 250.0e6),
+        (0.65, 250.0e6),
+        (0.55, 17.8e6),
+        (0.50, 17.8e6),
+    ] {
+        let b = model.sram().breakdown(v, f);
+        println!(
+            "{v:>8.2} | {:>9.1} | {:>10.2} | {:>10.2} | {:>10.2}",
+            f / 1e6,
+            b.dynamic_pj,
+            b.leakage_pj,
+            b.total_pj()
+        );
+    }
+
+    let split = Scenario::EnOptSplit.operating_point();
+    let sram_red = 36.50 / model.sram_breakdown(split).total_pj();
+    let logic_red = 30.58 / model.logic_breakdown(split).total_pj();
+    let nominal = OperatingPoint {
+        v_logic: 0.9,
+        v_sram: 0.9,
+        freq_hz: 250.0e6,
+    };
+    println!("\nreduction factors at EnOpt_split (paper: 5.1x SRAM, 2.4x logic):");
+    println!("  SRAM : {sram_red:.2}x");
+    println!("  logic: {logic_red:.2}x");
+    println!(
+        "  total: {:.2} pJ/cy -> {:.2} pJ/cy",
+        model.total_pj(nominal),
+        model.total_pj(split)
+    );
+}

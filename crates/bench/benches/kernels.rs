@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the hot kernels: the fixed-point MAC
+//! inner loop, injection masking, SRAM profiling, and NPU inference.
+//!
+//! These do not map to a paper table; they document the simulator's own
+//! performance so sweep runtimes stay predictable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matic_core::{train_naive, upload_weights, MatConfig, ParamRef, WeightLayout};
+use matic_datasets::Benchmark;
+use matic_fixed::{Accumulator, Fx, QFormat};
+use matic_nn::SgdConfig;
+use matic_snnac::microcode::Program;
+use matic_snnac::{Chip, ChipConfig, Snnac};
+use matic_sram::{inject::bernoulli_fault_map, profile_bank, SramBank, SramConfig};
+use std::hint::black_box;
+
+fn bench_mac(c: &mut Criterion) {
+    let q = QFormat::snnac_weight();
+    let xs: Vec<Fx> = (0..1024)
+        .map(|i| Fx::from_f64((i as f64 / 1024.0) - 0.5, q))
+        .collect();
+    let ws: Vec<Fx> = (0..1024)
+        .map(|i| Fx::from_f64(((i * 7 % 1024) as f64 / 1024.0) - 0.5, q))
+        .collect();
+    c.bench_function("fixed_mac_1024", |b| {
+        b.iter(|| {
+            let mut acc = Accumulator::new();
+            for (w, x) in ws.iter().zip(&xs) {
+                acc.mac(black_box(*w), black_box(*x));
+            }
+            black_box(acc.raw())
+        })
+    });
+}
+
+fn bench_masking(c: &mut Criterion) {
+    let map = bernoulli_fault_map(8, 576, 16, 0.28, 7);
+    c.bench_function("injection_mask_4608_words", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for bank in 0..8 {
+                for word in 0..576 {
+                    acc ^= map.apply(bank, word, black_box(0x5A5A));
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    c.bench_function("profile_bank_576x16_at_0v50", |b| {
+        b.iter_with_setup(
+            || SramBank::synthesize(&SramConfig::snnac_bank(), 3),
+            |mut bank| black_box(profile_bank(&mut bank, 0.50, 25.0)),
+        )
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let bench = Benchmark::Mnist;
+    let split = bench.generate_scaled(1, 0.05);
+    let cfg = MatConfig {
+        sgd: SgdConfig {
+            epochs: 2,
+            ..SgdConfig::default()
+        },
+        ..MatConfig::paper()
+    };
+    let model = train_naive(&bench.topology(), &split.train, &cfg, 8, 576);
+    let mut chip = Chip::synthesize(ChipConfig::snnac(), 5);
+    upload_weights(&model, chip.array_mut());
+    chip.set_sram_voltage(0.50);
+    let npu = Snnac::snnac(model.format());
+    let program = Program::compile(model.master().spec(), npu.pe_count());
+    let input = split.test[0].input.clone();
+    // Keep the layout access pattern honest.
+    let _probe: WeightLayout = model.layout().clone();
+    let _ = _probe.location_of(ParamRef::Bias { layer: 0, row: 0 });
+    c.bench_function("npu_inference_mnist_100_32_10", |b| {
+        b.iter(|| {
+            black_box(npu.execute(
+                &program,
+                model.layout(),
+                chip.array_mut(),
+                black_box(&input),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mac, bench_masking, bench_profiling, bench_inference
+);
+criterion_main!(kernels);

@@ -1,0 +1,92 @@
+//! Average-error-increase (AEI) accounting for Table I.
+//!
+//! The paper summarizes each benchmark's degradation under voltage
+//! overscaling as the **average error increase**: the mean, over the
+//! overscaled-voltage sweep, of `error(V) − error(nominal)`, and reports
+//! the naive-to-adaptive *ratio* ("AEI Reduction", 6.7–28.4×, averaging
+//! 18.6×). For the regression benchmarks we convert MSE increases to
+//! percentages by normalizing with the task's output variance; the ratio
+//! is independent of that normalization constant.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean error increase over a sweep: `mean(err_v − nominal)`, floored at
+/// zero (a lucky fault pattern cannot produce negative degradation).
+///
+/// # Panics
+///
+/// Panics if `errors` is empty.
+pub fn average_error_increase(nominal: f64, errors: &[f64]) -> f64 {
+    assert!(!errors.is_empty(), "need at least one sweep point");
+    let mean = errors.iter().map(|e| e - nominal).sum::<f64>() / errors.len() as f64;
+    mean.max(0.0)
+}
+
+/// Paired naive/adaptive AEI for one benchmark (one Table I row).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AeiSummary {
+    /// AEI of the fault-oblivious baseline.
+    pub naive: f64,
+    /// AEI of the memory-adaptive model.
+    pub adaptive: f64,
+}
+
+impl AeiSummary {
+    /// Computes both AEIs from per-voltage error sweeps.
+    pub fn from_sweeps(nominal_naive: f64, naive: &[f64], nominal_adaptive: f64, adaptive: &[f64]) -> Self {
+        AeiSummary {
+            naive: average_error_increase(nominal_naive, naive),
+            adaptive: average_error_increase(nominal_adaptive, adaptive),
+        }
+    }
+
+    /// The Table I "AEI Reduction" column: naive / adaptive.
+    /// Returns infinity when the adaptive model shows no increase at all.
+    pub fn reduction(&self) -> f64 {
+        if self.adaptive <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.naive / self.adaptive
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_increase_over_sweep() {
+        let aei = average_error_increase(10.0, &[70.0, 80.0]);
+        assert_eq!(aei, 65.0);
+    }
+
+    #[test]
+    fn negative_increase_floors_at_zero() {
+        assert_eq!(average_error_increase(10.0, &[9.0, 8.0]), 0.0);
+    }
+
+    #[test]
+    fn reduction_matches_hand_calculation() {
+        let s = AeiSummary::from_sweeps(9.4, &[70.7, 84.0], 9.4, &[13.0, 15.6]);
+        // naive AEI = (61.3 + 74.6)/2 = 67.95; adaptive = (3.6 + 6.2)/2 = 4.9.
+        assert!((s.naive - 67.95).abs() < 1e-9);
+        assert!((s.adaptive - 4.9).abs() < 1e-9);
+        assert!((s.reduction() - 13.867).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_adaptive_increase_gives_infinite_reduction() {
+        let s = AeiSummary {
+            naive: 10.0,
+            adaptive: 0.0,
+        };
+        assert!(s.reduction().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_sweep_rejected() {
+        average_error_increase(1.0, &[]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Mapping network parameters onto the accelerator's weight SRAM banks.
+//!
+//! SNNAC assigns the neurons of a layer round-robin across its eight PEs
+//! (wide layers are time-multiplexed, §IV); each PE's private SRAM bank
+//! stores, for every neuron it owns, that neuron's fan-in weights followed
+//! by its bias, layer after layer. This module computes that placement so
+//! the training-time injection masks address exactly the words the
+//! hardware will read.
+
+use matic_nn::NetSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reference to one trainable parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamRef {
+    /// Weight `[layer][row][col]` (row = output neuron, col = input).
+    Weight {
+        /// Parameterized layer index (0-based).
+        layer: usize,
+        /// Output-neuron index within the layer.
+        row: usize,
+        /// Input index.
+        col: usize,
+    },
+    /// Bias `[layer][row]`.
+    Bias {
+        /// Parameterized layer index (0-based).
+        layer: usize,
+        /// Output-neuron index within the layer.
+        row: usize,
+    },
+}
+
+/// A physical word location in the weight-memory array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Bank (= PE) index.
+    pub bank: usize,
+    /// Word address within the bank.
+    pub word: usize,
+}
+
+/// Error returned when a network does not fit the weight memories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutError {
+    required_words: usize,
+    available_words: usize,
+    bank: usize,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bank {} needs {} words but provides {}",
+            self.bank, self.required_words, self.available_words
+        )
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// The placement of a network's parameters in a multi-bank weight memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightLayout {
+    spec: NetSpec,
+    banks: usize,
+    words_per_bank: usize,
+    /// `layer_base[b][l]` = first word in bank `b` used by layer `l`.
+    layer_base: Vec<Vec<usize>>,
+    /// Words used in each bank.
+    used: Vec<usize>,
+}
+
+impl WeightLayout {
+    /// Computes the round-robin placement of `spec` onto `banks` banks of
+    /// `words_per_bank` words each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if any bank overflows.
+    pub fn new(
+        spec: &NetSpec,
+        banks: usize,
+        words_per_bank: usize,
+    ) -> Result<Self, LayoutError> {
+        assert!(banks > 0, "need at least one bank");
+        let mut layer_base = vec![Vec::with_capacity(spec.depth()); banks];
+        let mut used = vec![0usize; banks];
+        for l in 0..spec.depth() {
+            let fan_in = spec.layers[l];
+            let fan_out = spec.layers[l + 1];
+            for (b, base) in layer_base.iter_mut().enumerate() {
+                base.push(used[b]);
+                let neurons = neurons_in_bank(fan_out, b, banks);
+                used[b] += neurons * (fan_in + 1);
+            }
+        }
+        for (b, &u) in used.iter().enumerate() {
+            if u > words_per_bank {
+                return Err(LayoutError {
+                    required_words: u,
+                    available_words: words_per_bank,
+                    bank: b,
+                });
+            }
+        }
+        Ok(WeightLayout {
+            spec: spec.clone(),
+            banks,
+            words_per_bank,
+            layer_base,
+            used,
+        })
+    }
+
+    /// The network specification this layout was built for.
+    pub fn spec(&self) -> &NetSpec {
+        &self.spec
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Words available per bank.
+    pub fn words_per_bank(&self) -> usize {
+        self.words_per_bank
+    }
+
+    /// Words used in bank `b`.
+    pub fn words_used(&self, b: usize) -> usize {
+        self.used[b]
+    }
+
+    /// The physical location of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter reference is out of range for the spec.
+    pub fn location_of(&self, param: ParamRef) -> Location {
+        let (layer, row, col) = match param {
+            ParamRef::Weight { layer, row, col } => (layer, row, Some(col)),
+            ParamRef::Bias { layer, row } => (layer, row, None),
+        };
+        assert!(layer < self.spec.depth(), "layer {layer} out of range");
+        let fan_in = self.spec.layers[layer];
+        let fan_out = self.spec.layers[layer + 1];
+        assert!(row < fan_out, "row {row} out of range");
+        let bank = row % self.banks;
+        let slot = row / self.banks; // how many earlier neurons share the bank
+        let word = self.layer_base[bank][layer]
+            + slot * (fan_in + 1)
+            + match col {
+                Some(c) => {
+                    assert!(c < fan_in, "col {c} out of range");
+                    c
+                }
+                None => fan_in,
+            };
+        Location { bank, word }
+    }
+
+    /// Iterates over every parameter with its location, in storage order.
+    pub fn entries(&self) -> impl Iterator<Item = (ParamRef, Location)> + '_ {
+        (0..self.spec.depth()).flat_map(move |layer| {
+            let fan_in = self.spec.layers[layer];
+            let fan_out = self.spec.layers[layer + 1];
+            (0..fan_out).flat_map(move |row| {
+                (0..=fan_in).map(move |c| {
+                    let param = if c < fan_in {
+                        ParamRef::Weight { layer, row, col: c }
+                    } else {
+                        ParamRef::Bias { layer, row }
+                    };
+                    (param, self.location_of(param))
+                })
+            })
+        })
+    }
+
+    /// Total parameters placed.
+    pub fn param_count(&self) -> usize {
+        self.spec.param_count()
+    }
+}
+
+/// Number of neurons of a `fan_out`-wide layer assigned to bank `b` under
+/// round-robin placement.
+fn neurons_in_bank(fan_out: usize, b: usize, banks: usize) -> usize {
+    if b < fan_out % banks {
+        fan_out / banks + 1
+    } else {
+        fan_out / banks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn mnist_spec() -> NetSpec {
+        NetSpec::classifier(&[100, 32, 10])
+    }
+
+    #[test]
+    fn mnist_fits_snnac_banks() {
+        let layout = WeightLayout::new(&mnist_spec(), 8, 576).unwrap();
+        // 32 neurons round-robin on 8 banks = 4 each, 101 words per neuron;
+        // 10 output neurons: banks 0-1 get 2, banks 2-7 get 1, 33 words each.
+        assert_eq!(layout.words_used(0), 4 * 101 + 2 * 33);
+        assert_eq!(layout.words_used(7), 4 * 101 + 33);
+    }
+
+    #[test]
+    fn all_paper_topologies_fit() {
+        for layers in [
+            vec![100, 32, 10],
+            vec![400, 8, 1],
+            vec![2, 16, 2],
+            vec![6, 16, 1],
+        ] {
+            let spec = NetSpec::classifier(&layers);
+            assert!(
+                WeightLayout::new(&spec, 8, 576).is_ok(),
+                "topology {layers:?} must fit 9 KB"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_network_is_rejected_with_context() {
+        let spec = NetSpec::classifier(&[1000, 64, 10]);
+        let err = WeightLayout::new(&spec, 8, 576).unwrap_err();
+        assert!(err.to_string().contains("needs"));
+    }
+
+    #[test]
+    fn locations_are_unique_and_in_range() {
+        let layout = WeightLayout::new(&mnist_spec(), 8, 576).unwrap();
+        let mut seen = HashSet::new();
+        let mut count = 0;
+        for (_, loc) in layout.entries() {
+            assert!(loc.bank < 8);
+            assert!(loc.word < 576, "word {} out of range", loc.word);
+            assert!(seen.insert(loc), "duplicate location {loc:?}");
+            count += 1;
+        }
+        assert_eq!(count, mnist_spec().param_count());
+    }
+
+    #[test]
+    fn row_determines_bank_round_robin() {
+        let layout = WeightLayout::new(&mnist_spec(), 8, 576).unwrap();
+        for row in 0..32 {
+            let loc = layout.location_of(ParamRef::Weight {
+                layer: 0,
+                row,
+                col: 0,
+            });
+            assert_eq!(loc.bank, row % 8);
+        }
+    }
+
+    #[test]
+    fn bias_follows_weights_contiguously() {
+        let layout = WeightLayout::new(&mnist_spec(), 8, 576).unwrap();
+        let w_last = layout.location_of(ParamRef::Weight {
+            layer: 0,
+            row: 3,
+            col: 99,
+        });
+        let bias = layout.location_of(ParamRef::Bias { layer: 0, row: 3 });
+        assert_eq!(bias.bank, w_last.bank);
+        assert_eq!(bias.word, w_last.word + 1);
+    }
+
+    #[test]
+    fn single_bank_layout_is_sequential() {
+        let spec = NetSpec::classifier(&[3, 2, 1]);
+        let layout = WeightLayout::new(&spec, 1, 64).unwrap();
+        let locs: Vec<usize> = layout.entries().map(|(_, l)| l.word).collect();
+        let expected: Vec<usize> = (0..layout.param_count()).collect();
+        assert_eq!(locs, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn location_of_checks_bounds() {
+        let layout = WeightLayout::new(&mnist_spec(), 8, 576).unwrap();
+        layout.location_of(ParamRef::Weight {
+            layer: 0,
+            row: 32,
+            col: 0,
+        });
+    }
+}

@@ -1,0 +1,173 @@
+//! The injection-masking quantizer (Fig. 4 of the paper).
+
+use crate::layout::{Location, ParamRef, WeightLayout};
+use matic_fixed::{quantize_with_residual, QFormat};
+use matic_sram::FaultMap;
+
+/// Applies quantization and profiled fault masks to float master weights,
+/// producing the **effective** weight the hardware would read back:
+/// `m = Bor | (Band & Q(w))` decoded back to a real number.
+///
+/// The quantizer borrows the layout (which word each parameter occupies)
+/// and the fault map (which bits of that word are stuck), so the masking
+/// matches the physical chip bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct MaskedQuantizer<'a> {
+    fmt: QFormat,
+    layout: &'a WeightLayout,
+    faults: Option<&'a FaultMap>,
+}
+
+impl<'a> MaskedQuantizer<'a> {
+    /// Creates a quantizer that injects `faults` (pass `None` for a
+    /// quantization-only view — the paper's fault-free deployment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault map's word width differs from the format's.
+    pub fn new(fmt: QFormat, layout: &'a WeightLayout, faults: Option<&'a FaultMap>) -> Self {
+        if let Some(map) = faults {
+            assert_eq!(
+                map.banks()[0].word_bits(),
+                fmt.word_bits(),
+                "fault-map word width must match the weight format"
+            );
+            assert!(
+                map.banks().len() >= layout.banks(),
+                "fault map covers fewer banks than the layout"
+            );
+        }
+        MaskedQuantizer {
+            fmt,
+            layout,
+            faults,
+        }
+    }
+
+    /// The weight format.
+    pub fn format(&self) -> QFormat {
+        self.fmt
+    }
+
+    /// Quantizes, masks and decodes one parameter value. Returns the
+    /// effective real value plus the fractional quantization error εq
+    /// (computed *before* masking, as in the paper's update rule).
+    pub fn effective(&self, param: ParamRef, value: f64) -> (f64, f64) {
+        let q = quantize_with_residual(value, self.fmt);
+        let word = self.fmt.encode(q.raw);
+        let stored = match self.faults {
+            Some(map) => {
+                let Location { bank, word: addr } = self.layout.location_of(param);
+                map.apply(bank, addr, word)
+            }
+            None => word,
+        };
+        let m = matic_fixed::dequantize(self.fmt.decode(stored), self.fmt);
+        (m, q.residual)
+    }
+
+    /// The effective value only (no residual).
+    pub fn effective_value(&self, param: ParamRef, value: f64) -> f64 {
+        self.effective(param, value).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matic_nn::NetSpec;
+    use matic_sram::FaultMap;
+
+    fn setup() -> (NetSpec, WeightLayout) {
+        let spec = NetSpec::classifier(&[4, 4, 2]);
+        let layout = WeightLayout::new(&spec, 2, 64).unwrap();
+        (spec, layout)
+    }
+
+    #[test]
+    fn no_faults_is_pure_quantization() {
+        let (_, layout) = setup();
+        let fmt = QFormat::new(16, 12).unwrap();
+        let q = MaskedQuantizer::new(fmt, &layout, None);
+        let p = ParamRef::Weight {
+            layer: 0,
+            row: 0,
+            col: 0,
+        };
+        let (m, eq) = q.effective(p, 0.7512);
+        assert!((m + eq - 0.7512).abs() < 1e-12);
+        assert!((m - 0.7512).abs() <= fmt.lsb() / 2.0);
+    }
+
+    #[test]
+    fn stuck_bit_changes_only_the_target_word() {
+        let (_, layout) = setup();
+        let fmt = QFormat::new(16, 12).unwrap();
+        let mut map = FaultMap::clean(0.5, 2, 64, 16);
+        let p0 = ParamRef::Weight {
+            layer: 0,
+            row: 0,
+            col: 0,
+        };
+        let loc = layout.location_of(p0);
+        // Stick the sign bit at 1: positive weights become very negative.
+        map.bank_mut(loc.bank).set_fault(loc.word, 15, true);
+        let q = MaskedQuantizer::new(fmt, &layout, Some(&map));
+        let (m, _) = q.effective(p0, 0.5);
+        assert!(m < 0.0, "sign-stuck weight must read negative, got {m}");
+        // A different parameter is untouched.
+        let p1 = ParamRef::Weight {
+            layer: 0,
+            row: 0,
+            col: 1,
+        };
+        let (m1, _) = q.effective(p1, 0.5);
+        assert!((m1 - 0.5).abs() <= fmt.lsb() / 2.0);
+    }
+
+    #[test]
+    fn stuck_at_zero_lsb_is_small_perturbation() {
+        let (_, layout) = setup();
+        let fmt = QFormat::new(16, 12).unwrap();
+        let mut map = FaultMap::clean(0.5, 2, 64, 16);
+        let p = ParamRef::Bias { layer: 1, row: 1 };
+        let loc = layout.location_of(p);
+        map.bank_mut(loc.bank).set_fault(loc.word, 0, false);
+        let q = MaskedQuantizer::new(fmt, &layout, Some(&map));
+        let (m, _) = q.effective(p, 0.5);
+        // Q(0.5) has LSB 0 already, so the masked value is unchanged.
+        assert!((m - 0.5).abs() < 1e-12);
+        let (m, _) = q.effective(p, 0.5 + fmt.lsb());
+        assert!((m - 0.5).abs() < 1e-12, "LSB cleared");
+    }
+
+    #[test]
+    fn residual_is_pre_mask_quantization_error() {
+        let (_, layout) = setup();
+        let fmt = QFormat::new(16, 12).unwrap();
+        let mut map = FaultMap::clean(0.5, 2, 64, 16);
+        let p = ParamRef::Weight {
+            layer: 0,
+            row: 1,
+            col: 2,
+        };
+        let loc = layout.location_of(p);
+        map.bank_mut(loc.bank).set_fault(loc.word, 14, true);
+        let q = MaskedQuantizer::new(fmt, &layout, Some(&map));
+        let x = 0.123456;
+        let (_, eq) = q.effective(p, x);
+        // εq must equal the plain quantization residual, independent of
+        // the mask (Fig. 4 takes it from the quantize step).
+        let plain = matic_fixed::quantize_with_residual(x, fmt).residual;
+        assert_eq!(eq, plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "word width")]
+    fn mismatched_word_width_rejected() {
+        let (_, layout) = setup();
+        let fmt = QFormat::new(8, 6).unwrap();
+        let map = FaultMap::clean(0.5, 2, 64, 16);
+        let _ = MaskedQuantizer::new(fmt, &layout, Some(&map));
+    }
+}

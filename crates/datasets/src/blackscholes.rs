@@ -1,0 +1,196 @@
+//! The bscholes task (6-16-1 in Table I): European option pricing,
+//! generated exactly from the Black–Scholes closed form as in AxBench.
+//!
+//! The module also exposes the analytic pieces ([`erf`], [`norm_cdf`],
+//! [`bs_price`]) because the tests assert real no-arbitrage properties
+//! (call–put parity, price bounds) on the generator itself.
+
+use crate::split::Split;
+use matic_nn::Sample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (max absolute error 1.5e-7, ample for dataset generation).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Option flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptionType {
+    /// Right to buy at the strike.
+    Call,
+    /// Right to sell at the strike.
+    Put,
+}
+
+/// Black–Scholes price of a European option.
+///
+/// `s` spot, `k` strike, `r` risk-free rate, `sigma` volatility, `t` time
+/// to expiry in years.
+///
+/// # Panics
+///
+/// Panics if `s`, `k`, `sigma` or `t` is not positive.
+pub fn bs_price(s: f64, k: f64, r: f64, sigma: f64, t: f64, ty: OptionType) -> f64 {
+    assert!(s > 0.0 && k > 0.0, "spot and strike must be positive");
+    assert!(sigma > 0.0 && t > 0.0, "volatility and expiry must be positive");
+    let d1 = ((s / k).ln() + (r + 0.5 * sigma * sigma) * t) / (sigma * t.sqrt());
+    let d2 = d1 - sigma * t.sqrt();
+    match ty {
+        OptionType::Call => s * norm_cdf(d1) - k * (-r * t).exp() * norm_cdf(d2),
+        OptionType::Put => k * (-r * t).exp() * norm_cdf(-d2) - s * norm_cdf(-d1),
+    }
+}
+
+/// Price normalization constant: the maximum spot in the sampled range, so
+/// normalized prices stay in `[0, 1]`.
+pub const PRICE_SCALE: f64 = 1.5;
+
+/// Generates the option-pricing regression set. Inputs (all pre-normalized
+/// to order-1 ranges, matching the 6-input AxBench kernel):
+/// `[spot, strike, rate, volatility, expiry, type]` with
+/// spot/strike ∈ [0.5, 1.5], rate ∈ [0, 0.1], volatility ∈ [0.1, 0.5],
+/// expiry ∈ [0.1, 2] years, type ∈ {0 = put, 1 = call}. The target is the
+/// Black–Scholes price divided by [`PRICE_SCALE`].
+///
+/// Split is 10:1 (paper §V).
+pub fn black_scholes_dataset(n: usize, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples: Vec<Sample> = (0..n)
+        .map(|_| {
+            let s = rng.gen_range(0.5..1.5);
+            let k = rng.gen_range(0.5..1.5);
+            let r = rng.gen_range(0.0..0.1);
+            let sigma = rng.gen_range(0.1..0.5);
+            let t = rng.gen_range(0.1..2.0);
+            let ty = if rng.gen::<bool>() {
+                OptionType::Call
+            } else {
+                OptionType::Put
+            };
+            // The A&S erf approximation can land ~1e-17 below zero for
+            // deep out-of-the-money options; clamp (prices are ≥ 0).
+            let price = bs_price(s, k, r, sigma, t, ty).max(0.0);
+            let ty_flag = if ty == OptionType::Call { 1.0 } else { 0.0 };
+            Sample::new(
+                vec![s, k, r, sigma, t, ty_flag],
+                vec![price / PRICE_SCALE],
+            )
+        })
+        .collect();
+    Split::from_samples(samples, 10, seed ^ 0xB5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Abramowitz & Stegun table values.
+        assert!((erf(0.0) - 0.0).abs() < 1e-7);
+        assert!((erf(0.5) - 0.5204999).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427008).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953223).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427008).abs() < 1e-6);
+    }
+
+    #[test]
+    fn norm_cdf_symmetry() {
+        for x in [0.0, 0.3, 1.2, 2.5] {
+            assert!((norm_cdf(x) + norm_cdf(-x) - 1.0).abs() < 1e-7);
+        }
+        // A&S 7.1.26 is an approximation: erf(0) ≈ 1e-9, not exactly 0.
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn call_put_parity() {
+        // C − P = S − K·e^{−rT}, the fundamental no-arbitrage identity.
+        for (s, k, r, sigma, t) in [
+            (1.0, 1.0, 0.05, 0.2, 1.0),
+            (1.2, 0.8, 0.01, 0.4, 0.5),
+            (0.7, 1.3, 0.08, 0.15, 1.8),
+        ] {
+            let c = bs_price(s, k, r, sigma, t, OptionType::Call);
+            let p = bs_price(s, k, r, sigma, t, OptionType::Put);
+            let parity = s - k * (-r * t).exp();
+            assert!((c - p - parity).abs() < 1e-6, "parity violated");
+        }
+    }
+
+    #[test]
+    fn no_arbitrage_bounds() {
+        let (s, k, r, sigma, t) = (1.0, 0.9, 0.03, 0.25, 1.0);
+        let c = bs_price(s, k, r, sigma, t, OptionType::Call);
+        let intrinsic = (s - k * (-r * t).exp()).max(0.0);
+        assert!(c >= intrinsic - 1e-9, "call below intrinsic value");
+        assert!(c <= s, "call above spot");
+        let p = bs_price(s, k, r, sigma, t, OptionType::Put);
+        assert!(p >= 0.0 && p <= k);
+    }
+
+    #[test]
+    fn deep_itm_call_approaches_forward() {
+        let c = bs_price(10.0, 0.5, 0.02, 0.2, 1.0, OptionType::Call);
+        let forward = 10.0 - 0.5 * (-0.02f64).exp();
+        assert!((c - forward).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dataset_shapes_and_ranges() {
+        let split = black_scholes_dataset(550, 3);
+        assert_eq!(split.test.len(), 50);
+        for s in split.train.iter().chain(&split.test) {
+            assert_eq!(s.input.len(), 6);
+            assert_eq!(s.target.len(), 1);
+            assert!((0.0..=1.0).contains(&s.target[0]), "price {}", s.target[0]);
+            assert!(s.input[5] == 0.0 || s.input[5] == 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(black_scholes_dataset(50, 9), black_scholes_dataset(50, 9));
+        assert_ne!(black_scholes_dataset(50, 9), black_scholes_dataset(50, 10));
+    }
+
+    #[test]
+    fn task_is_learnable() {
+        use matic_nn::{mean_squared_error, Mlp, NetSpec, SgdConfig};
+        let split = black_scholes_dataset(700, 5);
+        let mut net = Mlp::init(NetSpec::regressor(&[6, 16, 1]), 1);
+        let before = mean_squared_error(&net, &split.test);
+        net.train(
+            &split.train,
+            &SgdConfig {
+                epochs: 50,
+                lr: 0.15,
+                ..SgdConfig::default()
+            },
+            2,
+        );
+        let after = mean_squared_error(&net, &split.test);
+        assert!(after < before / 3.0, "{before} -> {after}");
+        assert!(after < 0.05, "mse {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn bs_price_rejects_nonpositive_inputs() {
+        let _ = bs_price(-1.0, 1.0, 0.0, 0.2, 1.0, OptionType::Call);
+    }
+}

@@ -1,0 +1,182 @@
+//! The face-detection task (400-8-1 in Table I), standing in for the MIT
+//! CBCL face database.
+
+use crate::split::Split;
+use matic_nn::Sample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a binary face / non-face dataset of 20×20 grayscale patches.
+///
+/// Face patches follow the canonical CBCL layout: two dark eye blobs, a
+/// nose ridge, and a dark mouth bar on a brighter face oval, with position
+/// jitter. Non-face patches are structured clutter: 2–4 random dark blobs
+/// on a textured background with matched global statistics, so the
+/// classifier must learn the *configuration*, not mean intensity.
+///
+/// Targets are scalar: 1.0 = face, 0.0 = non-face. Split is 7:1 (paper §V).
+pub fn face_detection(n_per_class: usize, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(2 * n_per_class);
+    for _ in 0..n_per_class {
+        samples.push(Sample::new(render_face(&mut rng), vec![1.0]));
+        samples.push(Sample::new(render_clutter(&mut rng), vec![0.0]));
+    }
+    Split::from_samples(samples, 7, seed ^ 0xFACE)
+}
+
+const SIDE: usize = 20;
+
+fn blob(img: &mut [f64], cx: f64, cy: f64, radius: f64, depth: f64) {
+    for r in 0..SIDE {
+        for c in 0..SIDE {
+            let d2 = (r as f64 - cy).powi(2) + (c as f64 - cx).powi(2);
+            let w = (-d2 / (2.0 * radius * radius)).exp();
+            img[r * SIDE + c] -= depth * w;
+        }
+    }
+}
+
+fn render_face(rng: &mut StdRng) -> Vec<f64> {
+    // Bright face field with mild vignette.
+    let mut img = vec![0.7f64; SIDE * SIDE];
+    let jx = rng.gen_range(-1.0..1.0);
+    let jy = rng.gen_range(-1.0..1.0);
+    // Eyes.
+    blob(&mut img, 6.0 + jx, 7.0 + jy, 1.6, rng.gen_range(0.4..0.6));
+    blob(&mut img, 13.0 + jx, 7.0 + jy, 1.6, rng.gen_range(0.4..0.6));
+    // Nose ridge (shallow).
+    blob(&mut img, 9.5 + jx, 11.0 + jy, 1.2, rng.gen_range(0.15..0.3));
+    // Mouth bar.
+    for c in 6..14 {
+        let r = (15.0 + jy).round() as usize;
+        if r < SIDE {
+            img[r * SIDE + (c as f64 + jx).round().clamp(0.0, 19.0) as usize] -=
+                rng.gen_range(0.3..0.5);
+        }
+    }
+    finish(img, rng)
+}
+
+fn render_clutter(rng: &mut StdRng) -> Vec<f64> {
+    let mut img = vec![0.7f64; SIDE * SIDE];
+    if rng.gen::<f64>() < 0.45 {
+        // Hard negatives: a *partial* face — eye pair (and sometimes a
+        // nose) at a plausible location but no mouth, or a mouth bar with
+        // a single eye. Forces the classifier to verify the full
+        // configuration, which is what keeps the CBCL-style task in the
+        // paper's double-digit-percent error regime.
+        let jx = rng.gen_range(-2.0..2.0);
+        let jy = rng.gen_range(-2.0..2.0);
+        if rng.gen::<bool>() {
+            blob(&mut img, 6.0 + jx, 7.0 + jy, 1.6, rng.gen_range(0.4..0.6));
+            blob(&mut img, 13.0 + jx, 7.0 + jy, 1.6, rng.gen_range(0.4..0.6));
+            if rng.gen::<bool>() {
+                blob(&mut img, 9.5 + jx, 11.0 + jy, 1.2, rng.gen_range(0.15..0.3));
+            }
+        } else {
+            blob(&mut img, 6.0 + jx, 7.0 + jy, 1.6, rng.gen_range(0.4..0.6));
+            for c in 6..14 {
+                let r = (15.0 + jy).round().clamp(0.0, 19.0) as usize;
+                img[r * SIDE + (c as f64 + jx).round().clamp(0.0, 19.0) as usize] -=
+                    rng.gen_range(0.3..0.5);
+            }
+        }
+    } else {
+        // Generic structured clutter: 2-4 blobs anywhere.
+        for _ in 0..rng.gen_range(2..=4) {
+            blob(
+                &mut img,
+                rng.gen_range(2.0..18.0),
+                rng.gen_range(2.0..18.0),
+                rng.gen_range(1.0..3.0),
+                rng.gen_range(0.3..0.6),
+            );
+        }
+        if rng.gen::<bool>() {
+            let r = rng.gen_range(2..18);
+            let c0 = rng.gen_range(0..12);
+            for c in c0..(c0 + 8) {
+                img[r * SIDE + c] -= rng.gen_range(0.3..0.5);
+            }
+        }
+    }
+    finish(img, rng)
+}
+
+fn finish(mut img: Vec<f64>, rng: &mut StdRng) -> Vec<f64> {
+    for p in &mut img {
+        *p = (*p + rng.gen_range(-0.22..0.22)).clamp(0.0, 1.0);
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_labels() {
+        let split = face_detection(50, 2);
+        assert_eq!(split.len(), 100);
+        for s in split.train.iter().chain(&split.test) {
+            assert_eq!(s.input.len(), 400);
+            assert_eq!(s.target.len(), 1);
+            assert!(s.target[0] == 0.0 || s.target[0] == 1.0);
+        }
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let split = face_detection(64, 3);
+        let faces = split
+            .train
+            .iter()
+            .chain(&split.test)
+            .filter(|s| s.target[0] == 1.0)
+            .count();
+        assert_eq!(faces, 64);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(face_detection(10, 7), face_detection(10, 7));
+        assert_ne!(face_detection(10, 7), face_detection(10, 8));
+    }
+
+    #[test]
+    fn mean_intensity_does_not_separate_classes() {
+        // Guard against a degenerate dataset solvable by global brightness.
+        let split = face_detection(200, 11);
+        let mean = |s: &matic_nn::Sample| s.input.iter().sum::<f64>() / 400.0;
+        let (mut face_mu, mut clutter_mu) = (0.0, 0.0);
+        let (mut nf, mut nc) = (0, 0);
+        for s in split.train.iter().chain(&split.test) {
+            if s.target[0] == 1.0 {
+                face_mu += mean(s);
+                nf += 1;
+            } else {
+                clutter_mu += mean(s);
+                nc += 1;
+            }
+        }
+        let gap = (face_mu / nf as f64 - clutter_mu / nc as f64).abs();
+        assert!(gap < 0.05, "brightness gap {gap} too discriminative");
+    }
+
+    #[test]
+    fn task_is_learnable() {
+        use matic_nn::{classification_error_percent, Mlp, NetSpec, SgdConfig};
+        let split = face_detection(250, 5);
+        let mut net = Mlp::init(NetSpec::classifier(&[400, 8, 1]), 1);
+        // 400-input sigmoid/CE nets need a gentle rate (cf. Benchmark::sgd).
+        let cfg = SgdConfig {
+            epochs: 25,
+            lr: 0.04,
+            ..SgdConfig::default()
+        };
+        net.train(&split.train, &cfg, 9);
+        let err = classification_error_percent(&net, &split.test);
+        assert!(err < 30.0, "error {err}%");
+    }
+}

@@ -1,0 +1,171 @@
+//! Hand-designed 10×10 digit glyphs, the seeds of the mnist-like task.
+
+/// 10×10 binary templates for the digits 0–9. `#` marks stroke pixels.
+/// The templates are intentionally imperfect and mutually confusable in
+/// places (3/8, 4/9, 1/7), so that noise and jitter produce a task with a
+/// realistic single-digit-percent error floor rather than a trivial one.
+pub(crate) const DIGIT_GLYPHS: [[&str; 10]; 10] = [
+    [
+        "..######..",
+        ".##....##.",
+        ".#......#.",
+        ".#......#.",
+        ".#......#.",
+        ".#......#.",
+        ".#......#.",
+        ".#......#.",
+        ".##....##.",
+        "..######..",
+    ],
+    [
+        "....##....",
+        "...###....",
+        "..####....",
+        "....##....",
+        "....##....",
+        "....##....",
+        "....##....",
+        "....##....",
+        "....##....",
+        "..######..",
+    ],
+    [
+        "..######..",
+        ".##....##.",
+        ".......##.",
+        "......##..",
+        ".....##...",
+        "....##....",
+        "...##.....",
+        "..##......",
+        ".##.......",
+        ".########.",
+    ],
+    [
+        "..######..",
+        ".##....##.",
+        ".......##.",
+        ".......##.",
+        "...#####..",
+        ".......##.",
+        ".......##.",
+        ".......##.",
+        ".##....##.",
+        "..######..",
+    ],
+    [
+        "......##..",
+        ".....###..",
+        "....####..",
+        "...##.##..",
+        "..##..##..",
+        ".##...##..",
+        ".########.",
+        "......##..",
+        "......##..",
+        "......##..",
+    ],
+    [
+        ".########.",
+        ".##.......",
+        ".##.......",
+        ".##.......",
+        ".#######..",
+        ".......##.",
+        ".......##.",
+        ".......##.",
+        ".##....##.",
+        "..######..",
+    ],
+    [
+        "..######..",
+        ".##....##.",
+        ".##.......",
+        ".##.......",
+        ".#######..",
+        ".##....##.",
+        ".##....##.",
+        ".##....##.",
+        ".##....##.",
+        "..######..",
+    ],
+    [
+        ".########.",
+        ".......##.",
+        "......##..",
+        ".....##...",
+        "....##....",
+        "....##....",
+        "...##.....",
+        "...##.....",
+        "..##......",
+        "..##......",
+    ],
+    [
+        "..######..",
+        ".##....##.",
+        ".##....##.",
+        ".##....##.",
+        "..######..",
+        ".##....##.",
+        ".##....##.",
+        ".##....##.",
+        ".##....##.",
+        "..######..",
+    ],
+    [
+        "..######..",
+        ".##....##.",
+        ".##....##.",
+        ".##....##.",
+        "..#######.",
+        ".......##.",
+        ".......##.",
+        ".......##.",
+        ".##....##.",
+        "..######..",
+    ],
+];
+
+/// Rasterizes a glyph into a 100-element binary vector.
+pub(crate) fn glyph_bitmap(digit: usize) -> [bool; 100] {
+    let rows = DIGIT_GLYPHS[digit];
+    let mut out = [false; 100];
+    for (r, row) in rows.iter().enumerate() {
+        for (c, ch) in row.bytes().enumerate() {
+            out[r * 10 + c] = ch == b'#';
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_glyphs_are_10x10() {
+        for digit in 0..10 {
+            for row in DIGIT_GLYPHS[digit] {
+                assert_eq!(row.len(), 10, "digit {digit}");
+            }
+        }
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                assert_ne!(glyph_bitmap(a), glyph_bitmap(b), "digits {a} and {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn glyphs_have_reasonable_ink() {
+        for digit in 0..10 {
+            let ink = glyph_bitmap(digit).iter().filter(|&&p| p).count();
+            assert!((14..=60).contains(&ink), "digit {digit}: {ink} pixels");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The inversek2j task (2-16-2 in Table I): inverse kinematics of a
+//! 2-joint arm, generated exactly as in AxBench.
+
+use crate::split::Split;
+use matic_nn::Sample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::FRAC_PI_2;
+
+/// Link lengths of the 2-joint arm (equal links, as in AxBench).
+pub const LINK_LENGTH: f64 = 0.5;
+
+/// Forward kinematics of the 2-link arm: joint angles to end-effector
+/// position.
+pub fn forward_kinematics(theta1: f64, theta2: f64) -> (f64, f64) {
+    let x = LINK_LENGTH * theta1.cos() + LINK_LENGTH * (theta1 + theta2).cos();
+    let y = LINK_LENGTH * theta1.sin() + LINK_LENGTH * (theta1 + theta2).sin();
+    (x, y)
+}
+
+/// Generates the inverse-kinematics regression set: inputs are end-effector
+/// coordinates `(x, y)`, targets the joint angles `(θ1, θ2)` normalized to
+/// `[0, 1]` by `π/2`.
+///
+/// Angles are sampled uniformly from `[0, π/2]²`, a single-solution branch
+/// of the workspace (no elbow-up/down ambiguity), which is what makes the
+/// learned inverse well-posed — the same restriction AxBench applies.
+///
+/// Split is 10:1 (paper §V).
+pub fn inverse_kinematics(n: usize, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples: Vec<Sample> = (0..n)
+        .map(|_| {
+            let t1 = rng.gen_range(0.0..FRAC_PI_2);
+            let t2 = rng.gen_range(0.0..FRAC_PI_2);
+            let (x, y) = forward_kinematics(t1, t2);
+            Sample::new(vec![x, y], vec![t1 / FRAC_PI_2, t2 / FRAC_PI_2])
+        })
+        .collect();
+    Split::from_samples(samples, 10, seed ^ 0x1412)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_kinematics_known_points() {
+        let (x, y) = forward_kinematics(0.0, 0.0);
+        assert!((x - 1.0).abs() < 1e-12 && y.abs() < 1e-12);
+        let (x, y) = forward_kinematics(FRAC_PI_2, 0.0);
+        assert!(x.abs() < 1e-12 && (y - 1.0).abs() < 1e-12);
+        let (x, y) = forward_kinematics(0.0, FRAC_PI_2);
+        assert!((x - 0.5).abs() < 1e-12 && (y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn targets_normalized() {
+        let split = inverse_kinematics(500, 4);
+        for s in split.train.iter().chain(&split.test) {
+            assert!(s.target.iter().all(|&t| (0.0..=1.0).contains(&t)));
+            // Reachable workspace of two 0.5 links.
+            let r = (s.input[0].powi(2) + s.input[1].powi(2)).sqrt();
+            assert!(r <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn labels_invert_forward_kinematics() {
+        let split = inverse_kinematics(100, 8);
+        for s in &split.test {
+            let (x, y) =
+                forward_kinematics(s.target[0] * FRAC_PI_2, s.target[1] * FRAC_PI_2);
+            assert!((x - s.input[0]).abs() < 1e-12);
+            assert!((y - s.input[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ten_to_one_split() {
+        let split = inverse_kinematics(1100, 1);
+        assert_eq!(split.test.len(), 100);
+    }
+
+    #[test]
+    fn task_is_learnable() {
+        use matic_nn::{mean_squared_error, Mlp, NetSpec, SgdConfig};
+        let split = inverse_kinematics(600, 3);
+        let mut net = Mlp::init(NetSpec::regressor(&[2, 16, 2]), 1);
+        let before = mean_squared_error(&net, &split.test);
+        net.train(
+            &split.train,
+            &SgdConfig {
+                epochs: 60,
+                lr: 0.2,
+                ..SgdConfig::default()
+            },
+            2,
+        );
+        let after = mean_squared_error(&net, &split.test);
+        assert!(after < before / 3.0, "{before} -> {after}");
+        assert!(after < 0.05, "mse {after}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Synthetic generators for the four MATIC benchmark tasks.
+//!
+//! Table I of the paper evaluates four workloads:
+//!
+//! | benchmark  | task                | topology   | metric        |
+//! |------------|---------------------|------------|---------------|
+//! | mnist      | digit recognition   | 100-32-10  | classif. rate |
+//! | facedet    | face detection      | 400-8-1    | classif. rate |
+//! | inversek2j | inverse kinematics  | 2-16-2     | mean sq. err  |
+//! | bscholes   | option pricing      | 6-16-1     | mean sq. err  |
+//!
+//! We do not ship MNIST or the MIT CBCL face corpus; instead, procedural
+//! generators produce datasets with the same input dimensionality, task
+//! structure and difficulty regime (see DESIGN.md's substitution table).
+//! The two approximate-computing benchmarks are generated *exactly* as in
+//! AxBench: by sampling the analytic function the network is meant to
+//! learn (2-link inverse kinematics; Black–Scholes pricing).
+//!
+//! All generators are deterministic in their seed, and split train/test
+//! 7-to-1 or 10-to-1 as in the paper (§V).
+//!
+//! # Example
+//!
+//! ```
+//! use matic_datasets::Benchmark;
+//! let split = Benchmark::InverseK2j.generate_scaled(42, 0.2);
+//! assert!(split.train.len() > 5 * split.test.len());
+//! assert_eq!(split.train[0].input.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmark;
+pub mod blackscholes;
+mod facedet;
+mod glyphs;
+mod kinematics;
+mod mnist_like;
+mod split;
+
+pub use benchmark::Benchmark;
+pub use facedet::face_detection;
+pub use kinematics::{forward_kinematics, inverse_kinematics, LINK_LENGTH};
+pub use mnist_like::mnist_like;
+pub use split::{Dataset, Split};
+
+pub use blackscholes::black_scholes_dataset;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,111 @@
+//! The mnist-like digit-recognition task (100-32-10 in Table I).
+
+use crate::glyphs::glyph_bitmap;
+use crate::split::Split;
+use matic_nn::Sample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a 10-class digit-recognition dataset of 10×10 images.
+///
+/// Each sample starts from a hand-designed glyph, then receives
+/// augmentations chosen so an MLP of the paper's `100-32-10` topology lands
+/// in the single-digit-percent error regime of the silicon measurements
+/// (9.4 % at nominal voltage, Table I):
+///
+/// * integer shift of ±1 pixel in x and y;
+/// * per-pixel salt-and-pepper flips (probability 0.08);
+/// * intensity jitter: ink ≈ 0.8, paper ≈ 0.1, ±0.15 uniform noise,
+///   clamped to [0, 1].
+///
+/// Targets are one-hot vectors of length 10. Output is split 7:1 as in the
+/// paper.
+pub fn mnist_like(train_per_class: usize, test_per_class: usize, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_class = train_per_class + test_per_class;
+    let mut samples = Vec::with_capacity(per_class * 10);
+    for digit in 0..10 {
+        let base = glyph_bitmap(digit);
+        for _ in 0..per_class {
+            samples.push(render_digit(&base, digit, &mut rng));
+        }
+    }
+    // Ratio chosen to deliver the requested test size after shuffling.
+    let ratio = (train_per_class + test_per_class) / test_per_class.max(1) - 1;
+    Split::from_samples(samples, ratio.max(1), seed ^ 0xD1C3)
+}
+
+fn render_digit(base: &[bool; 100], digit: usize, rng: &mut StdRng) -> Sample {
+    let dx = rng.gen_range(-1i32..=1);
+    let dy = rng.gen_range(-1i32..=1);
+    let mut input = vec![0.0f64; 100];
+    for r in 0..10i32 {
+        for c in 0..10i32 {
+            let (sr, sc) = (r - dy, c - dx);
+            let mut ink = if (0..10).contains(&sr) && (0..10).contains(&sc) {
+                base[(sr * 10 + sc) as usize]
+            } else {
+                false
+            };
+            if rng.gen::<f64>() < 0.08 {
+                ink = !ink; // salt-and-pepper
+            }
+            let level: f64 = if ink { 0.8 } else { 0.1 };
+            input[(r * 10 + c) as usize] =
+                (level + rng.gen_range(-0.15..0.15)).clamp(0.0, 1.0);
+        }
+    }
+    let mut target = vec![0.0; 10];
+    target[digit] = 1.0;
+    Sample::new(input, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_one_hot_targets() {
+        let split = mnist_like(20, 4, 1);
+        assert_eq!(split.len(), 240);
+        for s in split.train.iter().chain(&split.test) {
+            assert_eq!(s.input.len(), 100);
+            assert_eq!(s.target.len(), 10);
+            assert_eq!(s.target.iter().filter(|&&t| t == 1.0).count(), 1);
+            assert!(s.input.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(mnist_like(5, 1, 42), mnist_like(5, 1, 42));
+        assert_ne!(mnist_like(5, 1, 42), mnist_like(5, 1, 43));
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let split = mnist_like(30, 5, 9);
+        let mut counts = [0usize; 10];
+        for s in split.train.iter().chain(&split.test) {
+            let class = s.target.iter().position(|&t| t == 1.0).unwrap();
+            counts[class] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 35), "{counts:?}");
+    }
+
+    #[test]
+    fn task_is_learnable_but_not_trivial() {
+        use matic_nn::{classification_error_percent, Mlp, NetSpec, SgdConfig};
+        let split = mnist_like(60, 12, 3);
+        let mut net = Mlp::init(NetSpec::classifier(&[100, 32, 10]), 1);
+        let cfg = SgdConfig {
+            epochs: 30,
+            ..SgdConfig::default()
+        };
+        net.train(&split.train, &cfg, 5);
+        let err = classification_error_percent(&net, &split.test);
+        // Far better than the 90 % chance floor, but the noise keeps it
+        // from being solved exactly.
+        assert!(err < 35.0, "error {err}%");
+    }
+}

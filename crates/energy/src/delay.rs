@@ -1,0 +1,151 @@
+//! The alpha-power-law delay (maximum-frequency) model.
+
+use crate::numerics::bisect;
+use serde::{Deserialize, Serialize};
+
+/// Maximum operating frequency versus supply voltage,
+/// `f(V) = k · (V − Vt)^α / V` (Sakurai–Newton alpha-power law).
+///
+/// Calibrated on the chip's two published clock points: 250 MHz at the
+/// 0.9 V nominal and 17.8 MHz at the 0.55 V minimum-energy point
+/// (Table II). With the velocity-saturation exponent fixed at α = 1.3 (a
+/// typical 65 nm value), those two anchors pin `Vt` and `k` uniquely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayModel {
+    k: f64,
+    vt: f64,
+    alpha: f64,
+}
+
+impl DelayModel {
+    /// Calibrates the model through two `(voltage, frequency_hz)` points
+    /// with the given `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points are not distinct and ordered
+    /// (`p_low.0 < p_high.0`, frequencies positive).
+    pub fn calibrate(p_low: (f64, f64), p_high: (f64, f64), alpha: f64) -> Self {
+        let (v_lo, f_lo) = p_low;
+        let (v_hi, f_hi) = p_high;
+        assert!(v_lo < v_hi, "voltage points must be ordered");
+        assert!(f_lo > 0.0 && f_hi > 0.0, "frequencies must be positive");
+        let target = f_lo / f_hi;
+        // Monotone in vt: as vt rises towards v_lo the ratio falls to 0.
+        let ratio = |vt: f64| {
+            let g = |v: f64| (v - vt).powf(alpha) / v;
+            g(v_lo) / g(v_hi) - target
+        };
+        let vt = bisect(ratio, 0.0, v_lo - 1e-6, 1e-12);
+        let k = f_hi / ((v_hi - vt).powf(alpha) / v_hi);
+        DelayModel { k, vt, alpha }
+    }
+
+    /// The SNNAC-calibrated model: 250 MHz @ 0.9 V, 17.8 MHz @ 0.55 V,
+    /// α = 1.3.
+    pub fn snnac() -> Self {
+        Self::calibrate((0.55, 17.8e6), (0.9, 250.0e6), 1.3)
+    }
+
+    /// Maximum frequency at `voltage`, in Hz (zero at or below threshold).
+    pub fn frequency(&self, voltage: f64) -> f64 {
+        if voltage <= self.vt {
+            0.0
+        } else {
+            self.k * (voltage - self.vt).powf(self.alpha) / voltage
+        }
+    }
+
+    /// The minimum voltage at which `freq_hz` is attainable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive or exceeds `frequency(2.0)`
+    /// (far outside any sane operating range).
+    pub fn voltage_for(&self, freq_hz: f64) -> f64 {
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        assert!(
+            freq_hz <= self.frequency(2.0),
+            "frequency {freq_hz} Hz unattainable"
+        );
+        bisect(
+            |v| self.frequency(v) - freq_hz,
+            self.vt + 1e-9,
+            2.0,
+            1e-12,
+        )
+    }
+
+    /// The fitted threshold voltage.
+    pub fn vt(&self) -> f64 {
+        self.vt
+    }
+
+    /// The velocity-saturation exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self::snnac()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_anchor_clocks() {
+        let m = DelayModel::snnac();
+        assert!((m.frequency(0.9) - 250.0e6).abs() / 250.0e6 < 1e-9);
+        assert!((m.frequency(0.55) - 17.8e6).abs() / 17.8e6 < 1e-9);
+    }
+
+    #[test]
+    fn fitted_threshold_is_plausible_for_65nm() {
+        let m = DelayModel::snnac();
+        assert!(
+            (0.35..0.55).contains(&m.vt()),
+            "vt = {} outside plausible range",
+            m.vt()
+        );
+    }
+
+    #[test]
+    fn frequency_monotone_in_voltage() {
+        let m = DelayModel::snnac();
+        let mut prev = 0.0;
+        let mut v = 0.4;
+        while v <= 1.2 {
+            let f = m.frequency(v);
+            assert!(f >= prev);
+            prev = f;
+            v += 0.01;
+        }
+    }
+
+    #[test]
+    fn zero_below_threshold() {
+        let m = DelayModel::snnac();
+        assert_eq!(m.frequency(m.vt()), 0.0);
+        assert_eq!(m.frequency(0.1), 0.0);
+    }
+
+    #[test]
+    fn voltage_for_inverts_frequency() {
+        let m = DelayModel::snnac();
+        for f in [5.0e6, 17.8e6, 100.0e6, 250.0e6] {
+            let v = m.voltage_for(f);
+            assert!((m.frequency(v) - f).abs() / f < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unattainable")]
+    fn voltage_for_rejects_absurd_frequency() {
+        let _ = DelayModel::snnac().voltage_for(1e18);
+    }
+}

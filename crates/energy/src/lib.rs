@@ -1,0 +1,63 @@
+//! Voltage/frequency/energy models calibrated to the SNNAC test chip.
+//!
+//! The MATIC paper derives its headline numbers (Table II, Fig. 11) from
+//! test-chip current measurements. This crate reproduces that energy
+//! accounting with a physically structured, measurement-calibrated model:
+//!
+//! * [`DelayModel`] — alpha-power-law maximum frequency `f(V)`, calibrated
+//!   so that `f(0.9 V) = 250 MHz` and `f(0.55 V) = 17.8 MHz` (the paper's
+//!   nominal and minimum-energy-point clocks);
+//! * [`DomainEnergy`] — per voltage domain (logic, weight SRAM):
+//!   `E(V, f) = E_dyn(V) + P_leak(V) / f`, with an **empirical dynamic
+//!   energy surface** interpolated through the chip's measured
+//!   energy-per-cycle anchors and an exponential leakage model. At every
+//!   Table II operating point the model reproduces the measurement exactly
+//!   (by construction); between and below the anchors it behaves
+//!   physically, which is what produces a minimum-energy point;
+//! * [`EnergyModel`] — the two domains plus delay model, scenario
+//!   evaluation ([`Scenario`]: HighPerf / EnOpt_split / EnOpt_joint),
+//!   MEP solvers, and GOPS/W accounting (8 MACs per cycle).
+//!
+//! # Example
+//!
+//! ```
+//! use matic_energy::{EnergyModel, Scenario};
+//! let model = EnergyModel::snnac();
+//! let result = Scenario::EnOptJoint.evaluate(&model);
+//! // The paper's headline: 3.3x total energy reduction in EnOpt_joint.
+//! assert!((result.reduction() - 3.3).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delay;
+mod domain;
+mod model;
+pub mod numerics;
+mod scenario;
+
+pub use delay::DelayModel;
+pub use domain::{DomainEnergy, EnergyBreakdown, LeakageModel};
+pub use model::{EnergyModel, OperatingPoint};
+pub use scenario::{Scenario, ScenarioResult};
+
+#[cfg(test)]
+mod proptests;
+
+/// MAC operations per cycle on SNNAC (8 PEs, one MAC each; the paper's
+/// GOPS figures count one MAC as one op: 8 ops / 67.08 pJ = 119.2 GOPS/W).
+pub const MACS_PER_CYCLE: f64 = 8.0;
+
+/// Converts energy-per-cycle into the paper's efficiency metric.
+///
+/// # Example
+///
+/// ```
+/// let eff = matic_energy::gops_per_watt(67.08);
+/// assert!((eff - 119.2).abs() < 0.2);
+/// ```
+pub fn gops_per_watt(energy_pj_per_cycle: f64) -> f64 {
+    // ops/cycle ÷ (pJ/cycle) = ops/pJ = TOPS/W; ×1000 → GOPS/W.
+    MACS_PER_CYCLE / energy_pj_per_cycle * 1000.0
+}

@@ -1,0 +1,229 @@
+//! The combined two-domain SNNAC energy model.
+
+use crate::delay::DelayModel;
+use crate::domain::{DomainEnergy, EnergyBreakdown};
+use crate::numerics::golden_min;
+use serde::{Deserialize, Serialize};
+
+/// A full operating point: both supply rails plus the clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Logic-domain supply, volts.
+    pub v_logic: f64,
+    /// Weight-SRAM supply, volts.
+    pub v_sram: f64,
+    /// Clock frequency, Hz.
+    pub freq_hz: f64,
+}
+
+/// The SNNAC chip-level energy model: logic domain + weight-SRAM domain +
+/// delay model (Table II / Fig. 11 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    logic: DomainEnergy,
+    sram: DomainEnergy,
+    delay: DelayModel,
+}
+
+impl EnergyModel {
+    /// The model calibrated to the DATE 2018 test chip.
+    ///
+    /// Measured total-energy anchors (Table II):
+    /// logic 30.58 pJ/cy @ 0.9 V/250 MHz and 12.73 pJ/cy @ 0.55 V/17.8 MHz;
+    /// SRAM 36.50 @ 0.9 V/250 MHz, 18.37 @ 0.65 V/250 MHz (HighPerf),
+    /// 7.86 @ 0.55 V/17.8 MHz and 7.24 @ 0.50 V/17.8 MHz (EnOpt).
+    /// The logic domain carries a 10 % leakage share at nominal (e-folding
+    /// voltage 0.1225 V) — this is what creates the ~0.55 V minimum-energy
+    /// point. The weight-SRAM domain carries a 0.1 % share: Table II books
+    /// the SRAM baseline at 36.50 pJ/cycle at *both* 250 MHz and 17.8 MHz,
+    /// which is only consistent with negligible SRAM leakage (the 9 KB
+    /// array is small); the paper's SRAM scaling limit is accuracy, not an
+    /// energy minimum.
+    pub fn snnac() -> Self {
+        let logic = DomainEnergy::calibrate(
+            &[(0.9, 250.0e6, 30.58), (0.55, 17.8e6, 12.73)],
+            0.10,
+            0.1225,
+        );
+        let sram = DomainEnergy::calibrate(
+            &[
+                (0.9, 250.0e6, 36.50),
+                (0.65, 250.0e6, 18.37),
+                (0.55, 17.8e6, 7.86),
+                (0.50, 17.8e6, 7.24),
+            ],
+            0.001,
+            0.10,
+        );
+        EnergyModel {
+            logic,
+            sram,
+            delay: DelayModel::snnac(),
+        }
+    }
+
+    /// The logic domain.
+    pub fn logic(&self) -> &DomainEnergy {
+        &self.logic
+    }
+
+    /// The weight-SRAM domain.
+    pub fn sram(&self) -> &DomainEnergy {
+        &self.sram
+    }
+
+    /// The delay model.
+    pub fn delay(&self) -> &DelayModel {
+        &self.delay
+    }
+
+    /// Logic-domain breakdown at an operating point.
+    pub fn logic_breakdown(&self, op: OperatingPoint) -> EnergyBreakdown {
+        self.logic.breakdown(op.v_logic, op.freq_hz)
+    }
+
+    /// SRAM-domain breakdown at an operating point.
+    pub fn sram_breakdown(&self, op: OperatingPoint) -> EnergyBreakdown {
+        self.sram.breakdown(op.v_sram, op.freq_hz)
+    }
+
+    /// Total energy per cycle, pJ.
+    pub fn total_pj(&self, op: OperatingPoint) -> f64 {
+        self.logic_breakdown(op).total_pj() + self.sram_breakdown(op).total_pj()
+    }
+
+    /// Total power at an operating point, watts.
+    pub fn power_watts(&self, op: OperatingPoint) -> f64 {
+        self.total_pj(op) * 1e-12 * op.freq_hz
+    }
+
+    /// The logic-domain minimum-energy point: voltage minimizing logic
+    /// energy/cycle when the clock tracks `f(V)`. Returns the operating
+    /// point with `v_sram = v_logic` left for the caller to override.
+    pub fn logic_mep(&self) -> OperatingPoint {
+        let (v, _) = golden_min(
+            |v| self.logic.energy_pj(v, self.delay.frequency(v)),
+            self.delay.vt() + 0.02,
+            0.9,
+            1e-6,
+        );
+        OperatingPoint {
+            v_logic: v,
+            v_sram: v,
+            freq_hz: self.delay.frequency(v),
+        }
+    }
+
+    /// The joint (unified-rail) minimum-energy point: single voltage for
+    /// both domains, clock tracking `f(V)` — the EnOpt_joint search space.
+    pub fn joint_mep(&self) -> OperatingPoint {
+        let (v, _) = golden_min(
+            |v| {
+                let f = self.delay.frequency(v);
+                self.logic.energy_pj(v, f) + self.sram.energy_pj(v, f)
+            },
+            self.delay.vt() + 0.02,
+            0.9,
+            1e-6,
+        );
+        OperatingPoint {
+            v_logic: v,
+            v_sram: v,
+            freq_hz: self.delay.frequency(v),
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::snnac()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> OperatingPoint {
+        OperatingPoint {
+            v_logic: 0.9,
+            v_sram: 0.9,
+            freq_hz: 250.0e6,
+        }
+    }
+
+    #[test]
+    fn nominal_energy_matches_figure_7b() {
+        let m = EnergyModel::snnac();
+        // Table II baseline: 67.08 pJ/cycle; Fig. 7b: 16.8 mW at 250 MHz.
+        assert!((m.total_pj(nominal()) - 67.08).abs() < 1e-6);
+        assert!((m.power_watts(nominal()) - 16.8e-3).abs() < 0.1e-3);
+    }
+
+    #[test]
+    fn sram_anchors_reproduced() {
+        let m = EnergyModel::snnac();
+        let hp = OperatingPoint {
+            v_logic: 0.9,
+            v_sram: 0.65,
+            freq_hz: 250.0e6,
+        };
+        assert!((m.sram_breakdown(hp).total_pj() - 18.37).abs() < 1e-6);
+        let split = OperatingPoint {
+            v_logic: 0.55,
+            v_sram: 0.50,
+            freq_hz: 17.8e6,
+        };
+        assert!((m.sram_breakdown(split).total_pj() - 7.24).abs() < 1e-6);
+        assert!((m.logic_breakdown(split).total_pj() - 12.73).abs() < 1e-6);
+    }
+
+    #[test]
+    fn logic_mep_is_near_paper_operating_point() {
+        let m = EnergyModel::snnac();
+        let mep = m.logic_mep();
+        // The paper operates EnOpt at 0.55 V; the fitted surface's true
+        // minimum must be in the same neighbourhood (shallow minimum).
+        assert!(
+            (0.53..0.62).contains(&mep.v_logic),
+            "logic MEP at {}",
+            mep.v_logic
+        );
+        let e_mep = m.logic_breakdown(mep).total_pj();
+        let e_paper = 12.73;
+        assert!(e_mep <= e_paper + 1e-9);
+        assert!(e_mep > 0.9 * e_paper, "MEP implausibly deep: {e_mep}");
+    }
+
+    #[test]
+    fn joint_mep_is_near_055() {
+        let m = EnergyModel::snnac();
+        let mep = m.joint_mep();
+        assert!(
+            (0.53..0.62).contains(&mep.v_logic),
+            "joint MEP at {}",
+            mep.v_logic
+        );
+    }
+
+    #[test]
+    fn energy_rises_below_the_mep() {
+        let m = EnergyModel::snnac();
+        let mep = m.joint_mep();
+        let e_mep = m.total_pj(mep);
+        let v_low = mep.v_logic - 0.02;
+        let low = OperatingPoint {
+            v_logic: v_low,
+            v_sram: v_low,
+            freq_hz: m.delay().frequency(v_low),
+        };
+        assert!(m.total_pj(low) > e_mep);
+    }
+
+    #[test]
+    fn gops_per_watt_matches_table_three() {
+        // Nominal: 119.2 GOPS/W; EnOpt_split: 400.5 GOPS/W.
+        assert!((crate::gops_per_watt(67.08) - 119.2).abs() < 0.2);
+        assert!((crate::gops_per_watt(19.98) - 400.5).abs() < 0.3);
+    }
+}

@@ -1,0 +1,182 @@
+//! Small numerical routines used by model calibration.
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// # Panics
+///
+/// Panics if `f(lo)` and `f(hi)` have the same sign or the interval is
+/// degenerate.
+pub fn bisect(f: impl Fn(f64) -> f64, mut lo: f64, mut hi: f64, tol: f64) -> f64 {
+    assert!(lo < hi, "degenerate interval");
+    let (flo, fhi) = (f(lo), f(hi));
+    assert!(
+        flo.signum() != fhi.signum(),
+        "root not bracketed: f({lo}) = {flo}, f({hi}) = {fhi}"
+    );
+    let rising = fhi > flo;
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if (fm > 0.0) == rising {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Minimizes a unimodal `f` on `[lo, hi]` by golden-section search;
+/// returns `(argmin, min)`.
+///
+/// # Panics
+///
+/// Panics if the interval is degenerate.
+pub fn golden_min(f: impl Fn(f64) -> f64, mut lo: f64, mut hi: f64, tol: f64) -> (f64, f64) {
+    assert!(lo < hi, "degenerate interval");
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut c = hi - INV_PHI * (hi - lo);
+    let mut d = lo + INV_PHI * (hi - lo);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while hi - lo > tol {
+        if fc < fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - INV_PHI * (hi - lo);
+            fc = f(c);
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + INV_PHI * (hi - lo);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    (x, f(x))
+}
+
+/// Piecewise log-linear interpolation through `(x, y)` anchors with
+/// power-law extrapolation beyond the ends (`y ∝ x^exponent`).
+///
+/// Used for empirically measured, positive, monotone-ish quantities such
+/// as per-cycle dynamic energy versus voltage.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LogInterp {
+    anchors: Vec<(f64, f64)>,
+    extrapolation_exponent: f64,
+}
+
+impl LogInterp {
+    /// Builds the interpolator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there are ≥ 2 anchors, x strictly increasing, y > 0.
+    pub fn new(anchors: Vec<(f64, f64)>, extrapolation_exponent: f64) -> Self {
+        assert!(anchors.len() >= 2, "need at least two anchors");
+        for pair in anchors.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "x must strictly increase");
+        }
+        assert!(anchors.iter().all(|&(_, y)| y > 0.0), "y must be positive");
+        LogInterp {
+            anchors,
+            extrapolation_exponent,
+        }
+    }
+
+    /// Evaluates the interpolant at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let first = self.anchors[0];
+        let last = *self.anchors.last().unwrap();
+        if x <= first.0 {
+            return first.1 * (x / first.0).powf(self.extrapolation_exponent);
+        }
+        if x >= last.0 {
+            return last.1 * (x / last.0).powf(self.extrapolation_exponent);
+        }
+        for pair in self.anchors.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            if x >= x0 && x <= x1 {
+                let t = (x - x0) / (x1 - x0);
+                return (y0.ln() + t * (y1.ln() - y0.ln())).exp();
+            }
+        }
+        unreachable!("interpolation range covered above")
+    }
+
+    /// The anchor list.
+    pub fn anchors(&self) -> &[(f64, f64)] {
+        &self.anchors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12);
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_handles_decreasing_functions() {
+        let root = bisect(|x| 1.0 - x, 0.0, 5.0, 1e-12);
+        assert!((root - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bracketed")]
+    fn bisect_requires_bracket() {
+        bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn golden_min_finds_parabola_vertex() {
+        let (x, y) = golden_min(|x| (x - 0.3) * (x - 0.3) + 1.0, -2.0, 2.0, 1e-10);
+        // Near the minimum, f differences fall below f64 resolution, so
+        // the argmin is only determined to ~sqrt(eps).
+        assert!((x - 0.3).abs() < 1e-6);
+        assert!((y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_interp_hits_anchors() {
+        let li = LogInterp::new(vec![(0.5, 6.3), (0.9, 32.85)], 2.0);
+        assert!((li.eval(0.5) - 6.3).abs() < 1e-12);
+        assert!((li.eval(0.9) - 32.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_interp_is_monotone_between_increasing_anchors() {
+        let li = LogInterp::new(vec![(0.5, 6.0), (0.65, 18.0), (0.9, 33.0)], 2.0);
+        let mut prev = 0.0;
+        let mut v = 0.5;
+        while v <= 0.9 {
+            let y = li.eval(v);
+            assert!(y >= prev);
+            prev = y;
+            v += 0.01;
+        }
+    }
+
+    #[test]
+    fn log_interp_extrapolates_with_power_law() {
+        let li = LogInterp::new(vec![(0.5, 8.0), (0.9, 32.0)], 2.0);
+        // Below: y(0.25) = 8 * (0.25/0.5)^2 = 2.
+        assert!((li.eval(0.25) - 2.0).abs() < 1e-12);
+        // Above: y(1.8) = 32 * 4 = 128.
+        assert!((li.eval(1.8) - 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn log_interp_rejects_unsorted() {
+        LogInterp::new(vec![(0.9, 1.0), (0.5, 2.0)], 2.0);
+    }
+}

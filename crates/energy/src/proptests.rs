@@ -1,0 +1,82 @@
+//! Property-based tests over the energy models.
+
+use crate::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Frequency is monotone non-decreasing in voltage and zero below
+    /// threshold.
+    #[test]
+    fn frequency_monotone(v in 0.0f64..1.2, dv in 0.0f64..0.3) {
+        let m = DelayModel::snnac();
+        prop_assert!(m.frequency(v + dv) >= m.frequency(v));
+        prop_assert!(m.frequency(m.vt() - 0.01) == 0.0);
+    }
+
+    /// voltage_for inverts frequency across the whole operating range.
+    #[test]
+    fn voltage_for_inverts(f_frac in 0.01f64..1.0) {
+        let m = DelayModel::snnac();
+        let f = f_frac * 250.0e6;
+        let v = m.voltage_for(f);
+        prop_assert!((m.frequency(v) - f).abs() / f < 1e-6);
+    }
+
+    /// Energy per cycle is positive, and its leakage part scales exactly
+    /// inversely with frequency.
+    #[test]
+    fn leakage_scales_inverse_frequency(
+        v in 0.45f64..0.95,
+        f1 in 1.0e6f64..250.0e6,
+        f2 in 1.0e6f64..250.0e6,
+    ) {
+        let m = EnergyModel::snnac();
+        let b1 = m.logic().breakdown(v, f1);
+        let b2 = m.logic().breakdown(v, f2);
+        prop_assert!(b1.total_pj() > 0.0);
+        prop_assert!((b1.leakage_pj * f1 - b2.leakage_pj * f2).abs() / (b1.leakage_pj * f1) < 1e-9);
+        // Dynamic part is frequency-independent.
+        prop_assert!((b1.dynamic_pj - b2.dynamic_pj).abs() < 1e-12);
+    }
+
+    /// The joint MEP is a genuine minimum: any single-rail operating point
+    /// in the search interval costs at least as much energy per cycle.
+    #[test]
+    fn joint_mep_is_global_on_grid(v in 0.54f64..0.9) {
+        let m = EnergyModel::snnac();
+        let mep = m.joint_mep();
+        let op = OperatingPoint { v_logic: v, v_sram: v, freq_hz: m.delay().frequency(v) };
+        prop_assert!(m.total_pj(op) >= m.total_pj(mep) - 1e-9,
+            "E({v}) = {} beats MEP {}", m.total_pj(op), m.total_pj(mep));
+    }
+
+    /// Scenario reductions are always ≥ 1 (MATIC never loses) and the
+    /// optimized point never exceeds its baseline in either domain sum.
+    #[test]
+    fn scenario_reductions_at_least_one(idx in 0usize..3) {
+        let m = EnergyModel::snnac();
+        let r = Scenario::ALL[idx].evaluate(&m);
+        prop_assert!(r.reduction() >= 1.0);
+        prop_assert!(r.total_pj() <= r.baseline_total_pj());
+    }
+
+    /// GOPS/W is inversely proportional to energy per cycle.
+    #[test]
+    fn gops_inverse_energy(e in 1.0f64..100.0, k in 1.5f64..4.0) {
+        let a = gops_per_watt(e);
+        let b = gops_per_watt(e * k);
+        prop_assert!((a / b - k).abs() < 1e-9);
+    }
+
+    /// LogInterp stays within the convex hull of anchor values on the
+    /// interior (log-linear interpolation cannot overshoot).
+    #[test]
+    fn interp_bounded_by_anchors(x in 0.5f64..0.9) {
+        let li = numerics::LogInterp::new(
+            vec![(0.5, 6.3), (0.55, 6.31), (0.65, 18.07), (0.9, 32.85)],
+            2.0,
+        );
+        let y = li.eval(x);
+        prop_assert!((6.3 - 1e-12..=32.85 + 1e-12).contains(&y));
+    }
+}

@@ -1,0 +1,168 @@
+//! The wide MAC accumulator used by SNNAC processing elements.
+
+use crate::format::QFormat;
+use crate::scalar::{round_shift, Fx};
+use serde::{Deserialize, Serialize};
+
+/// A 64-bit multiply-accumulate register.
+///
+/// SNNAC computes inner products with 8–22 bit operands accumulated into a
+/// wide register before the activation-function unit narrows the result.
+/// With ≤22-bit operands, a 64-bit accumulator cannot overflow for any layer
+/// width below 2²⁰ inputs, so accumulation itself is exact; only the final
+/// [`Accumulator::narrow`] saturates.
+///
+/// # Example
+///
+/// ```
+/// use matic_fixed::{Accumulator, Fx, QFormat};
+/// let q = QFormat::new(16, 12)?;
+/// let mut acc = Accumulator::new();
+/// acc.mac(Fx::from_f64(0.5, q), Fx::from_f64(2.0, q));
+/// acc.mac(Fx::from_f64(-0.25, q), Fx::from_f64(4.0, q));
+/// assert_eq!(acc.narrow(q, q).to_f64(), 0.0);
+/// # Ok::<(), matic_fixed::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Accumulator {
+    sum: i64,
+}
+
+impl Accumulator {
+    /// An empty (zero) accumulator.
+    pub fn new() -> Self {
+        Accumulator { sum: 0 }
+    }
+
+    /// Accumulates `w * x` exactly (the product carries
+    /// `w.frac_bits + x.frac_bits` fraction bits internally).
+    pub fn mac(&mut self, w: Fx, x: Fx) {
+        self.sum += w.raw() as i64 * x.raw() as i64;
+    }
+
+    /// Adds a raw pre-scaled contribution (used when merging partial sums
+    /// from multiple PEs through the SNNAC accumulator unit).
+    pub fn add_raw(&mut self, partial: i64) {
+        self.sum += partial;
+    }
+
+    /// Adds a bias term expressed in the *product* scale implied by
+    /// `(w_fmt, x_fmt)`, i.e. with `w_fmt.frac_bits + x_fmt.frac_bits`
+    /// fraction bits.
+    pub fn add_bias(&mut self, bias: Fx, x_fmt: QFormat) {
+        self.sum += (bias.raw() as i64) << x_fmt.frac_bits();
+    }
+
+    /// The raw accumulated value (scale: sum of the operand fraction bits).
+    pub fn raw(&self) -> i64 {
+        self.sum
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: Accumulator) {
+        self.sum += other.sum;
+    }
+
+    /// Narrows the accumulated sum of `(w, x)` products back into `out_fmt`,
+    /// assuming the weights used format `w_fmt` and the inputs carried
+    /// `out_fmt`-compatible fraction bits equal to `x_frac`. Rounds to
+    /// nearest and saturates.
+    pub fn narrow_from(&self, w_fmt: QFormat, x_frac: u8, out_fmt: QFormat) -> Fx {
+        let total_frac = w_fmt.frac_bits() as i32 + x_frac as i32;
+        let shift = total_frac - out_fmt.frac_bits() as i32;
+        let raw = if shift >= 0 {
+            round_shift(self.sum, shift as u32)
+        } else {
+            self.sum << (-shift) as u32
+        };
+        Fx::from_raw(out_fmt.saturate_raw(raw), out_fmt)
+    }
+
+    /// Convenience narrowing when inputs and outputs share a format.
+    pub fn narrow(&self, w_fmt: QFormat, io_fmt: QFormat) -> Fx {
+        self.narrow_from(w_fmt, io_fmt.frac_bits(), io_fmt)
+    }
+
+    /// The accumulated value as a real number given the operand formats.
+    pub fn to_f64(&self, w_fmt: QFormat, x_fmt: QFormat) -> f64 {
+        let total_frac = w_fmt.frac_bits() as i32 + x_fmt.frac_bits() as i32;
+        self.sum as f64 * 2f64.powi(-total_frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> QFormat {
+        QFormat::new(16, 12).unwrap()
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.raw(), 0);
+        assert_eq!(acc.narrow(q(), q()).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn mac_matches_float_reference_for_exact_codes() {
+        let mut acc = Accumulator::new();
+        let pairs = [(0.5, 1.5), (-0.75, 2.0), (3.25, -0.5)];
+        let mut reference = 0.0;
+        for (w, x) in pairs {
+            acc.mac(Fx::from_f64(w, q()), Fx::from_f64(x, q()));
+            reference += w * x;
+        }
+        assert_eq!(acc.to_f64(q(), q()), reference);
+        assert_eq!(acc.narrow(q(), q()).to_f64(), reference);
+    }
+
+    #[test]
+    fn narrow_saturates_large_sums() {
+        let mut acc = Accumulator::new();
+        for _ in 0..100 {
+            acc.mac(Fx::from_f64(7.9, q()), Fx::from_f64(7.9, q()));
+        }
+        assert_eq!(acc.narrow(q(), q()).raw(), q().raw_max());
+    }
+
+    #[test]
+    fn add_bias_scales_correctly() {
+        let mut acc = Accumulator::new();
+        acc.add_bias(Fx::from_f64(1.5, q()), q());
+        assert_eq!(acc.narrow(q(), q()).to_f64(), 1.5);
+    }
+
+    #[test]
+    fn merge_sums_partials() {
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        a.mac(Fx::from_f64(1.0, q()), Fx::from_f64(2.0, q()));
+        b.mac(Fx::from_f64(3.0, q()), Fx::from_f64(-1.0, q()));
+        a.merge(b);
+        assert_eq!(a.narrow(q(), q()).to_f64(), -1.0);
+    }
+
+    #[test]
+    fn narrow_from_mixed_formats() {
+        let wq = QFormat::new(16, 12).unwrap();
+        let xq = QFormat::new(16, 14).unwrap();
+        let mut acc = Accumulator::new();
+        acc.mac(Fx::from_f64(0.5, wq), Fx::from_f64(0.25, xq));
+        let out = acc.narrow_from(wq, xq.frac_bits(), xq);
+        assert_eq!(out.to_f64(), 0.125);
+    }
+
+    #[test]
+    fn narrow_negative_shift_upscales() {
+        // Output format with more fraction bits than the product carries.
+        let wq = QFormat::new(4, 1).unwrap();
+        let xq = QFormat::new(4, 1).unwrap();
+        let out_fmt = QFormat::new(16, 8).unwrap();
+        let mut acc = Accumulator::new();
+        acc.mac(Fx::from_f64(1.5, wq), Fx::from_f64(1.0, xq));
+        let out = acc.narrow_from(wq, xq.frac_bits(), out_fmt);
+        assert_eq!(out.to_f64(), 1.5);
+    }
+}

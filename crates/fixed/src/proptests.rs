@@ -1,0 +1,80 @@
+//! Property-based tests over the fixed-point layer.
+
+use crate::*;
+use proptest::prelude::*;
+
+fn arb_format() -> impl Strategy<Value = QFormat> {
+    (2u8..=22).prop_flat_map(|w| (Just(w), 0..w).prop_map(|(w, f)| QFormat::new(w, f).unwrap()))
+}
+
+proptest! {
+    /// encode/decode is a bijection on the raw range.
+    #[test]
+    fn encode_decode_roundtrip(fmt in arb_format(), frac in 0.0f64..1.0) {
+        let span = fmt.raw_max() as i64 - fmt.raw_min() as i64;
+        let raw = fmt.raw_min() + (frac * span as f64) as i32;
+        prop_assert_eq!(fmt.decode(fmt.encode(raw)), raw);
+    }
+
+    /// Quantization never exceeds half-LSB error inside the range, and the
+    /// residual reported equals the true reconstruction error.
+    #[test]
+    fn quantize_residual_exact(fmt in arb_format(), x in -100.0f64..100.0) {
+        let q = quantize_with_residual(x, fmt);
+        prop_assert!((x - (dequantize(q.raw, fmt) + q.residual)).abs() < 1e-12);
+        if x > fmt.min_value() && x < fmt.max_value() {
+            prop_assert!(q.residual.abs() <= fmt.lsb() / 2.0 + 1e-12);
+        }
+    }
+
+    /// Quantization is monotone: x <= y implies Q(x) <= Q(y).
+    #[test]
+    fn quantize_monotone(fmt in arb_format(), a in -20.0f64..20.0, b in -20.0f64..20.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantize(lo, fmt) <= quantize(hi, fmt));
+    }
+
+    /// Fx addition agrees with clamped real addition for exact codes.
+    #[test]
+    fn add_matches_clamped_real(fmt in arb_format(), a in -1.0f64..1.0, b in -1.0f64..1.0) {
+        let fa = Fx::from_f64(a * fmt.max_value(), fmt);
+        let fb = Fx::from_f64(b * fmt.max_value(), fmt);
+        let sum = (fa + fb).to_f64();
+        let expect = (fa.to_f64() + fb.to_f64()).clamp(fmt.min_value(), fmt.max_value());
+        prop_assert!((sum - expect).abs() < 1e-12);
+    }
+
+    /// Multiplication error is bounded by one LSB (rounding) unless saturated.
+    #[test]
+    fn mul_error_bounded(fmt in arb_format(), a in -1.0f64..1.0, b in -1.0f64..1.0) {
+        let fa = Fx::from_f64(a, fmt);
+        let fb = Fx::from_f64(b, fmt);
+        let prod = fa * fb;
+        let exact = fa.to_f64() * fb.to_f64();
+        if exact > fmt.min_value() && exact < fmt.max_value() {
+            prop_assert!((prod.to_f64() - exact).abs() <= fmt.lsb() / 2.0 + 1e-12);
+        }
+    }
+
+    /// MAC accumulation is exact: the accumulator equals the integer dot
+    /// product of raw codes.
+    #[test]
+    fn mac_exact(fmt in arb_format(), pairs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..64)) {
+        let mut acc = Accumulator::new();
+        let mut reference: i64 = 0;
+        for (a, b) in &pairs {
+            let fa = Fx::from_f64(*a, fmt);
+            let fb = Fx::from_f64(*b, fmt);
+            acc.mac(fa, fb);
+            reference += fa.raw() as i64 * fb.raw() as i64;
+        }
+        prop_assert_eq!(acc.raw(), reference);
+    }
+
+    /// Storage-word roundtrip through Fx.
+    #[test]
+    fn fx_word_roundtrip(fmt in arb_format(), x in -10.0f64..10.0) {
+        let fx = Fx::from_f64(x, fmt);
+        prop_assert_eq!(Fx::from_word(fx.to_word(), fmt), fx);
+    }
+}

@@ -1,0 +1,150 @@
+//! Quantization with fractional-error extraction.
+//!
+//! Memory-adaptive training (paper §III-B) trains on quantized weights but
+//! keeps float master copies so that "gradual weight-updates … occur over
+//! multiple backprop iterations". The update rule is
+//!
+//! ```text
+//! w[n+1] = m[n] − α ∂J/∂m[n] + εq,     m[n] = Bor | (Band & Q(w[n]))
+//! ```
+//!
+//! where `εq = w − value(Q(w))` is the *fractional quantization error*. This
+//! module provides exactly that decomposition.
+
+use crate::format::QFormat;
+
+/// Result of quantizing a real value: the raw fixed-point word plus the
+/// residual εq that the MAT update rule re-injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantized {
+    /// Raw two's-complement value in the target format.
+    pub raw: i32,
+    /// Fractional quantization error `x − value(raw)`. Bounded by half an
+    /// LSB whenever `x` is inside the representable range.
+    pub residual: f64,
+}
+
+/// Quantizes `x` to the nearest representable value in `fmt`
+/// (round-half-away-from-zero, saturating at the range limits).
+///
+/// # Example
+///
+/// ```
+/// use matic_fixed::{quantize, QFormat};
+/// let q = QFormat::new(8, 4)?;
+/// assert_eq!(quantize(0.5, q), 8);     // 0.5 * 2^4
+/// assert_eq!(quantize(100.0, q), 127); // saturates
+/// # Ok::<(), matic_fixed::FormatError>(())
+/// ```
+pub fn quantize(x: f64, fmt: QFormat) -> i32 {
+    let scaled = x * fmt.scale();
+    // round() is round-half-away-from-zero, matching common RTL rounding.
+    let rounded = scaled.round();
+    if rounded >= fmt.raw_max() as f64 {
+        fmt.raw_max()
+    } else if rounded <= fmt.raw_min() as f64 {
+        fmt.raw_min()
+    } else {
+        rounded as i32
+    }
+}
+
+/// Converts a raw fixed-point value back to a real number.
+pub fn dequantize(raw: i32, fmt: QFormat) -> f64 {
+    raw as f64 / fmt.scale()
+}
+
+/// Quantizes `x` and also returns the residual εq = `x − value(Q(x))`.
+///
+/// When `x` is inside the representable range, `|residual| ≤ lsb/2`; when it
+/// saturates, the residual absorbs the clipping error so that master weights
+/// pushed outside the range are pulled back gradually rather than clipped
+/// irrecoverably.
+///
+/// # Example
+///
+/// ```
+/// use matic_fixed::{quantize_with_residual, QFormat};
+/// let q = QFormat::new(8, 4)?;
+/// let out = quantize_with_residual(0.52, q);
+/// assert_eq!(out.raw, 8); // nearest code is 0.5
+/// assert!((out.residual - 0.02).abs() < 1e-12);
+/// # Ok::<(), matic_fixed::FormatError>(())
+/// ```
+pub fn quantize_with_residual(x: f64, fmt: QFormat) -> Quantized {
+    let raw = quantize(x, fmt);
+    Quantized {
+        raw,
+        residual: x - dequantize(raw, fmt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q8_4() -> QFormat {
+        QFormat::new(8, 4).unwrap()
+    }
+
+    #[test]
+    fn quantize_exact_codes_have_zero_residual() {
+        let q = q8_4();
+        for raw in q.raw_min()..=q.raw_max() {
+            let x = dequantize(raw, q);
+            let out = quantize_with_residual(x, q);
+            assert_eq!(out.raw, raw);
+            assert_eq!(out.residual, 0.0);
+        }
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        let q = q8_4();
+        // 0.03125 is exactly half an LSB; round-half-away-from-zero -> 1.
+        assert_eq!(quantize(0.03125, q), 1);
+        assert_eq!(quantize(-0.03125, q), -1);
+        assert_eq!(quantize(0.031, q), 0);
+        assert_eq!(quantize(0.032, q), 1);
+    }
+
+    #[test]
+    fn quantize_saturates_and_residual_absorbs_clip() {
+        let q = q8_4();
+        let out = quantize_with_residual(100.0, q);
+        assert_eq!(out.raw, q.raw_max());
+        assert!((out.residual - (100.0 - q.max_value())).abs() < 1e-12);
+
+        let out = quantize_with_residual(-100.0, q);
+        assert_eq!(out.raw, q.raw_min());
+        assert!((out.residual - (-100.0 - q.min_value())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_bounded_by_half_lsb_in_range() {
+        let q = q8_4();
+        let mut x = q.min_value();
+        while x < q.max_value() {
+            let out = quantize_with_residual(x, q);
+            assert!(out.residual.abs() <= q.lsb() / 2.0 + 1e-15, "x = {x}");
+            x += 0.013; // irrational-ish step to hit many non-code points
+        }
+    }
+
+    #[test]
+    fn dequantize_is_left_inverse_of_quantize_on_codes() {
+        let q = QFormat::new(12, 9).unwrap();
+        for raw in [-2048, -1, 0, 1, 2047] {
+            assert_eq!(quantize(dequantize(raw, q), q), raw);
+        }
+    }
+
+    #[test]
+    fn nan_saturates_deterministically() {
+        // NaN comparisons are false; the implementation routes NaN to the
+        // final `else` branch. Document the (finite) result.
+        let q = q8_4();
+        let raw = quantize(f64::NAN, q);
+        assert!(raw >= q.raw_min() && raw <= q.raw_max());
+    }
+}

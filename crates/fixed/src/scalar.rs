@@ -1,0 +1,265 @@
+//! A checked fixed-point scalar.
+
+use crate::format::QFormat;
+use crate::quant::{dequantize, quantize};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-point number carrying its [`QFormat`].
+///
+/// All arithmetic saturates at the format's range limits, mirroring the
+/// saturating MAC datapath of the SNNAC PEs. Mixed-format arithmetic is a
+/// programming error and panics (formats are a static property of a layer's
+/// datapath, not data).
+///
+/// # Example
+///
+/// ```
+/// use matic_fixed::{Fx, QFormat};
+/// let q = QFormat::new(16, 12)?;
+/// let a = Fx::from_f64(1.5, q);
+/// let b = Fx::from_f64(2.25, q);
+/// assert_eq!((a + b).to_f64(), 3.75);
+/// assert_eq!((a * b).to_f64(), 3.375);
+/// # Ok::<(), matic_fixed::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fx {
+    raw: i32,
+    fmt: QFormat,
+}
+
+impl Fx {
+    /// Zero in the given format.
+    pub fn zero(fmt: QFormat) -> Self {
+        Fx { raw: 0, fmt }
+    }
+
+    /// Quantizes a real value (round-to-nearest, saturating).
+    pub fn from_f64(x: f64, fmt: QFormat) -> Self {
+        Fx {
+            raw: quantize(x, fmt),
+            fmt,
+        }
+    }
+
+    /// Builds a value from a raw two's-complement word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is outside the format's raw range.
+    pub fn from_raw(raw: i32, fmt: QFormat) -> Self {
+        assert!(
+            raw >= fmt.raw_min() && raw <= fmt.raw_max(),
+            "raw {raw} outside {fmt}"
+        );
+        Fx { raw, fmt }
+    }
+
+    /// Decodes a storage word (as held in a weight SRAM) into a value.
+    pub fn from_word(word: u32, fmt: QFormat) -> Self {
+        Fx {
+            raw: fmt.decode(word),
+            fmt,
+        }
+    }
+
+    /// The raw two's-complement value.
+    pub fn raw(self) -> i32 {
+        self.raw
+    }
+
+    /// The storage-word encoding (low `word_bits` of the raw value).
+    pub fn to_word(self) -> u32 {
+        self.fmt.encode(self.raw)
+    }
+
+    /// The value's format.
+    pub fn format(self) -> QFormat {
+        self.fmt
+    }
+
+    /// Converts back to a real number (exact).
+    pub fn to_f64(self) -> f64 {
+        dequantize(self.raw, self.fmt)
+    }
+
+    /// Re-quantizes into another format (round-to-nearest, saturating).
+    pub fn convert(self, fmt: QFormat) -> Fx {
+        if fmt == self.fmt {
+            return self;
+        }
+        Fx::from_f64(self.to_f64(), fmt)
+    }
+
+    /// Saturating negation (the raw minimum negates to the raw maximum).
+    pub fn saturating_neg(self) -> Fx {
+        Fx {
+            raw: self.fmt.saturate_raw(-(self.raw as i64)),
+            fmt: self.fmt,
+        }
+    }
+
+    fn check_fmt(self, other: Fx, op: &str) {
+        assert!(
+            self.fmt == other.fmt,
+            "mixed-format {op}: {} vs {}",
+            self.fmt,
+            other.fmt
+        );
+    }
+}
+
+impl std::ops::Add for Fx {
+    type Output = Fx;
+
+    /// Saturating addition.
+    fn add(self, rhs: Fx) -> Fx {
+        self.check_fmt(rhs, "add");
+        Fx {
+            raw: self.fmt.saturate_raw(self.raw as i64 + rhs.raw as i64),
+            fmt: self.fmt,
+        }
+    }
+}
+
+impl std::ops::Sub for Fx {
+    type Output = Fx;
+
+    /// Saturating subtraction.
+    fn sub(self, rhs: Fx) -> Fx {
+        self.check_fmt(rhs, "sub");
+        Fx {
+            raw: self.fmt.saturate_raw(self.raw as i64 - rhs.raw as i64),
+            fmt: self.fmt,
+        }
+    }
+}
+
+impl std::ops::Mul for Fx {
+    type Output = Fx;
+
+    /// Saturating multiplication with round-to-nearest rescaling.
+    fn mul(self, rhs: Fx) -> Fx {
+        self.check_fmt(rhs, "mul");
+        let wide = self.raw as i64 * rhs.raw as i64;
+        let shift = self.fmt.frac_bits() as u32;
+        let rounded = round_shift(wide, shift);
+        Fx {
+            raw: self.fmt.saturate_raw(rounded),
+            fmt: self.fmt,
+        }
+    }
+}
+
+impl PartialOrd for Fx {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        if self.fmt == other.fmt {
+            self.raw.partial_cmp(&other.raw)
+        } else {
+            self.to_f64().partial_cmp(&other.to_f64())
+        }
+    }
+}
+
+impl fmt::Display for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+/// Arithmetic right shift with round-half-away-from-zero, used when
+/// narrowing products/accumulators back to the operand format.
+pub(crate) fn round_shift(value: i64, shift: u32) -> i64 {
+    if shift == 0 {
+        return value;
+    }
+    let half = 1i64 << (shift - 1);
+    if value >= 0 {
+        (value + half) >> shift
+    } else {
+        -((-value + half) >> shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> QFormat {
+        QFormat::new(16, 12).unwrap()
+    }
+
+    #[test]
+    fn add_sub_exact_when_in_range() {
+        let a = Fx::from_f64(1.25, q());
+        let b = Fx::from_f64(0.5, q());
+        assert_eq!((a + b).to_f64(), 1.75);
+        assert_eq!((a - b).to_f64(), 0.75);
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        let a = Fx::from_f64(7.0, q());
+        let b = Fx::from_f64(7.0, q());
+        assert_eq!((a + b).raw(), q().raw_max());
+    }
+
+    #[test]
+    fn sub_saturates_at_min() {
+        let a = Fx::from_f64(-7.0, q());
+        let b = Fx::from_f64(7.0, q());
+        assert_eq!((a - b).raw(), q().raw_min());
+    }
+
+    #[test]
+    fn mul_rescales_and_rounds() {
+        let a = Fx::from_f64(1.5, q());
+        let b = Fx::from_f64(-2.0, q());
+        assert_eq!((a * b).to_f64(), -3.0);
+    }
+
+    #[test]
+    fn mul_saturates() {
+        let a = Fx::from_f64(7.9, q());
+        let b = Fx::from_f64(7.9, q());
+        assert_eq!((a * b).raw(), q().raw_max());
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed-format")]
+    fn mixed_format_add_panics() {
+        let a = Fx::from_f64(1.0, QFormat::new(8, 4).unwrap());
+        let b = Fx::from_f64(1.0, QFormat::new(16, 12).unwrap());
+        let _ = a + b;
+    }
+
+    #[test]
+    fn word_roundtrip_negative() {
+        let a = Fx::from_f64(-3.72, q());
+        assert_eq!(Fx::from_word(a.to_word(), q()), a);
+    }
+
+    #[test]
+    fn saturating_neg_of_min_is_max() {
+        let a = Fx::from_raw(q().raw_min(), q());
+        assert_eq!(a.saturating_neg().raw(), q().raw_max());
+    }
+
+    #[test]
+    fn convert_narrowing_saturates() {
+        let wide = QFormat::new(16, 8).unwrap(); // range ±128
+        let narrow = QFormat::new(8, 4).unwrap(); // range ±8
+        let a = Fx::from_f64(100.0, wide);
+        assert_eq!(a.convert(narrow).raw(), narrow.raw_max());
+    }
+
+    #[test]
+    fn round_shift_half_away_from_zero() {
+        assert_eq!(round_shift(3, 1), 2); // 1.5 -> 2
+        assert_eq!(round_shift(-3, 1), -2); // -1.5 -> -2
+        assert_eq!(round_shift(5, 2), 1); // 1.25 -> 1
+        assert_eq!(round_shift(-5, 2), -1);
+        assert_eq!(round_shift(7, 0), 7);
+    }
+}

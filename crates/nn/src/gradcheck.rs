@@ -1,0 +1,88 @@
+//! Numerical gradient checking.
+
+use crate::mlp::{Gradients, Mlp};
+use crate::sample::Sample;
+
+/// Central-difference gradients of the loss with respect to every weight
+/// and bias — the ground truth for validating backprop. O(params) forward
+/// passes; intended for tests on small networks.
+pub fn numerical_gradients(net: &Mlp, sample: &Sample, eps: f64) -> Gradients {
+    let mut grads = Gradients::zeros_like(net);
+    let depth = net.spec().depth();
+    for l in 0..depth {
+        for r in 0..net.weights()[l].rows() {
+            for c in 0..net.weights()[l].cols() {
+                let mut plus = net.clone();
+                *plus.weights_mut()[l].get_mut(r, c) += eps;
+                let mut minus = net.clone();
+                *minus.weights_mut()[l].get_mut(r, c) -= eps;
+                let g = (plus.sample_loss(sample) - minus.sample_loss(sample)) / (2.0 * eps);
+                grads.weights[l].set(r, c, g);
+            }
+        }
+        for i in 0..net.biases()[l].len() {
+            let mut plus = net.clone();
+            plus.biases_mut()[l][i] += eps;
+            let mut minus = net.clone();
+            minus.biases_mut()[l][i] -= eps;
+            grads.biases[l][i] =
+                (plus.sample_loss(sample) - minus.sample_loss(sample)) / (2.0 * eps);
+        }
+    }
+    grads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Loss, NetSpec};
+
+    fn max_gradient_gap(net: &Mlp, sample: &Sample) -> f64 {
+        let analytic = net.sample_gradients(sample);
+        let numeric = numerical_gradients(net, sample, 1e-6);
+        let mut worst = 0.0f64;
+        for l in 0..net.spec().depth() {
+            for (a, n) in analytic.weights[l]
+                .as_slice()
+                .iter()
+                .zip(numeric.weights[l].as_slice())
+            {
+                worst = worst.max((a - n).abs());
+            }
+            for (a, n) in analytic.biases[l].iter().zip(&numeric.biases[l]) {
+                worst = worst.max((a - n).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn backprop_matches_numerics_sigmoid_mse() {
+        let net = Mlp::init(NetSpec::classifier(&[3, 5, 2]), 11);
+        let s = Sample::new(vec![0.2, -0.7, 0.5], vec![1.0, 0.0]);
+        assert!(max_gradient_gap(&net, &s) < 1e-6);
+    }
+
+    #[test]
+    fn backprop_matches_numerics_regressor() {
+        let net = Mlp::init(NetSpec::regressor(&[2, 6, 2]), 13);
+        let s = Sample::new(vec![0.9, -0.3], vec![0.25, -1.5]);
+        assert!(max_gradient_gap(&net, &s) < 1e-6);
+    }
+
+    #[test]
+    fn backprop_matches_numerics_cross_entropy() {
+        let mut spec = NetSpec::classifier(&[4, 3, 2]);
+        spec.loss = Loss::CrossEntropy;
+        let net = Mlp::init(spec, 17);
+        let s = Sample::new(vec![0.1, 0.2, 0.3, 0.4], vec![0.0, 1.0]);
+        assert!(max_gradient_gap(&net, &s) < 1e-5);
+    }
+
+    #[test]
+    fn backprop_matches_numerics_deep_net() {
+        let net = Mlp::init(NetSpec::classifier(&[3, 4, 4, 3, 2]), 19);
+        let s = Sample::new(vec![0.5, -0.5, 0.25], vec![0.0, 1.0]);
+        assert!(max_gradient_gap(&net, &s) < 1e-6);
+    }
+}

@@ -1,0 +1,143 @@
+//! Evaluation metrics matching Table I of the paper.
+
+use crate::mlp::Mlp;
+use crate::sample::Sample;
+use serde::{Deserialize, Serialize};
+
+/// A benchmark error metric: classification error in percent, or MSE
+/// (Table I lists "Classif. rate" for mnist/facedet and "Mean sq. error"
+/// for inversek2j/bscholes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Percent misclassified (100 − classification rate).
+    ClassificationErrorPercent(f64),
+    /// Mean squared error.
+    Mse(f64),
+}
+
+impl Metric {
+    /// The raw numeric value.
+    pub fn value(self) -> f64 {
+        match self {
+            Metric::ClassificationErrorPercent(v) | Metric::Mse(v) => v,
+        }
+    }
+
+    /// True for classification metrics.
+    pub fn is_classification(self) -> bool {
+        matches!(self, Metric::ClassificationErrorPercent(_))
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Metric::ClassificationErrorPercent(v) => write!(f, "{v:.1}%"),
+            Metric::Mse(v) => write!(f, "{v:.3}"),
+        }
+    }
+}
+
+/// Classification error in percent. Multi-output networks decide by
+/// argmax; single-output networks threshold at 0.5 (the face-detection
+/// benchmark's convention).
+pub fn classification_error_percent(net: &Mlp, samples: &[Sample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut wrong = 0usize;
+    for s in samples {
+        let out = net.forward(&s.input);
+        let correct = if out.len() == 1 {
+            (out[0] >= 0.5) == (s.target[0] >= 0.5)
+        } else {
+            argmax(&out) == argmax(&s.target)
+        };
+        if !correct {
+            wrong += 1;
+        }
+    }
+    100.0 * wrong as f64 / samples.len() as f64
+}
+
+/// Mean squared error over a dataset (averaged over outputs and samples).
+pub fn mean_squared_error(net: &Mlp, samples: &[Sample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for s in samples {
+        let out = net.forward(&s.input);
+        total += out
+            .iter()
+            .zip(&s.target)
+            .map(|(y, t)| (y - t) * (y - t))
+            .sum::<f64>()
+            / out.len() as f64;
+    }
+    total / samples.len() as f64
+}
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, x) in v.iter().enumerate() {
+        if *x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetSpec;
+
+    #[test]
+    fn metric_display() {
+        assert_eq!(Metric::ClassificationErrorPercent(9.4).to_string(), "9.4%");
+        assert_eq!(Metric::Mse(0.032).to_string(), "0.032");
+    }
+
+    #[test]
+    fn classification_error_on_degenerate_net() {
+        // Untrained nets should produce ~chance error, never a panic.
+        let net = Mlp::init(NetSpec::classifier(&[4, 4, 3]), 0);
+        let samples: Vec<Sample> = (0..30)
+            .map(|i| {
+                let mut t = vec![0.0; 3];
+                t[i % 3] = 1.0;
+                Sample::new(vec![i as f64 / 30.0; 4], t)
+            })
+            .collect();
+        let err = classification_error_percent(&net, &samples);
+        assert!((0.0..=100.0).contains(&err));
+    }
+
+    #[test]
+    fn single_output_thresholds() {
+        let net = Mlp::init(NetSpec::classifier(&[1, 1]), 1);
+        let samples = vec![
+            Sample::new(vec![0.0], vec![1.0]),
+            Sample::new(vec![0.0], vec![0.0]),
+        ];
+        // One of the two must be wrong: output is fixed for fixed input.
+        let err = classification_error_percent(&net, &samples);
+        assert_eq!(err, 50.0);
+    }
+
+    #[test]
+    fn mse_zero_for_perfect_prediction() {
+        let net = Mlp::init(NetSpec::regressor(&[1, 2, 1]), 2);
+        let out = net.forward(&[0.3]);
+        let samples = vec![Sample::new(vec![0.3], out)];
+        assert!(mean_squared_error(&net, &samples) < 1e-24);
+    }
+
+    #[test]
+    fn empty_dataset_is_zero_error() {
+        let net = Mlp::init(NetSpec::classifier(&[1, 1]), 1);
+        assert_eq!(classification_error_percent(&net, &[]), 0.0);
+        assert_eq!(mean_squared_error(&net, &[]), 0.0);
+    }
+}

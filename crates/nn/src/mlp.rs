@@ -1,0 +1,482 @@
+//! The multilayer perceptron: forward, backward, SGD.
+
+use crate::matrix::Matrix;
+use crate::sample::Sample;
+use crate::spec::{Loss, NetSpec};
+use crate::SgdConfig;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-layer weight and bias gradients from a backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gradients {
+    /// ∂J/∂W per layer, same shapes as the weight matrices.
+    pub weights: Vec<Matrix>,
+    /// ∂J/∂b per layer.
+    pub biases: Vec<Vec<f64>>,
+}
+
+impl Gradients {
+    /// Zero gradients shaped like `net`.
+    pub fn zeros_like(net: &Mlp) -> Self {
+        Gradients {
+            weights: net
+                .weights
+                .iter()
+                .map(|w| Matrix::zeros(w.rows(), w.cols()))
+                .collect(),
+            biases: net.biases.iter().map(|b| vec![0.0; b.len()]).collect(),
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn accumulate(&mut self, other: &Gradients) {
+        for (a, b) in self.weights.iter_mut().zip(&other.weights) {
+            a.add_scaled(b, 1.0);
+        }
+        for (a, b) in self.biases.iter_mut().zip(&other.biases) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Scales all gradients (e.g. 1/batch averaging).
+    pub fn scale(&mut self, s: f64) {
+        for w in &mut self.weights {
+            w.scale(s);
+        }
+        for b in &mut self.biases {
+            for x in b.iter_mut() {
+                *x *= s;
+            }
+        }
+    }
+}
+
+/// Momentum accumulators matching a network's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentumState {
+    weights: Vec<Matrix>,
+    biases: Vec<Vec<f64>>,
+}
+
+impl MomentumState {
+    /// Zero state shaped like `net`.
+    pub fn zeros_like(net: &Mlp) -> Self {
+        MomentumState {
+            weights: net
+                .weights
+                .iter()
+                .map(|w| Matrix::zeros(w.rows(), w.cols()))
+                .collect(),
+            biases: net.biases.iter().map(|b| vec![0.0; b.len()]).collect(),
+        }
+    }
+
+    /// Folds new gradients into the velocity: `v ← µ·v + g`; returns a
+    /// reference to the updated velocity for the caller to apply.
+    pub fn update(&mut self, grads: &Gradients, momentum: f64) -> (&[Matrix], &[Vec<f64>]) {
+        for (v, g) in self.weights.iter_mut().zip(&grads.weights) {
+            v.scale(momentum);
+            v.add_scaled(g, 1.0);
+        }
+        for (v, g) in self.biases.iter_mut().zip(&grads.biases) {
+            for (x, y) in v.iter_mut().zip(g) {
+                *x = momentum * *x + y;
+            }
+        }
+        (&self.weights, &self.biases)
+    }
+}
+
+/// A fully-connected network with explicit float weights.
+///
+/// Weight matrices use `rows = fan_out`, `cols = fan_in`. The struct is the
+/// substrate for both vanilla training and the memory-adaptive loop, which
+/// needs to run passes over *modified* copies of the weights; see
+/// [`Mlp::map_weights`] and [`Mlp::gradients`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    spec: NetSpec,
+    weights: Vec<Matrix>,
+    biases: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// Initializes a network with Xavier/Glorot-uniform weights and zero
+    /// biases, deterministically from `seed`.
+    pub fn init(spec: NetSpec, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = Vec::with_capacity(spec.depth());
+        let mut biases = Vec::with_capacity(spec.depth());
+        for pair in spec.layers.windows(2) {
+            let (fan_in, fan_out) = (pair[0], pair[1]);
+            let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+            let mut m = Matrix::zeros(fan_out, fan_in);
+            for v in m.as_mut_slice() {
+                *v = rng.gen_range(-limit..limit);
+            }
+            weights.push(m);
+            biases.push(vec![0.0; fan_out]);
+        }
+        Mlp {
+            spec,
+            weights,
+            biases,
+        }
+    }
+
+    /// Builds a network from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent with `spec`.
+    pub fn from_params(spec: NetSpec, weights: Vec<Matrix>, biases: Vec<Vec<f64>>) -> Self {
+        assert_eq!(weights.len(), spec.depth(), "weight count mismatch");
+        assert_eq!(biases.len(), spec.depth(), "bias count mismatch");
+        for (l, pair) in spec.layers.windows(2).enumerate() {
+            assert_eq!(weights[l].cols(), pair[0], "layer {l} fan-in");
+            assert_eq!(weights[l].rows(), pair[1], "layer {l} fan-out");
+            assert_eq!(biases[l].len(), pair[1], "layer {l} bias len");
+        }
+        Mlp {
+            spec,
+            weights,
+            biases,
+        }
+    }
+
+    /// The architecture specification.
+    pub fn spec(&self) -> &NetSpec {
+        &self.spec
+    }
+
+    /// Weight matrices, input-side first.
+    pub fn weights(&self) -> &[Matrix] {
+        &self.weights
+    }
+
+    /// Mutable weight matrices.
+    pub fn weights_mut(&mut self) -> &mut [Matrix] {
+        &mut self.weights
+    }
+
+    /// Bias vectors.
+    pub fn biases(&self) -> &[Vec<f64>] {
+        &self.biases
+    }
+
+    /// Mutable bias vectors.
+    pub fn biases_mut(&mut self) -> &mut [Vec<f64>] {
+        &mut self.biases
+    }
+
+    /// Returns a copy of the network with every weight and bias transformed
+    /// by `f` (e.g. quantize-and-mask for memory-adaptive training).
+    pub fn map_weights(&self, mut f: impl FnMut(f64) -> f64) -> Mlp {
+        let mut out = self.clone();
+        for m in &mut out.weights {
+            for v in m.as_mut_slice() {
+                *v = f(*v);
+            }
+        }
+        for b in &mut out.biases {
+            for v in b.iter_mut() {
+                *v = f(*v);
+            }
+        }
+        out
+    }
+
+    /// Runs the forward pass and returns the output activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the input-layer width.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.forward_trace(input).pop().unwrap()
+    }
+
+    /// Forward pass retaining every layer's activations (input included),
+    /// as needed by backprop.
+    pub fn forward_trace(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(input.len(), self.spec.layers[0], "input width mismatch");
+        let mut acts = Vec::with_capacity(self.spec.depth() + 1);
+        acts.push(input.to_vec());
+        for l in 0..self.spec.depth() {
+            let mut z = self.weights[l].matvec(acts.last().unwrap());
+            for (zi, bi) in z.iter_mut().zip(&self.biases[l]) {
+                *zi += bi;
+            }
+            self.spec.activation(l).apply_slice(&mut z);
+            acts.push(z);
+        }
+        acts
+    }
+
+    /// Computes the loss of one sample.
+    pub fn sample_loss(&self, sample: &Sample) -> f64 {
+        let out = self.forward(&sample.input);
+        loss_value(self.spec.loss, &out, &sample.target)
+    }
+
+    /// Mean loss over a dataset.
+    pub fn mean_loss(&self, samples: &[Sample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples.iter().map(|s| self.sample_loss(s)).sum::<f64>() / samples.len() as f64
+    }
+
+    /// Backward pass for one sample: gradients of the loss with respect to
+    /// **this network's** weights. The memory-adaptive loop calls this on
+    /// the masked/quantized copy so that "the network error propagated in
+    /// the backward pass reflects the impact of the bit-errors" (§III-B).
+    pub fn sample_gradients(&self, sample: &Sample) -> Gradients {
+        let acts = self.forward_trace(&sample.input);
+        let depth = self.spec.depth();
+        let mut grads = Gradients::zeros_like(self);
+
+        // Output delta: dJ/dz for the output layer.
+        let out = &acts[depth];
+        let mut delta: Vec<f64> = match self.spec.loss {
+            Loss::Mse => out
+                .iter()
+                .zip(&sample.target)
+                .map(|(y, t)| {
+                    let dact = self.spec.output.derivative_from_output(*y);
+                    (y - t) * dact
+                })
+                .collect(),
+            // Sigmoid + cross-entropy cancels the activation derivative.
+            Loss::CrossEntropy => out
+                .iter()
+                .zip(&sample.target)
+                .map(|(y, t)| y - t)
+                .collect(),
+        };
+
+        for l in (0..depth).rev() {
+            grads.weights[l].add_outer(&delta, &acts[l], 1.0);
+            for (g, d) in grads.biases[l].iter_mut().zip(&delta) {
+                *g += d;
+            }
+            if l > 0 {
+                let mut prev = self.weights[l].t_matvec(&delta);
+                for (p, a) in prev.iter_mut().zip(&acts[l]) {
+                    *p *= self.spec.activation(l - 1).derivative_from_output(*a);
+                }
+                delta = prev;
+            }
+        }
+        grads
+    }
+
+    /// Mean gradients over a mini-batch.
+    pub fn gradients(&self, batch: &[Sample]) -> Gradients {
+        let mut total = Gradients::zeros_like(self);
+        for s in batch {
+            total.accumulate(&self.sample_gradients(s));
+        }
+        total.scale(1.0 / batch.len().max(1) as f64);
+        total
+    }
+
+    /// Applies one SGD step: `θ ← θ − lr · v` where `v` is the momentum
+    /// velocity updated with `grads`.
+    pub fn apply_update(
+        &mut self,
+        grads: &Gradients,
+        lr: f64,
+        momentum: f64,
+        state: &mut MomentumState,
+    ) {
+        let (vw, vb) = state.update(grads, momentum);
+        for (w, v) in self.weights.iter_mut().zip(vw) {
+            w.add_scaled(v, -lr);
+        }
+        for (b, v) in self.biases.iter_mut().zip(vb) {
+            for (x, y) in b.iter_mut().zip(v) {
+                *x -= lr * y;
+            }
+        }
+    }
+
+    /// Vanilla training loop (the paper's *baseline/naive* models): SGD
+    /// with momentum over float weights. Returns the final mean training
+    /// loss.
+    pub fn train(&mut self, data: &[Sample], cfg: &SgdConfig, shuffle_seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut momentum = MomentumState::zeros_like(self);
+        let mut lr = cfg.lr;
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch_size.max(1)) {
+                let batch: Vec<Sample> = chunk.iter().map(|&i| data[i].clone()).collect();
+                let grads = self.gradients(&batch);
+                self.apply_update(&grads, lr, cfg.momentum, &mut momentum);
+            }
+            lr *= cfg.lr_decay;
+        }
+        self.mean_loss(data)
+    }
+}
+
+/// Loss of one prediction. The constants are chosen so the backprop deltas
+/// are exactly `(y−t)·f'` (MSE) and `y−t` (sigmoid cross-entropy):
+/// MSE = ½·Σ(y−t)², CE = −Σ[t·ln y + (1−t)·ln(1−y)].
+pub(crate) fn loss_value(loss: Loss, out: &[f64], target: &[f64]) -> f64 {
+    match loss {
+        Loss::Mse => {
+            0.5 * out
+                .iter()
+                .zip(target)
+                .map(|(y, t)| (y - t) * (y - t))
+                .sum::<f64>()
+        }
+        Loss::CrossEntropy => {
+            let eps = 1e-12;
+            -out.iter()
+                .zip(target)
+                .map(|(y, t)| {
+                    let y = y.clamp(eps, 1.0 - eps);
+                    t * y.ln() + (1.0 - t) * (1.0 - y).ln()
+                })
+                .sum::<f64>()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+
+    fn xor_data() -> Vec<Sample> {
+        [(0., 0., 0.), (0., 1., 1.), (1., 0., 1.), (1., 1., 0.)]
+            .iter()
+            .map(|&(a, b, y)| Sample::new(vec![a, b], vec![y]))
+            .collect()
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let spec = NetSpec::classifier(&[4, 3, 2]);
+        let a = Mlp::init(spec.clone(), 9);
+        let b = Mlp::init(spec, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = Mlp::init(NetSpec::classifier(&[5, 7, 3]), 1);
+        let out = net.forward(&[0.1; 5]);
+        assert_eq!(out.len(), 3);
+        let trace = net.forward_trace(&[0.1; 5]);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[1].len(), 7);
+    }
+
+    #[test]
+    fn sigmoid_outputs_bounded() {
+        let net = Mlp::init(NetSpec::classifier(&[3, 4, 2]), 5);
+        for v in net.forward(&[10.0, -10.0, 3.0]) {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        let spec = NetSpec::new(&[2, 4, 1], Activation::Sigmoid, Activation::Sigmoid);
+        let mut net = Mlp::init(spec, 1);
+        let cfg = SgdConfig {
+            lr: 0.7,
+            epochs: 2000,
+            batch_size: 4,
+            momentum: 0.9,
+            lr_decay: 1.0,
+        };
+        net.train(&xor_data(), &cfg, 7);
+        for s in xor_data() {
+            let y = net.forward(&s.input)[0];
+            assert_eq!(y.round(), s.target[0], "xor({:?}) = {y}", s.input);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let spec = NetSpec::regressor(&[1, 8, 1]);
+        let mut net = Mlp::init(spec, 3);
+        // y = x² on [-1, 1]
+        let data: Vec<Sample> = (0..40)
+            .map(|i| {
+                let x = -1.0 + i as f64 / 20.0;
+                Sample::new(vec![x], vec![x * x])
+            })
+            .collect();
+        let before = net.mean_loss(&data);
+        net.train(
+            &data,
+            &SgdConfig {
+                epochs: 300,
+                lr: 0.1,
+                ..SgdConfig::default()
+            },
+            1,
+        );
+        let after = net.mean_loss(&data);
+        assert!(after < before / 4.0, "{before} -> {after}");
+    }
+
+    #[test]
+    fn map_weights_applies_everywhere() {
+        let net = Mlp::init(NetSpec::classifier(&[2, 2, 1]), 4);
+        let doubled = net.map_weights(|w| 2.0 * w);
+        for (a, b) in net.weights.iter().zip(&doubled.weights) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(*y, 2.0 * *x);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_output_minus_target() {
+        let mut spec = NetSpec::classifier(&[2, 2]);
+        spec.loss = Loss::CrossEntropy;
+        let net = Mlp::init(spec, 2);
+        let s = Sample::new(vec![0.5, -0.5], vec![1.0, 0.0]);
+        let out = net.forward(&s.input);
+        let g = net.sample_gradients(&s);
+        // Bias gradient of the output layer equals delta = y - t.
+        assert!((g.biases[0][0] - (out[0] - 1.0)).abs() < 1e-12);
+        assert!((g.biases[0][1] - out[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn forward_rejects_wrong_width() {
+        let net = Mlp::init(NetSpec::classifier(&[3, 2]), 0);
+        let _ = net.forward(&[1.0]);
+    }
+
+    #[test]
+    fn from_params_validates_shapes() {
+        let spec = NetSpec::classifier(&[2, 3]);
+        let w = vec![Matrix::zeros(3, 2)];
+        let b = vec![vec![0.0; 3]];
+        let _ = Mlp::from_params(spec, w, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out")]
+    fn from_params_rejects_bad_shape() {
+        let spec = NetSpec::classifier(&[2, 3]);
+        let w = vec![Matrix::zeros(2, 2)];
+        let b = vec![vec![0.0; 3]];
+        let _ = Mlp::from_params(spec, w, b);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests over the NN substrate.
+
+use crate::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Backprop agrees with central differences on random small nets.
+    #[test]
+    fn gradients_match_numerics(
+        seed in 0u64..500,
+        hidden in 2usize..6,
+        input in proptest::collection::vec(-1.0f64..1.0, 3),
+    ) {
+        let spec = NetSpec::classifier(&[3, hidden, 2]);
+        let net = Mlp::init(spec, seed);
+        let s = Sample::new(input, vec![1.0, 0.0]);
+        let analytic = net.sample_gradients(&s);
+        let numeric = numerical_gradients(&net, &s, 1e-6);
+        for l in 0..net.spec().depth() {
+            for (a, n) in analytic.weights[l].as_slice().iter()
+                .zip(numeric.weights[l].as_slice()) {
+                prop_assert!((a - n).abs() < 1e-5);
+            }
+        }
+    }
+
+    /// Sigmoid-output networks always emit values in [0, 1].
+    #[test]
+    fn sigmoid_outputs_in_unit_interval(
+        seed in 0u64..1000,
+        input in proptest::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let net = Mlp::init(NetSpec::classifier(&[4, 6, 3]), seed);
+        for y in net.forward(&input) {
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    /// Loss is non-negative and zero iff prediction equals target (MSE).
+    #[test]
+    fn mse_loss_nonnegative(
+        seed in 0u64..1000,
+        input in proptest::collection::vec(-1.0f64..1.0, 2),
+    ) {
+        let net = Mlp::init(NetSpec::regressor(&[2, 3, 1]), seed);
+        let y = net.forward(&input);
+        let exact = Sample::new(input.clone(), y);
+        prop_assert!(net.sample_loss(&exact) < 1e-20);
+        let off = Sample::new(input, vec![123.0]);
+        prop_assert!(net.sample_loss(&off) > 0.0);
+    }
+
+    /// A gradient step along the analytic gradient decreases the loss for
+    /// a sufficiently small learning rate.
+    #[test]
+    fn gradient_step_descends(seed in 0u64..200) {
+        let spec = NetSpec::classifier(&[3, 4, 2]);
+        let mut net = Mlp::init(spec, seed);
+        let s = Sample::new(vec![0.3, -0.2, 0.8], vec![0.0, 1.0]);
+        let before = net.sample_loss(&s);
+        let grads = net.sample_gradients(&s);
+        let mut momentum = MomentumState::zeros_like(&net);
+        net.apply_update(&grads, 1e-3, 0.0, &mut momentum);
+        let after = net.sample_loss(&s);
+        prop_assert!(after <= before + 1e-12, "{before} -> {after}");
+    }
+
+    /// map_weights is a pure elementwise transform: applying identity
+    /// preserves the network.
+    #[test]
+    fn map_weights_identity(seed in 0u64..1000) {
+        let net = Mlp::init(NetSpec::classifier(&[2, 3, 2]), seed);
+        prop_assert_eq!(net.map_weights(|w| w), net);
+    }
+}

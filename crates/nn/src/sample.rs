@@ -1,0 +1,31 @@
+//! Training samples.
+
+use serde::{Deserialize, Serialize};
+
+/// One supervised training example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Network input vector.
+    pub input: Vec<f64>,
+    /// Desired output vector.
+    pub target: Vec<f64>,
+}
+
+impl Sample {
+    /// Creates a sample.
+    pub fn new(input: Vec<f64>, target: Vec<f64>) -> Self {
+        Sample { input, target }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_preserves_vectors() {
+        let s = Sample::new(vec![1.0, 2.0], vec![0.5]);
+        assert_eq!(s.input.len(), 2);
+        assert_eq!(s.target, vec![0.5]);
+    }
+}

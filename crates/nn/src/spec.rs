@@ -1,0 +1,119 @@
+//! Network architecture specifications.
+
+use crate::activation::Activation;
+use serde::{Deserialize, Serialize};
+
+/// Training loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error (FANN's default; used for both the paper's
+    /// classification and regression benchmarks).
+    Mse,
+    /// Binary/multi-label cross-entropy on sigmoid outputs.
+    CrossEntropy,
+}
+
+/// Topology + activation specification of a fully-connected network, e.g.
+/// the paper's `100-32-10` MNIST model (Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetSpec {
+    /// Layer widths, input first, e.g. `[100, 32, 10]`.
+    pub layers: Vec<usize>,
+    /// Activation of hidden layers.
+    pub hidden: Activation,
+    /// Activation of the output layer.
+    pub output: Activation,
+    /// Training loss.
+    pub loss: Loss,
+}
+
+impl NetSpec {
+    /// General constructor (MSE loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layers or any zero-width layer is given.
+    pub fn new(layers: &[usize], hidden: Activation, output: Activation) -> Self {
+        assert!(layers.len() >= 2, "need input and output layers");
+        assert!(layers.iter().all(|&n| n > 0), "zero-width layer");
+        NetSpec {
+            layers: layers.to_vec(),
+            hidden,
+            output,
+            loss: Loss::Mse,
+        }
+    }
+
+    /// A classifier: sigmoid hidden and output units with cross-entropy
+    /// loss, one output per class (argmax decision) or a single
+    /// thresholded output. Cross-entropy keeps the output-layer gradient
+    /// from vanishing on saturated sigmoids, which matters at the paper's
+    /// nominal-error targets (single-digit percent on MNIST).
+    pub fn classifier(layers: &[usize]) -> Self {
+        NetSpec {
+            loss: Loss::CrossEntropy,
+            ..Self::new(layers, Activation::Sigmoid, Activation::Sigmoid)
+        }
+    }
+
+    /// A regressor: sigmoid hidden units, linear output, MSE loss.
+    pub fn regressor(layers: &[usize]) -> Self {
+        Self::new(layers, Activation::Sigmoid, Activation::Linear)
+    }
+
+    /// Number of weight matrices / layers with parameters.
+    pub fn depth(&self) -> usize {
+        self.layers.len() - 1
+    }
+
+    /// Total trainable parameters (weights + biases) — the x-axis of the
+    /// paper's topology-selection study (Fig. 9b).
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .windows(2)
+            .map(|w| w[0] * w[1] + w[1])
+            .sum()
+    }
+
+    /// Activation for parameterized layer `l` (0-based; the last layer uses
+    /// the output activation).
+    pub fn activation(&self, l: usize) -> Activation {
+        if l + 1 == self.depth() {
+            self.output
+        } else {
+            self.hidden
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_matches_hand_calculation() {
+        // The paper's MNIST topology: 100-32-10.
+        let spec = NetSpec::classifier(&[100, 32, 10]);
+        assert_eq!(spec.param_count(), 100 * 32 + 32 + 32 * 10 + 10);
+        assert_eq!(spec.depth(), 2);
+    }
+
+    #[test]
+    fn activations_per_layer() {
+        let spec = NetSpec::regressor(&[2, 16, 2]);
+        assert_eq!(spec.activation(0), Activation::Sigmoid);
+        assert_eq!(spec.activation(1), Activation::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "need input and output")]
+    fn rejects_single_layer() {
+        NetSpec::classifier(&[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn rejects_zero_width() {
+        NetSpec::classifier(&[5, 0, 2]);
+    }
+}

@@ -1,0 +1,723 @@
+//! A compact MSP430-inspired runtime microcontroller.
+//!
+//! SNNAC integrates "a sleep-enabled OpenMSP430-based microcontroller to
+//! handle runtime control, debugging functions, and off-chip
+//! communication" (§IV); the in-situ canary voltage-control routine
+//! (Algorithm 1) executes on it between inferences.
+//!
+//! This module provides a faithful-in-spirit subset: a 16-bit RISC core
+//! with MSP430-style two-operand instructions, status flags and
+//! conditional jumps, a tiny assembler, and memory-mapped I/O through the
+//! [`Mmio`] trait (the chip maps the voltage regulator and canary-poll
+//! machinery into the address space). The canary routine ships as real
+//! assembly — see [`canary_program`] — and is cross-checked against the
+//! pure-Rust controller in `matic-core`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Memory-mapped peripheral bus.
+pub trait Mmio {
+    /// Reads a peripheral register.
+    fn read(&mut self, addr: u16) -> u16;
+    /// Writes a peripheral register.
+    fn write(&mut self, addr: u16, value: u16);
+}
+
+/// A no-op bus for pure-compute programs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullMmio;
+
+impl Mmio for NullMmio {
+    fn read(&mut self, _addr: u16) -> u16 {
+        0
+    }
+    fn write(&mut self, _addr: u16, _value: u16) {}
+}
+
+/// Peripheral address space starts here; lower addresses hit data RAM.
+/// (The SoC maps the NPU I/O buffers, which need hundreds of words, as
+/// well as the canary/regulator registers above this line.)
+pub const MMIO_BASE: u16 = 0xE000;
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operand {
+    /// General-purpose register `r0`–`r15`.
+    Reg(u8),
+    /// Immediate constant.
+    Imm(u16),
+    /// Absolute address (data RAM below [`MMIO_BASE`], peripherals above).
+    Abs(u16),
+    /// Register-indirect (`@rN`): memory at the address held in `rN`.
+    Ind(u8),
+}
+
+/// The instruction set (a practical MSP430 subset; MOV/ADD/SUB/CMP/AND/
+/// BIS/XOR two-operand forms plus jumps, call/ret and halt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst ← src`.
+    Mov(Operand, Operand),
+    /// `dst ← dst + src` (sets flags).
+    Add(Operand, Operand),
+    /// `dst ← dst − src` (sets flags).
+    Sub(Operand, Operand),
+    /// Sets flags from `dst − src` without writing.
+    Cmp(Operand, Operand),
+    /// `dst ← dst & src` (sets Z/N).
+    And(Operand, Operand),
+    /// `dst ← dst | src` (MSP430 `BIS`).
+    Bis(Operand, Operand),
+    /// `dst ← dst ^ src` (sets Z/N).
+    Xor(Operand, Operand),
+    /// Unconditional jump to instruction index.
+    Jmp(u16),
+    /// Jump if zero flag set (`JEQ`/`JZ`).
+    Jz(u16),
+    /// Jump if zero flag clear (`JNE`/`JNZ`).
+    Jnz(u16),
+    /// Jump if greater-or-equal, signed (`JGE`: N⊕V = 0).
+    Jge(u16),
+    /// Jump if less, signed (`JL`: N⊕V = 1).
+    Jl(u16),
+    /// Push return address, jump.
+    Call(u16),
+    /// Pop return address.
+    Ret,
+    /// No operation.
+    Nop,
+    /// Stop the core (returns control to the host).
+    Halt,
+}
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program ran past `max_steps` without halting.
+    StepLimit,
+    /// Jump/fetch outside the program.
+    BadPc(u16),
+    /// `Ret` with an empty call stack.
+    StackUnderflow,
+    /// An immediate was used as a destination.
+    BadDestination,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::StepLimit => write!(f, "step limit exceeded"),
+            ExecError::BadPc(pc) => write!(f, "bad program counter {pc}"),
+            ExecError::StackUnderflow => write!(f, "return with empty call stack"),
+            ExecError::BadDestination => write!(f, "immediate used as destination"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Status flags (the relevant subset of the MSP430 SR).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flags {
+    /// Zero.
+    pub z: bool,
+    /// Negative (bit 15 of the result).
+    pub n: bool,
+    /// Carry (borrow-free subtraction / unsigned overflow on add).
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+/// The microcontroller core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Msp430 {
+    regs: [u16; 16],
+    flags: Flags,
+    ram: Vec<u16>,
+    call_stack: Vec<u16>,
+    pc: u16,
+    halted: bool,
+}
+
+impl Msp430 {
+    /// A fresh core with `ram_words` of zeroed data RAM.
+    pub fn new(ram_words: usize) -> Self {
+        Msp430 {
+            regs: [0; 16],
+            flags: Flags::default(),
+            ram: vec![0; ram_words],
+            call_stack: Vec::new(),
+            pc: 0,
+            halted: false,
+        }
+    }
+
+    /// Register read.
+    pub fn reg(&self, r: u8) -> u16 {
+        self.regs[r as usize]
+    }
+
+    /// Register write.
+    pub fn set_reg(&mut self, r: u8, v: u16) {
+        self.regs[r as usize] = v;
+    }
+
+    /// Current flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Whether the core has executed `Halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn load(&mut self, op: Operand, mmio: &mut dyn Mmio) -> u16 {
+        match op {
+            Operand::Reg(r) => self.regs[r as usize],
+            Operand::Imm(v) => v,
+            Operand::Abs(a) => self.load_mem(a, mmio),
+            Operand::Ind(r) => {
+                let a = self.regs[r as usize];
+                self.load_mem(a, mmio)
+            }
+        }
+    }
+
+    fn load_mem(&mut self, a: u16, mmio: &mut dyn Mmio) -> u16 {
+        if a >= MMIO_BASE {
+            mmio.read(a)
+        } else {
+            self.ram.get(a as usize).copied().unwrap_or(0)
+        }
+    }
+
+    fn store_mem(&mut self, a: u16, v: u16, mmio: &mut dyn Mmio) {
+        if a >= MMIO_BASE {
+            mmio.write(a, v);
+        } else if let Some(slot) = self.ram.get_mut(a as usize) {
+            *slot = v;
+        }
+    }
+
+    fn store(&mut self, op: Operand, v: u16, mmio: &mut dyn Mmio) -> Result<(), ExecError> {
+        match op {
+            Operand::Reg(r) => {
+                self.regs[r as usize] = v;
+                Ok(())
+            }
+            Operand::Imm(_) => Err(ExecError::BadDestination),
+            Operand::Abs(a) => {
+                self.store_mem(a, v, mmio);
+                Ok(())
+            }
+            Operand::Ind(r) => {
+                let a = self.regs[r as usize];
+                self.store_mem(a, v, mmio);
+                Ok(())
+            }
+        }
+    }
+
+    fn set_flags_sub(&mut self, dst: u16, src: u16) -> u16 {
+        let (res, borrow) = dst.overflowing_sub(src);
+        self.flags.z = res == 0;
+        self.flags.n = res & 0x8000 != 0;
+        self.flags.c = !borrow; // MSP430: C = no borrow
+        self.flags.v = ((dst ^ src) & (dst ^ res)) & 0x8000 != 0;
+        res
+    }
+
+    fn set_flags_add(&mut self, dst: u16, src: u16) -> u16 {
+        let (res, carry) = dst.overflowing_add(src);
+        self.flags.z = res == 0;
+        self.flags.n = res & 0x8000 != 0;
+        self.flags.c = carry;
+        self.flags.v = (!(dst ^ src) & (dst ^ res)) & 0x8000 != 0;
+        res
+    }
+
+    fn set_flags_logic(&mut self, res: u16) {
+        self.flags.z = res == 0;
+        self.flags.n = res & 0x8000 != 0;
+    }
+
+    /// Runs `program` from instruction 0 until `Halt`, for at most
+    /// `max_steps` instructions. Returns the number of instructions
+    /// executed.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run(
+        &mut self,
+        program: &[Instr],
+        mmio: &mut dyn Mmio,
+        max_steps: usize,
+    ) -> Result<usize, ExecError> {
+        self.pc = 0;
+        self.halted = false;
+        let mut steps = 0usize;
+        while !self.halted {
+            if steps >= max_steps {
+                return Err(ExecError::StepLimit);
+            }
+            let instr = *program
+                .get(self.pc as usize)
+                .ok_or(ExecError::BadPc(self.pc))?;
+            self.pc += 1;
+            steps += 1;
+            match instr {
+                Instr::Mov(src, dst) => {
+                    let v = self.load(src, mmio);
+                    self.store(dst, v, mmio)?;
+                }
+                Instr::Add(src, dst) => {
+                    let s = self.load(src, mmio);
+                    let d = self.load(dst, mmio);
+                    let r = self.set_flags_add(d, s);
+                    self.store(dst, r, mmio)?;
+                }
+                Instr::Sub(src, dst) => {
+                    let s = self.load(src, mmio);
+                    let d = self.load(dst, mmio);
+                    let r = self.set_flags_sub(d, s);
+                    self.store(dst, r, mmio)?;
+                }
+                Instr::Cmp(src, dst) => {
+                    let s = self.load(src, mmio);
+                    let d = self.load(dst, mmio);
+                    self.set_flags_sub(d, s);
+                }
+                Instr::And(src, dst) => {
+                    let r = self.load(dst, mmio) & self.load(src, mmio);
+                    self.set_flags_logic(r);
+                    self.store(dst, r, mmio)?;
+                }
+                Instr::Bis(src, dst) => {
+                    let r = self.load(dst, mmio) | self.load(src, mmio);
+                    self.store(dst, r, mmio)?;
+                }
+                Instr::Xor(src, dst) => {
+                    let r = self.load(dst, mmio) ^ self.load(src, mmio);
+                    self.set_flags_logic(r);
+                    self.store(dst, r, mmio)?;
+                }
+                Instr::Jmp(t) => self.pc = t,
+                Instr::Jz(t) => {
+                    if self.flags.z {
+                        self.pc = t;
+                    }
+                }
+                Instr::Jnz(t) => {
+                    if !self.flags.z {
+                        self.pc = t;
+                    }
+                }
+                Instr::Jge(t) => {
+                    if self.flags.n == self.flags.v {
+                        self.pc = t;
+                    }
+                }
+                Instr::Jl(t) => {
+                    if self.flags.n != self.flags.v {
+                        self.pc = t;
+                    }
+                }
+                Instr::Call(t) => {
+                    self.call_stack.push(self.pc);
+                    self.pc = t;
+                }
+                Instr::Ret => {
+                    self.pc = self.call_stack.pop().ok_or(ExecError::StackUnderflow)?;
+                }
+                Instr::Nop => {}
+                Instr::Halt => self.halted = true,
+            }
+        }
+        Ok(steps)
+    }
+}
+
+/// Assembly error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles MSP430-style source into instructions.
+///
+/// Syntax: one instruction per line; `; comment`; `label:`;
+/// operands `rN`, `#imm`, `&addr` (decimal or `0x` hex). Two-operand
+/// instructions read `OP src, dst` (MSP430 order).
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any parse failure or
+/// undefined label.
+pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
+    // Pass 1: label addresses.
+    let mut labels: HashMap<String, u16> = HashMap::new();
+    let mut index = 0u16;
+    for raw in source.lines() {
+        let line = strip(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_suffix(':') {
+            labels.insert(name.trim().to_string(), index);
+        } else {
+            index += 1;
+        }
+    }
+    // Pass 2: encode.
+    let mut out = Vec::new();
+    for (n, raw) in source.lines().enumerate() {
+        let line = strip(raw);
+        if line.is_empty() || line.ends_with(':') {
+            continue;
+        }
+        out.push(parse_instr(line, &labels).map_err(|message| AsmError {
+            line: n + 1,
+            message,
+        })?);
+    }
+    Ok(out)
+}
+
+fn strip(raw: &str) -> &str {
+    let no_comment = raw.split(';').next().unwrap_or("");
+    no_comment.trim()
+}
+
+fn parse_instr(line: &str, labels: &HashMap<String, u16>) -> Result<Instr, String> {
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let target = |labels: &HashMap<String, u16>, rest: &str| -> Result<u16, String> {
+        labels
+            .get(rest.trim())
+            .copied()
+            .ok_or_else(|| format!("undefined label `{}`", rest.trim()))
+    };
+    let two = |rest: &str| -> Result<(Operand, Operand), String> {
+        let (a, b) = rest
+            .split_once(',')
+            .ok_or_else(|| "expected two operands".to_string())?;
+        Ok((parse_operand(a.trim())?, parse_operand(b.trim())?))
+    };
+    match mnemonic.to_ascii_uppercase().as_str() {
+        "MOV" => two(rest).map(|(s, d)| Instr::Mov(s, d)),
+        "ADD" => two(rest).map(|(s, d)| Instr::Add(s, d)),
+        "SUB" => two(rest).map(|(s, d)| Instr::Sub(s, d)),
+        "CMP" => two(rest).map(|(s, d)| Instr::Cmp(s, d)),
+        "AND" => two(rest).map(|(s, d)| Instr::And(s, d)),
+        "BIS" => two(rest).map(|(s, d)| Instr::Bis(s, d)),
+        "XOR" => two(rest).map(|(s, d)| Instr::Xor(s, d)),
+        "JMP" => target(labels, rest).map(Instr::Jmp),
+        "JZ" | "JEQ" => target(labels, rest).map(Instr::Jz),
+        "JNZ" | "JNE" => target(labels, rest).map(Instr::Jnz),
+        "JGE" => target(labels, rest).map(Instr::Jge),
+        "JL" => target(labels, rest).map(Instr::Jl),
+        "CALL" => target(labels, rest).map(Instr::Call),
+        "RET" => Ok(Instr::Ret),
+        "NOP" => Ok(Instr::Nop),
+        "HALT" => Ok(Instr::Halt),
+        other => Err(format!("unknown mnemonic `{other}`")),
+    }
+}
+
+fn parse_operand(text: &str) -> Result<Operand, String> {
+    if let Some(ind) = text.strip_prefix('@') {
+        return match parse_operand(ind)? {
+            Operand::Reg(r) => Ok(Operand::Ind(r)),
+            _ => Err(format!("indirect operand must name a register: `{text}`")),
+        };
+    }
+    if let Some(reg) = text.strip_prefix('r').or_else(|| text.strip_prefix('R')) {
+        let n: u8 = reg.parse().map_err(|_| format!("bad register `{text}`"))?;
+        if n > 15 {
+            return Err(format!("register out of range `{text}`"));
+        }
+        return Ok(Operand::Reg(n));
+    }
+    if let Some(imm) = text.strip_prefix('#') {
+        return parse_num(imm).map(Operand::Imm);
+    }
+    if let Some(abs) = text.strip_prefix('&') {
+        return parse_num(abs).map(Operand::Abs);
+    }
+    Err(format!("bad operand `{text}`"))
+}
+
+fn parse_num(text: &str) -> Result<u16, String> {
+    let text = text.trim();
+    let parsed = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u16::from_str_radix(hex, 16)
+    } else if let Some(neg) = text.strip_prefix('-') {
+        return neg
+            .parse::<i32>()
+            .map(|v| (-v) as u16)
+            .map_err(|_| format!("bad number `{text}`"));
+    } else {
+        text.parse::<u16>()
+    };
+    parsed.map_err(|_| format!("bad number `{text}`"))
+}
+
+/// Memory map of the canary-control peripherals (see [`canary_program`]).
+pub mod canary_map {
+    /// RW: SRAM rail set-point in millivolts.
+    pub const VREG_MV: u16 = 0xFF00;
+    /// W: 1 = restore/arm canary states, 2 = poll canaries.
+    pub const CANARY_CTRL: u16 = 0xFF02;
+    /// R: 1 if any canary failed during the last poll.
+    pub const CANARY_STATUS: u16 = 0xFF04;
+    /// W: final settled voltage reported by the routine.
+    pub const RESULT_MV: u16 = 0xFF06;
+}
+
+/// The in-situ canary voltage-control routine (paper Algorithm 1, plus the
+/// upward-recovery phase Fig. 12's temperature tracking requires) as
+/// MSP430-style assembly.
+///
+/// Register use: `r4` current voltage (mV), `r5` Δv, `r6` safe rail,
+/// `r7` floor, `r8` poll status, `r9` probe voltage.
+pub fn canary_program(step_mv: u16, safe_mv: u16, floor_mv: u16, start_mv: u16) -> String {
+    format!(
+        r"
+; Algorithm 1: in-situ canary-based voltage control
+        MOV #{start_mv}, r4      ; v <- current setting
+        MOV #{step_mv}, r5       ; dv
+        MOV #{safe_mv}, r6       ; safe rail
+        MOV #{floor_mv}, r7      ; sanity floor
+        MOV r4, &0xFF00          ; SetSRAMVoltage(v)
+recover:
+        MOV #2, &0xFF02          ; poll canaries
+        MOV &0xFF04, r8
+        CMP #0, r8
+        JZ descend               ; all healthy -> Algorithm 1 descent
+        CMP r6, r4               ; at the safe rail already?
+        JGE descend
+        ADD r5, r4               ; v <- v + dv
+        MOV r4, &0xFF00
+        MOV #1, &0xFF02          ; RestoreStates(C)
+        JMP recover
+descend:
+        MOV r4, r9
+        SUB r5, r9               ; probe = v - dv
+        CMP r7, r9
+        JL settle                ; below floor: stop
+        MOV r9, &0xFF00          ; SetSRAMVoltage(probe)
+        MOV #2, &0xFF02          ; any_failed <- CheckStates(C)
+        MOV &0xFF04, r8
+        CMP #0, r8
+        JNZ fail
+        MOV r9, r4               ; v <- probe
+        JMP descend
+fail:
+        MOV r4, &0xFF00          ; SetSRAMVoltage(v)  (step back up)
+        MOV #1, &0xFF02          ; RestoreStates(C)
+settle:
+        MOV r4, &0xFF06          ; report settled voltage
+        HALT
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_program(src: &str) -> Msp430 {
+        let prog = assemble(src).expect("assembles");
+        let mut cpu = Msp430::new(256);
+        cpu.run(&prog, &mut NullMmio, 10_000).expect("halts");
+        cpu
+    }
+
+    #[test]
+    fn mov_add_sub_immediates() {
+        let cpu = run_program(
+            "MOV #10, r4\n\
+             ADD #5, r4\n\
+             SUB #3, r4\n\
+             HALT",
+        );
+        assert_eq!(cpu.reg(4), 12);
+    }
+
+    #[test]
+    fn ram_load_store() {
+        let cpu = run_program(
+            "MOV #1234, &0x10\n\
+             MOV &0x10, r5\n\
+             HALT",
+        );
+        assert_eq!(cpu.reg(5), 1234);
+    }
+
+    #[test]
+    fn conditional_loop_counts_down() {
+        let cpu = run_program(
+            "MOV #5, r4\n\
+             MOV #0, r5\n\
+             loop:\n\
+             ADD #2, r5\n\
+             SUB #1, r4\n\
+             CMP #0, r4\n\
+             JNZ loop\n\
+             HALT",
+        );
+        assert_eq!(cpu.reg(5), 10);
+    }
+
+    #[test]
+    fn signed_compare_jge_jl() {
+        // -1 < 1 signed, but 0xFFFF > 1 unsigned: JL must see signed.
+        let cpu = run_program(
+            "MOV #-1, r4\n\
+             CMP #1, r4\n\
+             JL less\n\
+             MOV #0, r6\n\
+             JMP end\n\
+             less:\n\
+             MOV #1, r6\n\
+             end:\n\
+             HALT",
+        );
+        assert_eq!(cpu.reg(6), 1);
+    }
+
+    #[test]
+    fn call_ret() {
+        let cpu = run_program(
+            "CALL sub\n\
+             ADD #1, r4\n\
+             HALT\n\
+             sub:\n\
+             MOV #41, r4\n\
+             RET",
+        );
+        assert_eq!(cpu.reg(4), 42);
+    }
+
+    #[test]
+    fn logic_ops() {
+        let cpu = run_program(
+            "MOV #0x0F0F, r4\n\
+             AND #0x00FF, r4\n\
+             BIS #0x1000, r4\n\
+             XOR #0x1001, r4\n\
+             HALT",
+        );
+        assert_eq!(cpu.reg(4), 0x000E);
+    }
+
+    #[test]
+    fn step_limit_detected() {
+        let prog = assemble("loop:\nJMP loop").unwrap();
+        let mut cpu = Msp430::new(16);
+        assert_eq!(
+            cpu.run(&prog, &mut NullMmio, 100),
+            Err(ExecError::StepLimit)
+        );
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let err = assemble("JMP nowhere").unwrap_err();
+        assert!(err.message.contains("undefined label"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn bad_register_is_an_error() {
+        assert!(assemble("MOV #1, r16").is_err());
+    }
+
+    #[test]
+    fn immediate_destination_fails_at_runtime() {
+        let prog = assemble("MOV r4, #5\nHALT").unwrap();
+        let mut cpu = Msp430::new(16);
+        assert_eq!(
+            cpu.run(&prog, &mut NullMmio, 10),
+            Err(ExecError::BadDestination)
+        );
+    }
+
+    #[test]
+    fn mmio_routes_above_base() {
+        struct Recorder(Vec<(u16, u16)>);
+        impl Mmio for Recorder {
+            fn read(&mut self, addr: u16) -> u16 {
+                addr.wrapping_add(1)
+            }
+            fn write(&mut self, addr: u16, value: u16) {
+                self.0.push((addr, value));
+            }
+        }
+        let prog = assemble(
+            "MOV #7, &0xFF00\n\
+             MOV &0xFF04, r4\n\
+             HALT",
+        )
+        .unwrap();
+        let mut cpu = Msp430::new(16);
+        let mut bus = Recorder(Vec::new());
+        cpu.run(&prog, &mut bus, 10).unwrap();
+        assert_eq!(bus.0, vec![(0xFF00, 7)]);
+        assert_eq!(cpu.reg(4), 0xFF05);
+    }
+
+    #[test]
+    fn indirect_addressing_copy_loop() {
+        // Copy 4 words from RAM 0x10.. to 0x20.. via @r pointers.
+        let cpu = run_program(
+            "MOV #11, &0x10\n\
+             MOV #22, &0x11\n\
+             MOV #33, &0x12\n\
+             MOV #44, &0x13\n\
+             MOV #0x10, r4\n\
+             MOV #0x20, r5\n\
+             MOV #4, r7\n\
+             loop:\n\
+             MOV @r4, r8\n\
+             MOV r8, @r5\n\
+             ADD #1, r4\n\
+             ADD #1, r5\n\
+             SUB #1, r7\n\
+             CMP #0, r7\n\
+             JNZ loop\n\
+             MOV &0x23, r9\n\
+             HALT",
+        );
+        assert_eq!(cpu.reg(9), 44);
+    }
+
+    #[test]
+    fn indirect_must_name_register() {
+        assert!(assemble("MOV @5, r4").is_err());
+    }
+
+    #[test]
+    fn canary_program_assembles() {
+        let prog = assemble(&canary_program(5, 900, 400, 900)).unwrap();
+        assert!(prog.len() > 15);
+    }
+}

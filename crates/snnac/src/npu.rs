@@ -1,0 +1,312 @@
+//! The Neural Processing Unit: eight MAC PEs in a systolic ring.
+//!
+//! Each PE owns a private voltage-scalable weight SRAM bank; inputs are
+//! streamed to all PEs while each accumulates the dot product of the
+//! neuron it currently owns; wide layers are time-multiplexed in groups of
+//! eight neurons, with results drained through the AFU (§IV, Fig. 8).
+//!
+//! Weights are fetched from the **physical banks on every inference**, so
+//! the read-disturb mechanics of `matic-sram` are exercised exactly as on
+//! silicon: at overscaled voltages marginal cells flip to their preferred
+//! state and the PE consumes the corrupted word.
+
+use crate::afu::Afu;
+use crate::microcode::{MicroOp, Program};
+use matic_core::{ParamRef, WeightLayout};
+use matic_fixed::{Accumulator, Fx, QFormat};
+use matic_sram::SramArray;
+use serde::{Deserialize, Serialize};
+
+/// Cycle/traffic counters for one inference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NpuStats {
+    /// Total clock cycles.
+    pub cycles: u64,
+    /// MAC operations performed (one per weight fetched).
+    pub macs: u64,
+    /// Weight-SRAM word reads.
+    pub sram_reads: u64,
+}
+
+/// The systolic NPU core configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snnac {
+    pes: usize,
+    weight_fmt: QFormat,
+    act_fmt: QFormat,
+    afu: Afu,
+    /// Pipeline fill/drain overhead charged per MACC group, cycles.
+    group_overhead: u64,
+}
+
+impl Snnac {
+    /// The fabricated configuration: 8 PEs, Q3.12 weights, Q1.14
+    /// activations, 4-cycle group overhead (systolic fill/drain).
+    pub fn snnac(weight_fmt: QFormat) -> Self {
+        Snnac {
+            pes: 8,
+            weight_fmt,
+            act_fmt: QFormat::snnac_activation(),
+            afu: Afu::snnac(),
+            group_overhead: 4,
+        }
+    }
+
+    /// Number of processing elements.
+    pub fn pe_count(&self) -> usize {
+        self.pes
+    }
+
+    /// The weight format.
+    pub fn weight_format(&self) -> QFormat {
+        self.weight_fmt
+    }
+
+    /// The activation format.
+    pub fn activation_format(&self) -> QFormat {
+        self.act_fmt
+    }
+
+    /// The activation-function unit.
+    pub fn afu(&self) -> &Afu {
+        &self.afu
+    }
+
+    /// Executes a compiled program against the weight memories.
+    ///
+    /// `layout` maps each (layer, neuron, input) weight to its physical
+    /// word; it must have been built for the same bank count as `array`.
+    ///
+    /// Returns the output activations (as reals) and cycle statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` width does not match the program's first layer or
+    /// the layout disagrees with the array geometry.
+    pub fn execute(
+        &self,
+        program: &Program,
+        layout: &WeightLayout,
+        array: &mut SramArray,
+        input: &[f64],
+    ) -> (Vec<f64>, NpuStats) {
+        assert!(
+            layout.banks() == array.bank_count(),
+            "layout banks {} != array banks {}",
+            layout.banks(),
+            array.bank_count()
+        );
+        let mut stats = NpuStats::default();
+        // The input FIFO holds the current layer's inputs (activation fmt).
+        let mut current: Vec<Fx> = input
+            .iter()
+            .map(|&x| Fx::from_f64(x, self.act_fmt))
+            .collect();
+        let mut next: Vec<Fx> = Vec::new();
+        let mut fan_in = 0usize;
+        let mut layer = 0usize;
+        let mut activation = matic_nn::Activation::Sigmoid;
+        let mut pending: Vec<Fx> = Vec::new(); // accumulator-drained group
+
+        for op in program.ops() {
+            match *op {
+                MicroOp::SetLayer {
+                    layer: l,
+                    fan_in: fi,
+                    fan_out: fo,
+                    activation: act,
+                } => {
+                    layer = l as usize;
+                    fan_in = fi as usize;
+                    activation = act;
+                    next = Vec::with_capacity(fo as usize);
+                }
+                MicroOp::LoadInput => {
+                    assert_eq!(
+                        current.len(),
+                        fan_in,
+                        "input width mismatch at layer {layer}"
+                    );
+                    // Streaming the input vector costs one cycle per element.
+                    stats.cycles += fan_in as u64;
+                }
+                MicroOp::Macc {
+                    neuron_base,
+                    active,
+                } => {
+                    // All active PEs run in lock-step: fan_in MAC cycles,
+                    // one bias-fetch cycle, plus fill/drain overhead.
+                    stats.cycles += fan_in as u64 + 1 + self.group_overhead;
+                    pending.clear();
+                    for pe in 0..active as usize {
+                        let neuron = neuron_base as usize + pe;
+                        let mut acc = Accumulator::new();
+                        for (col, x) in current.iter().enumerate() {
+                            let loc = layout.location_of(ParamRef::Weight {
+                                layer,
+                                row: neuron,
+                                col,
+                            });
+                            let word = array.read(loc.bank, loc.word);
+                            let w = Fx::from_word(word, self.weight_fmt);
+                            acc.mac(w, *x);
+                            stats.sram_reads += 1;
+                            stats.macs += 1;
+                        }
+                        let loc = layout.location_of(ParamRef::Bias { layer, row: neuron });
+                        let word = array.read(loc.bank, loc.word);
+                        let bias = Fx::from_word(word, self.weight_fmt);
+                        acc.add_bias(bias, self.act_fmt);
+                        stats.sram_reads += 1;
+                        // Narrow the wide accumulator to the AFU input.
+                        pending.push(acc.narrow_from(
+                            self.weight_fmt,
+                            self.act_fmt.frac_bits(),
+                            self.afu.input_format(),
+                        ));
+                    }
+                }
+                MicroOp::Activate => {
+                    // The AFU drains one value per cycle.
+                    stats.cycles += pending.len() as u64;
+                    for z in pending.drain(..) {
+                        next.push(self.afu.apply(activation, z));
+                    }
+                }
+                MicroOp::StoreOutput => {
+                    stats.cycles += 1;
+                    current = std::mem::take(&mut next);
+                }
+            }
+        }
+        (current.iter().map(|fx| fx.to_f64()).collect(), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matic_core::{train_naive, MatConfig};
+    use matic_nn::{NetSpec, Sample, SgdConfig};
+    use matic_sram::{ArrayConfig, SramConfig, VminDistribution};
+
+    fn array(banks: usize, words: usize, seed: u64) -> SramArray {
+        SramArray::synthesize(
+            &ArrayConfig {
+                banks,
+                bank: SramConfig {
+                    words,
+                    word_bits: 16,
+                    dist: VminDistribution::date2018(),
+                },
+            },
+            seed,
+        )
+    }
+
+    /// Uploads a model and runs both the float reference and the NPU.
+    fn run_both(spec: &NetSpec, input: &[f64], seed: u64) -> (Vec<f64>, Vec<f64>, NpuStats) {
+        let data: Vec<Sample> = (0..32)
+            .map(|i| {
+                let x = i as f64 / 32.0;
+                Sample::new(
+                    vec![x; spec.layers[0]],
+                    vec![0.5; *spec.layers.last().unwrap()],
+                )
+            })
+            .collect();
+        let cfg = MatConfig {
+            sgd: SgdConfig {
+                epochs: 5,
+                ..SgdConfig::default()
+            },
+            ..MatConfig::paper()
+        };
+        let model = train_naive(spec, &data, &cfg, 8, 576);
+        let mut arr = array(8, 576, seed);
+        matic_core::upload_weights(&model, &mut arr);
+        let npu = Snnac::snnac(model.format());
+        let program = Program::compile(spec, npu.pe_count());
+        let (out, stats) = npu.execute(&program, model.layout(), &mut arr, input);
+        let reference = model.quantized().forward(input);
+        (out, reference, stats)
+    }
+
+    #[test]
+    fn matches_float_reference_small_net() {
+        let spec = NetSpec::classifier(&[4, 6, 3]);
+        let (out, reference, _) = run_both(&spec, &[0.2, 0.8, 0.1, 0.5], 3);
+        for (a, b) in out.iter().zip(&reference) {
+            assert!(
+                (a - b).abs() < 0.01,
+                "NPU {a} vs reference {b} (fixed-point tolerance)"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_float_reference_wide_layer() {
+        // Wider than the PE ring: exercises time multiplexing.
+        let spec = NetSpec::classifier(&[10, 20, 4]);
+        let input: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
+        let (out, reference, _) = run_both(&spec, &input, 5);
+        assert_eq!(out.len(), 4);
+        for (a, b) in out.iter().zip(&reference) {
+            assert!((a - b).abs() < 0.01, "NPU {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn regression_linear_output() {
+        let spec = NetSpec::regressor(&[2, 8, 2]);
+        let (out, reference, _) = run_both(&spec, &[0.3, 0.6], 7);
+        for (a, b) in out.iter().zip(&reference) {
+            assert!((a - b).abs() < 0.01, "NPU {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn cycle_accounting_matches_model() {
+        let spec = NetSpec::classifier(&[100, 32, 10]);
+        let input = vec![0.1; 100];
+        let (_, _, stats) = run_both(&spec, &input, 9);
+        // Layer 1: load 100 + 4 groups × (100 + 1 + 4) + 32 AFU + 1 store.
+        // Layer 2: load 32 + 2 groups × (32 + 1 + 4) + 10 AFU + 1 store.
+        let expect = (100 + 4 * 105 + 32 + 1) + (32 + 2 * 37 + 10 + 1);
+        assert_eq!(stats.cycles, expect as u64);
+        // MACs: 100×32 + 32×10; reads add one bias word per neuron.
+        assert_eq!(stats.macs, 100 * 32 + 32 * 10);
+        assert_eq!(stats.sram_reads, stats.macs + 32 + 10);
+    }
+
+    #[test]
+    fn overscaled_reads_perturb_output() {
+        let spec = NetSpec::classifier(&[8, 12, 3]);
+        let input = vec![0.5; 8];
+        let data: Vec<Sample> = (0..16)
+            .map(|i| Sample::new(vec![i as f64 / 16.0; 8], vec![0.5; 3]))
+            .collect();
+        let cfg = MatConfig {
+            sgd: SgdConfig {
+                epochs: 3,
+                ..SgdConfig::default()
+            },
+            ..MatConfig::paper()
+        };
+        let model = train_naive(&spec, &data, &cfg, 8, 576);
+        let npu = Snnac::snnac(model.format());
+        let program = Program::compile(&spec, npu.pe_count());
+
+        let mut arr = array(8, 576, 21);
+        matic_core::upload_weights(&model, &mut arr);
+        let (clean, _) = npu.execute(&program, model.layout(), &mut arr, &input);
+
+        // Re-upload, overscale hard, run again: outputs should differ
+        // (46 % of cells sit past their Vmin at 0.46 V).
+        arr.set_operating_point(0.9, 25.0);
+        matic_core::upload_weights(&model, &mut arr);
+        arr.set_operating_point(0.46, 25.0);
+        let (noisy, _) = npu.execute(&program, model.layout(), &mut arr, &input);
+        assert_ne!(clean, noisy, "overscaling must corrupt the weight stream");
+    }
+}

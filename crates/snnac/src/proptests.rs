@@ -1,0 +1,125 @@
+//! Property-based tests over the accelerator simulator.
+
+use crate::afu::Afu;
+use crate::microcode::{MicroOp, Program};
+use crate::msp430::{assemble, Instr, Msp430, NullMmio, Operand};
+use crate::regulator::VoltageRegulator;
+use matic_fixed::Fx;
+use matic_nn::{Activation, NetSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// The PWL sigmoid is monotone, bounded to [0, 1], and within its
+    /// error budget of the exact function everywhere.
+    #[test]
+    fn afu_sigmoid_properties(x in -20.0f64..20.0, dx in 0.0f64..2.0) {
+        let afu = Afu::snnac();
+        let f = afu.input_format();
+        let clamp = |v: f64| v.clamp(f.min_value(), f.max_value());
+        let y1 = afu.apply(Activation::Sigmoid, Fx::from_f64(clamp(x), f)).to_f64();
+        let y2 = afu.apply(Activation::Sigmoid, Fx::from_f64(clamp(x + dx), f)).to_f64();
+        prop_assert!((0.0..=1.0).contains(&y1));
+        prop_assert!(y2 >= y1 - 1e-9, "non-monotone at {x}");
+        let exact = 1.0 / (1.0 + (-clamp(x)).exp());
+        prop_assert!((y1 - exact).abs() < 0.005);
+    }
+
+    /// ReLU through the AFU equals max(0, x) up to output quantization.
+    #[test]
+    fn afu_relu_property(x in -30.0f64..30.0) {
+        let afu = Afu::snnac();
+        let f = afu.input_format();
+        let xc = x.clamp(f.min_value(), f.max_value());
+        let y = afu.apply(Activation::Relu, Fx::from_f64(xc, f)).to_f64();
+        let expect = xc.max(0.0).clamp(0.0, afu.output_format().max_value());
+        prop_assert!((y - expect).abs() <= afu.output_format().lsb() + f.lsb());
+    }
+
+    /// Microcode covers every neuron of every layer exactly once.
+    #[test]
+    fn microcode_covers_all_neurons(
+        l0 in 1usize..40, l1 in 1usize..40, l2 in 1usize..40, pes in 1usize..12,
+    ) {
+        let spec = NetSpec::classifier(&[l0, l1, l2]);
+        let prog = Program::compile(&spec, pes);
+        let mut current_layer = usize::MAX;
+        let mut covered: Vec<Vec<bool>> = vec![vec![false; l1], vec![false; l2]];
+        for op in prog.ops() {
+            match *op {
+                MicroOp::SetLayer { layer, .. } => current_layer = layer as usize,
+                MicroOp::Macc { neuron_base, active } => {
+                    for n in neuron_base as usize..(neuron_base + active) as usize {
+                        prop_assert!(!covered[current_layer][n], "neuron covered twice");
+                        covered[current_layer][n] = true;
+                    }
+                    prop_assert!(active as usize <= pes);
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(covered.iter().all(|l| l.iter().all(|&c| c)));
+    }
+
+    /// Regulator set-points always land on the LSB grid inside the range,
+    /// and stepping is inverse-consistent.
+    #[test]
+    fn regulator_grid_invariants(mv in 0u32..2000) {
+        let mut r = VoltageRegulator::snnac_sram_rail();
+        let set = r.set_mv(mv);
+        prop_assert_eq!(set % r.lsb_mv(), 0);
+        prop_assert!((400..=900).contains(&set));
+        let down = r.step_down();
+        if down > 400 {
+            prop_assert_eq!(r.step_up(), set.max(405));
+        }
+    }
+
+    /// MSP430 ADD/SUB are inverse operations and flags reflect zero/sign.
+    #[test]
+    fn msp430_add_sub_roundtrip(a in 0u16..=u16::MAX, b in 0u16..=u16::MAX) {
+        let prog = vec![
+            Instr::Mov(Operand::Imm(a), Operand::Reg(4)),
+            Instr::Add(Operand::Imm(b), Operand::Reg(4)),
+            Instr::Sub(Operand::Imm(b), Operand::Reg(4)),
+            Instr::Cmp(Operand::Imm(a), Operand::Reg(4)),
+            Instr::Halt,
+        ];
+        let mut cpu = Msp430::new(16);
+        cpu.run(&prog, &mut NullMmio, 10).unwrap();
+        prop_assert_eq!(cpu.reg(4), a);
+        prop_assert!(cpu.flags().z, "CMP of equal values must set Z");
+    }
+
+    /// Signed comparison through JL/JGE agrees with i16 ordering.
+    #[test]
+    fn msp430_signed_compare(a in i16::MIN..=i16::MAX, b in i16::MIN..=i16::MAX) {
+        let src = format!(
+            "MOV #{}, r4\n\
+             CMP #{}, r4\n\
+             JL less\n\
+             MOV #0, r6\n\
+             JMP end\n\
+             less:\n\
+             MOV #1, r6\n\
+             end:\n\
+             HALT",
+            a as u16, b as u16
+        );
+        let prog = assemble(&src).unwrap();
+        let mut cpu = Msp430::new(16);
+        cpu.run(&prog, &mut NullMmio, 20).unwrap();
+        prop_assert_eq!(cpu.reg(6) == 1, a < b, "a = {}, b = {}", a, b);
+    }
+
+    /// The assembler round-trips every register/immediate/absolute operand
+    /// form it prints.
+    #[test]
+    fn assembler_operand_forms(reg in 0u8..16, imm in 0u16..=u16::MAX, addr in 0u16..0xFF00) {
+        let src = format!("MOV #{imm}, r{reg}\nMOV r{reg}, &{addr}\nHALT");
+        let prog = assemble(&src).unwrap();
+        prop_assert_eq!(prog.len(), 3);
+        let mut cpu = Msp430::new(0x10000);
+        cpu.run(&prog, &mut NullMmio, 10).unwrap();
+        prop_assert_eq!(cpu.reg(reg), imm);
+    }
+}

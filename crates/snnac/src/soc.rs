@@ -1,0 +1,308 @@
+//! SoC integration: the NPU as a memory-mapped peripheral of the µC.
+//!
+//! Fig. 8 of the paper: "To minimize data movement, NPU input and output
+//! data buffers are memory-mapped directly to the µC data address space",
+//! with a memory arbiter between the cores and shared DMEM. This module
+//! provides that view: an [`Mmio`] bus exposing the NPU's input FIFO,
+//! output buffer and control/status registers, plus the host-style
+//! assembly routine that stages inputs from DMEM, kicks the NPU and
+//! collects the outputs — so a whole inference is driven end-to-end by
+//! MSP430 machine code, exactly like application code on the test chip.
+
+use crate::microcode::Program;
+use crate::msp430::{assemble, Instr, Mmio, Msp430};
+use crate::npu::{NpuStats, Snnac};
+use matic_core::WeightLayout;
+use matic_fixed::Fx;
+use matic_sram::SramArray;
+
+/// NPU peripheral memory map (all ≥ [`crate::msp430::MMIO_BASE`]).
+pub mod npu_map {
+    /// W: 1 = run one inference over the staged input.
+    pub const NPU_CTRL: u16 = 0xE000;
+    /// R: 1 when the last inference finished.
+    pub const NPU_STATUS: u16 = 0xE002;
+    /// Base of the input-activation buffer (raw Q1.14 words).
+    pub const NPU_IN: u16 = 0xE100;
+    /// Base of the output-activation buffer (raw Q1.14 words).
+    pub const NPU_OUT: u16 = 0xE800;
+}
+
+/// DMEM staging addresses used by [`inference_program`].
+pub mod dmem_map {
+    /// Input vector staged by the host/application.
+    pub const INPUT: u16 = 0x0100;
+    /// Output vector written back by the routine.
+    pub const OUTPUT: u16 = 0x0400;
+}
+
+/// The NPU as a bus peripheral: owns staging buffers and drives the real
+/// datapath (weight banks included) when `NPU_CTRL` is written.
+pub struct NpuPeripheral<'a> {
+    npu: &'a Snnac,
+    program: &'a Program,
+    layout: &'a WeightLayout,
+    array: &'a mut SramArray,
+    input: Vec<u16>,
+    output: Vec<u16>,
+    fan_in: usize,
+    done: bool,
+    /// Cycle statistics of the last inference.
+    pub last_stats: NpuStats,
+}
+
+impl<'a> NpuPeripheral<'a> {
+    /// Creates the peripheral for a deployed network.
+    pub fn new(
+        npu: &'a Snnac,
+        program: &'a Program,
+        layout: &'a WeightLayout,
+        array: &'a mut SramArray,
+    ) -> Self {
+        let fan_in = layout.spec().layers[0];
+        let fan_out = *layout.spec().layers.last().unwrap();
+        NpuPeripheral {
+            npu,
+            program,
+            layout,
+            array,
+            input: vec![0; fan_in],
+            output: vec![0; fan_out],
+            fan_in,
+            done: false,
+            last_stats: NpuStats::default(),
+        }
+    }
+
+    fn run(&mut self) {
+        let act = self.npu.activation_format();
+        let input_f64: Vec<f64> = self
+            .input
+            .iter()
+            .map(|&w| Fx::from_word(w as u32, act).to_f64())
+            .collect();
+        let (out, stats) = self
+            .npu
+            .execute(self.program, self.layout, self.array, &input_f64);
+        self.last_stats = stats;
+        for (slot, y) in self.output.iter_mut().zip(&out) {
+            *slot = Fx::from_f64(*y, act).to_word() as u16;
+        }
+        self.done = true;
+    }
+}
+
+impl Mmio for NpuPeripheral<'_> {
+    fn read(&mut self, addr: u16) -> u16 {
+        match addr {
+            npu_map::NPU_STATUS => self.done as u16,
+            a if (npu_map::NPU_IN..npu_map::NPU_IN + self.input.len() as u16).contains(&a) => {
+                self.input[(a - npu_map::NPU_IN) as usize]
+            }
+            a if (npu_map::NPU_OUT..npu_map::NPU_OUT + self.output.len() as u16)
+                .contains(&a) =>
+            {
+                self.output[(a - npu_map::NPU_OUT) as usize]
+            }
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, addr: u16, value: u16) {
+        match addr {
+            npu_map::NPU_CTRL
+                if value == 1 => {
+                    self.done = false;
+                    self.run();
+                }
+            a if (npu_map::NPU_IN..npu_map::NPU_IN + self.fan_in as u16).contains(&a) => {
+                self.input[(a - npu_map::NPU_IN) as usize] = value;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The µC inference routine: copies `fan_in` staged words from DMEM into
+/// the NPU input buffer, triggers the NPU, busy-waits on the status
+/// register, and copies `fan_out` results back to DMEM.
+pub fn inference_program(fan_in: usize, fan_out: usize) -> String {
+    format!(
+        r"
+; stage input: DMEM[0x100..] -> NPU_IN
+        MOV #{dm_in}, r4
+        MOV #{npu_in}, r5
+        MOV #{fan_in}, r7
+stage:
+        MOV @r4, r8
+        MOV r8, @r5
+        ADD #1, r4
+        ADD #1, r5
+        SUB #1, r7
+        CMP #0, r7
+        JNZ stage
+; kick the NPU and wait for completion
+        MOV #1, &{ctrl}
+wait:
+        MOV &{status}, r8
+        CMP #1, r8
+        JNZ wait
+; collect output: NPU_OUT -> DMEM[0x400..]
+        MOV #{npu_out}, r4
+        MOV #{dm_out}, r5
+        MOV #{fan_out}, r7
+collect:
+        MOV @r4, r8
+        MOV r8, @r5
+        ADD #1, r4
+        ADD #1, r5
+        SUB #1, r7
+        CMP #0, r7
+        JNZ collect
+        HALT
+",
+        dm_in = dmem_map::INPUT,
+        dm_out = dmem_map::OUTPUT,
+        npu_in = npu_map::NPU_IN,
+        npu_out = npu_map::NPU_OUT,
+        ctrl = npu_map::NPU_CTRL,
+        status = npu_map::NPU_STATUS,
+    )
+}
+
+/// Runs one inference entirely under µC control: stages `input` in DMEM,
+/// executes [`inference_program`] on a fresh core, and returns the output
+/// activations (as reals) plus the NPU statistics.
+///
+/// # Panics
+///
+/// Panics if the routine fails to assemble or exceeds its step budget
+/// (cannot happen with the shipped program and sane layer sizes).
+pub fn run_inference_via_uc(
+    npu: &Snnac,
+    program: &Program,
+    layout: &WeightLayout,
+    array: &mut SramArray,
+    input: &[f64],
+) -> (Vec<f64>, NpuStats) {
+    let fan_in = layout.spec().layers[0];
+    let fan_out = *layout.spec().layers.last().unwrap();
+    assert_eq!(input.len(), fan_in, "input width mismatch");
+    let act = npu.activation_format();
+
+    let src = inference_program(fan_in, fan_out);
+    let code: Vec<Instr> = assemble(&src).expect("inference routine assembles");
+    let mut cpu = Msp430::new(0x1000);
+    // Stage the input vector in DMEM as raw activation words.
+    for (i, &x) in input.iter().enumerate() {
+        let word = Fx::from_f64(x, act).to_word() as u16;
+        cpu_store(&mut cpu, dmem_map::INPUT + i as u16, word);
+    }
+    let mut bus = NpuPeripheral::new(npu, program, layout, array);
+    cpu.run(&code, &mut bus, 1_000_000)
+        .expect("inference routine halts");
+    let out = (0..fan_out)
+        .map(|i| {
+            let w = cpu_load(&mut cpu, dmem_map::OUTPUT + i as u16);
+            Fx::from_word(w as u32, act).to_f64()
+        })
+        .collect();
+    (out, bus.last_stats)
+}
+
+/// Host-side DMEM access helpers (the real chip exposes DMEM over UART;
+/// here the host writes the core's RAM directly).
+fn cpu_store(cpu: &mut Msp430, addr: u16, value: u16) {
+    let mut nop = crate::msp430::NullMmio;
+    // Reuse the core's store path through a tiny program-free poke:
+    // registers r14/r15 are scratch by convention.
+    cpu.set_reg(14, addr);
+    cpu.set_reg(15, value);
+    let poke = [
+        Instr::Mov(
+            crate::msp430::Operand::Reg(15),
+            crate::msp430::Operand::Ind(14),
+        ),
+        Instr::Halt,
+    ];
+    cpu.run(&poke, &mut nop, 4).expect("poke");
+}
+
+fn cpu_load(cpu: &mut Msp430, addr: u16) -> u16 {
+    let mut nop = crate::msp430::NullMmio;
+    cpu.set_reg(14, addr);
+    let peek = [
+        Instr::Mov(
+            crate::msp430::Operand::Ind(14),
+            crate::msp430::Operand::Reg(15),
+        ),
+        Instr::Halt,
+    ];
+    cpu.run(&peek, &mut nop, 4).expect("peek");
+    cpu.reg(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matic_core::{train_naive, upload_weights, MatConfig};
+    use matic_nn::{NetSpec, Sample, SgdConfig};
+    use matic_sram::{ArrayConfig, SramArray};
+
+    fn setup() -> (Snnac, Program, matic_core::TrainedModel, SramArray) {
+        let spec = NetSpec::regressor(&[3, 6, 2]);
+        let data: Vec<Sample> = (0..24)
+            .map(|i| {
+                let x = i as f64 / 24.0;
+                Sample::new(vec![x, 1.0 - x, 0.5], vec![0.4 * x + 0.1, 0.3])
+            })
+            .collect();
+        let cfg = MatConfig {
+            sgd: SgdConfig {
+                epochs: 8,
+                ..SgdConfig::default()
+            },
+            ..MatConfig::paper()
+        };
+        let model = train_naive(&spec, &data, &cfg, 8, 576);
+        let mut array = SramArray::synthesize(&ArrayConfig::snnac(), 77);
+        upload_weights(&model, &mut array);
+        let npu = Snnac::snnac(model.format());
+        let program = Program::compile(&spec, npu.pe_count());
+        (npu, program, model, array)
+    }
+
+    #[test]
+    fn uc_driven_inference_matches_direct_npu_exactly() {
+        let (npu, program, model, mut array) = setup();
+        let input = [0.25, 0.75, 0.5];
+        let (direct, direct_stats) =
+            npu.execute(&program, model.layout(), &mut array, &input);
+        let (via_uc, uc_stats) =
+            run_inference_via_uc(&npu, &program, model.layout(), &mut array, &input);
+        // Bit-exact: both paths quantize inputs to the same Q1.14 words
+        // and run the same datapath.
+        assert_eq!(direct, via_uc);
+        assert_eq!(direct_stats, uc_stats);
+    }
+
+    #[test]
+    fn inference_program_assembles_for_paper_topologies() {
+        for (fi, fo) in [(100, 10), (400, 1), (2, 2), (6, 1)] {
+            let prog = assemble(&inference_program(fi, fo)).unwrap();
+            assert!(prog.len() > 10);
+        }
+    }
+
+    #[test]
+    fn staged_input_roundtrips_through_the_bus() {
+        let (npu, program, model, mut array) = setup();
+        let mut bus = NpuPeripheral::new(&npu, &program, model.layout(), &mut array);
+        bus.write(npu_map::NPU_IN + 1, 0x1234);
+        assert_eq!(bus.read(npu_map::NPU_IN + 1), 0x1234);
+        assert_eq!(bus.read(npu_map::NPU_STATUS), 0);
+        bus.write(npu_map::NPU_CTRL, 1);
+        assert_eq!(bus.read(npu_map::NPU_STATUS), 1);
+        assert!(bus.last_stats.cycles > 0);
+    }
+}

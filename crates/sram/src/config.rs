@@ -1,0 +1,108 @@
+//! Geometry and statistics configuration for weight SRAMs.
+
+use crate::dist::VminDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Geometry + statistics of a single voltage-scalable SRAM bank.
+///
+/// SNNAC dedicates one bank to each of its eight processing elements; the
+/// default geometry (576 words × 16 bits) makes the eight banks total the
+/// chip's 9 KB of weight storage (Fig. 7b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramConfig {
+    /// Number of addressable words.
+    pub words: usize,
+    /// Word length in bits (SNNAC datapath: 8–22).
+    pub word_bits: u8,
+    /// Per-cell `Vmin,read` statistics.
+    pub dist: VminDistribution,
+}
+
+impl SramConfig {
+    /// One SNNAC PE weight bank: 576 × 16 bit (one eighth of 9 KB).
+    pub fn snnac_bank() -> Self {
+        SramConfig {
+            words: 576,
+            word_bits: 16,
+            dist: VminDistribution::date2018(),
+        }
+    }
+
+    /// Total number of bit-cells in the bank.
+    pub fn bits(&self) -> usize {
+        self.words * self.word_bits as usize
+    }
+
+    /// Bit mask selecting the valid word bits.
+    pub fn word_mask(&self) -> u32 {
+        if self.word_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.word_bits) - 1
+        }
+    }
+}
+
+impl Default for SramConfig {
+    fn default() -> Self {
+        Self::snnac_bank()
+    }
+}
+
+/// Geometry of a full weight-memory array (one bank per PE).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Number of banks (SNNAC: 8, one per processing element).
+    pub banks: usize,
+    /// Per-bank configuration.
+    pub bank: SramConfig,
+}
+
+impl ArrayConfig {
+    /// The SNNAC weight-memory complex: 8 banks × 576 words × 16 bits = 9 KB.
+    pub fn snnac() -> Self {
+        ArrayConfig {
+            banks: 8,
+            bank: SramConfig::snnac_bank(),
+        }
+    }
+
+    /// Total bit-cells across all banks.
+    pub fn bits(&self) -> usize {
+        self.banks * self.bank.bits()
+    }
+
+    /// Total bytes of weight storage.
+    pub fn bytes(&self) -> usize {
+        self.bits() / 8
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        Self::snnac()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snnac_array_is_nine_kilobytes() {
+        let cfg = ArrayConfig::snnac();
+        assert_eq!(cfg.bytes(), 9 * 1024);
+        assert_eq!(cfg.banks, 8);
+        assert_eq!(cfg.bank.word_bits, 16);
+    }
+
+    #[test]
+    fn word_mask_matches_width() {
+        let mut cfg = SramConfig::snnac_bank();
+        assert_eq!(cfg.word_mask(), 0xFFFF);
+        cfg.word_bits = 8;
+        assert_eq!(cfg.word_mask(), 0xFF);
+        cfg.word_bits = 22;
+        assert_eq!(cfg.word_mask(), 0x3F_FFFF);
+    }
+}

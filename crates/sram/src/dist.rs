@@ -1,0 +1,276 @@
+//! The per-cell `Vmin,read` distribution.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Empirical distribution of per-cell critical read voltages.
+///
+/// The complementary CDF of this distribution *is* the bit-error rate at a
+/// given operating voltage: a cell whose `Vmin,read` exceeds the supply
+/// fails (flips to its preferred state on a read). The paper's measured
+/// failure-rate curve (Fig. 9a) is reproduced by log-linear interpolation
+/// through calibrated `(voltage, fail-rate)` anchors.
+///
+/// Temperature enters through a linear coefficient on every cell's
+/// `Vmin,read`. The test-chip operates below the temperature-inversion
+/// point of the 65 nm process (§V-C), so *higher* temperature means
+/// *stronger* transistors and a *lower* required voltage — the coefficient
+/// is negative.
+///
+/// # Example
+///
+/// ```
+/// use matic_sram::VminDistribution;
+/// let d = VminDistribution::date2018();
+/// // First failures appear at 0.53 V ...
+/// assert!((d.fail_rate(0.53) - 1e-5).abs() < 1e-6);
+/// // ... and the energy-optimal 0.50 V point shows the paper's 28 %.
+/// assert!((d.fail_rate(0.50) - 0.28).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VminDistribution {
+    /// `(voltage, fail_rate)` anchors, voltage strictly decreasing,
+    /// fail rate strictly increasing, last anchor has fail rate 1.0.
+    anchors: Vec<(f64, f64)>,
+    /// dV/dT of every cell's `Vmin,read` in volts per °C (negative below
+    /// the temperature-inversion point).
+    temp_coeff: f64,
+    /// Reference temperature for the anchors, °C.
+    ref_temp_c: f64,
+}
+
+impl VminDistribution {
+    /// The distribution calibrated to the DATE 2018 test chip: first
+    /// failures at 0.53 V, 28 % at 0.50 V, all reads failing by 0.40 V
+    /// (Fig. 9a and §V-B), −0.24 mV/°C temperature coefficient sized so a
+    /// −15…90 °C chamber sweep moves the canary-tracked voltage by ~25 mV
+    /// (Fig. 12).
+    pub fn date2018() -> Self {
+        // Hard anchors from the paper: 1e-5 @ 0.53 V (first failures),
+        // 0.28 @ 0.50 V (energy-optimal point), 1.0 @ 0.40 V (all reads
+        // fail). Between the last two the interpolation is log-linear —
+        // a straight segment on Fig. 9a's log axis — giving ≈0.36 @ 0.48,
+        // ≈0.47 @ 0.46 and ≈0.60 @ 0.44.
+        VminDistribution {
+            anchors: vec![
+                (0.540, 1e-9),
+                (0.530, 1e-5),
+                (0.515, 1.5e-3),
+                (0.500, 0.28),
+                (0.400, 1.0),
+            ],
+            temp_coeff: -0.24e-3,
+            ref_temp_c: 25.0,
+        }
+    }
+
+    /// Builds a distribution from custom anchors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless voltages are strictly decreasing, fail rates strictly
+    /// increasing and positive, and the final fail rate is 1.0.
+    pub fn from_anchors(anchors: Vec<(f64, f64)>, temp_coeff: f64, ref_temp_c: f64) -> Self {
+        assert!(anchors.len() >= 2, "need at least two anchors");
+        for pair in anchors.windows(2) {
+            assert!(
+                pair[0].0 > pair[1].0,
+                "anchor voltages must strictly decrease"
+            );
+            assert!(
+                pair[0].1 < pair[1].1,
+                "anchor fail rates must strictly increase"
+            );
+        }
+        assert!(anchors[0].1 > 0.0, "fail rates must be positive");
+        assert!(
+            (anchors.last().unwrap().1 - 1.0).abs() < f64::EPSILON,
+            "final anchor must have fail rate 1.0"
+        );
+        VminDistribution {
+            anchors,
+            temp_coeff,
+            ref_temp_c,
+        }
+    }
+
+    /// Expected bit-error rate at `voltage` and the reference temperature:
+    /// log-linear interpolation through the anchors, clamped to [0, 1].
+    pub fn fail_rate(&self, voltage: f64) -> f64 {
+        let first = self.anchors[0];
+        let last = *self.anchors.last().unwrap();
+        if voltage >= first.0 {
+            return 0.0;
+        }
+        if voltage <= last.0 {
+            return 1.0;
+        }
+        for pair in self.anchors.windows(2) {
+            let (v_hi, r_lo) = pair[0];
+            let (v_lo, r_hi) = pair[1];
+            if voltage <= v_hi && voltage >= v_lo {
+                let t = (v_hi - voltage) / (v_hi - v_lo);
+                let log_r = r_lo.ln() + t * (r_hi.ln() - r_lo.ln());
+                return log_r.exp().clamp(0.0, 1.0);
+            }
+        }
+        1.0
+    }
+
+    /// Expected bit-error rate at `voltage` and temperature `temp_c`:
+    /// shifting every cell's Vmin by `temp_coeff·ΔT` is equivalent to
+    /// shifting the query voltage the opposite way.
+    pub fn fail_rate_at(&self, voltage: f64, temp_c: f64) -> f64 {
+        self.fail_rate(voltage - self.temp_coeff * (temp_c - self.ref_temp_c))
+    }
+
+    /// Draws one cell's `Vmin,read` (at the reference temperature) by
+    /// inverse-CDF sampling of the anchor curve.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.inverse_fail_rate(u)
+    }
+
+    /// The voltage at which the expected fail rate equals `rate`
+    /// (the quantile function of the per-cell Vmin distribution).
+    ///
+    /// Rates below the first anchor map to just above its voltage (such
+    /// cells effectively never fail in the modelled range); rates ≥ 1 map
+    /// to the final anchor voltage.
+    pub fn inverse_fail_rate(&self, rate: f64) -> f64 {
+        let first = self.anchors[0];
+        let last = *self.anchors.last().unwrap();
+        if rate <= first.1 {
+            // Harmless sentinel: cell never fails within the sweep range.
+            return first.0 - 0.20;
+        }
+        if rate >= last.1 {
+            return last.0;
+        }
+        for pair in self.anchors.windows(2) {
+            let (v_hi, r_lo) = pair[0];
+            let (v_lo, r_hi) = pair[1];
+            if rate >= r_lo && rate <= r_hi {
+                let t = (rate.ln() - r_lo.ln()) / (r_hi.ln() - r_lo.ln());
+                return v_hi - t * (v_hi - v_lo);
+            }
+        }
+        last.0
+    }
+
+    /// A cell's effective `Vmin,read` at temperature `temp_c`, given its
+    /// reference-temperature value.
+    pub fn vmin_at(&self, vmin_ref: f64, temp_c: f64) -> f64 {
+        vmin_ref + self.temp_coeff * (temp_c - self.ref_temp_c)
+    }
+
+    /// The temperature coefficient in V/°C.
+    pub fn temp_coeff(&self) -> f64 {
+        self.temp_coeff
+    }
+
+    /// The reference temperature in °C.
+    pub fn ref_temp_c(&self) -> f64 {
+        self.ref_temp_c
+    }
+
+    /// Voltage of the first (highest-voltage) anchor — above this, the
+    /// model predicts zero failures.
+    pub fn safe_voltage(&self) -> f64 {
+        self.anchors[0].0
+    }
+}
+
+impl Default for VminDistribution {
+    fn default() -> Self {
+        Self::date2018()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_anchor_points_reproduced() {
+        let d = VminDistribution::date2018();
+        assert_eq!(d.fail_rate(0.55), 0.0);
+        assert!((d.fail_rate(0.53) - 1e-5).abs() < 1e-7);
+        assert!((d.fail_rate(0.50) - 0.28).abs() < 1e-9);
+        assert_eq!(d.fail_rate(0.40), 1.0);
+        assert_eq!(d.fail_rate(0.35), 1.0);
+    }
+
+    #[test]
+    fn fail_rate_monotone_decreasing_in_voltage() {
+        let d = VminDistribution::date2018();
+        let mut prev = 1.0;
+        let mut v = 0.38;
+        while v < 0.56 {
+            let r = d.fail_rate(v);
+            assert!(r <= prev + 1e-12, "non-monotone at {v}");
+            prev = r;
+            v += 0.001;
+        }
+    }
+
+    #[test]
+    fn inverse_is_right_inverse_of_fail_rate() {
+        let d = VminDistribution::date2018();
+        for rate in [1e-5, 1e-4, 1e-2, 0.28, 0.5, 0.75, 0.99] {
+            let v = d.inverse_fail_rate(rate);
+            assert!(
+                (d.fail_rate(v) - rate).abs() / rate < 1e-6,
+                "rate {rate} -> v {v} -> {}",
+                d.fail_rate(v)
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_population_matches_curve() {
+        let d = VminDistribution::date2018();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        for v in [0.52, 0.50, 0.46, 0.42] {
+            let measured = samples.iter().filter(|&&x| x > v).count() as f64 / n as f64;
+            let expected = d.fail_rate(v);
+            assert!(
+                (measured - expected).abs() < 0.01,
+                "at {v}: measured {measured} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn temperature_inversion_lowers_vmin_when_hot() {
+        let d = VminDistribution::date2018();
+        // Hotter -> cells get stronger -> fewer failures at the same voltage.
+        assert!(d.fail_rate_at(0.50, 90.0) < d.fail_rate_at(0.50, 25.0));
+        assert!(d.fail_rate_at(0.50, -15.0) > d.fail_rate_at(0.50, 25.0));
+        // And the per-cell view agrees.
+        assert!(d.vmin_at(0.50, 90.0) < 0.50);
+        assert!(d.vmin_at(0.50, -15.0) > 0.50);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decrease")]
+    fn from_anchors_rejects_unsorted() {
+        VminDistribution::from_anchors(vec![(0.5, 0.1), (0.5, 1.0)], 0.0, 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fail rate 1.0")]
+    fn from_anchors_requires_terminal_one() {
+        VminDistribution::from_anchors(vec![(0.5, 0.1), (0.4, 0.9)], 0.0, 25.0);
+    }
+
+    #[test]
+    fn safe_voltage_has_zero_rate() {
+        let d = VminDistribution::date2018();
+        assert_eq!(d.fail_rate(d.safe_voltage()), 0.0);
+    }
+}

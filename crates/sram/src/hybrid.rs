@@ -1,0 +1,98 @@
+//! Hybrid 8T-6T protection — the related-work alternative to MATIC.
+//!
+//! Srinivasan et al. (DATE 2016, cited as [20] in the paper) store weight
+//! MSBs in 8T bit-cells, which remain read-stable at voltages where 6T
+//! cells fail; the paper's critique is that "this approach has no
+//! adaptation mechanism". This module models that design point so the
+//! `ablation_hybrid_8t6t` bench can compare it quantitatively against
+//! memory-adaptive training on the same fault maps.
+//!
+//! Model: the top `protected_bits` of every word are 8T (no read-disturb
+//! failures in the overscaled range); the remaining LSBs stay 6T and keep
+//! their profiled faults. 8T cells cost ~30 % more area than 6T, so the
+//! weight-array area overhead is `0.3 · protected_bits / word_bits`.
+
+use crate::fault_map::{BankFaultMap, FaultMap};
+
+/// Area penalty of an 8T bit-cell relative to 6T (typical layout factor).
+pub const AREA_RATIO_8T_OVER_6T: f64 = 1.3;
+
+/// Returns the fault map as seen by a hybrid 8T-6T array: faults on the
+/// top `protected_bits` of every word are removed (those cells are 8T and
+/// do not suffer read-disturb at these voltages).
+///
+/// # Panics
+///
+/// Panics if `protected_bits` exceeds the word width.
+pub fn protect_msbs(map: &FaultMap, protected_bits: u8) -> FaultMap {
+    let word_bits = map.banks()[0].word_bits();
+    assert!(
+        protected_bits <= word_bits,
+        "cannot protect {protected_bits} of {word_bits} bits"
+    );
+    let threshold = word_bits - protected_bits;
+    let mut banks = Vec::with_capacity(map.banks().len());
+    for bank in map.banks() {
+        let mut out = BankFaultMap::clean(bank.words(), word_bits);
+        for (word, bit, stuck_at_one) in bank.iter() {
+            if bit < threshold {
+                out.set_fault(word, bit, stuck_at_one);
+            }
+        }
+        banks.push(out);
+    }
+    FaultMap::new(map.voltage, map.temp_c, banks)
+}
+
+/// Weight-array area overhead of protecting `protected_bits` per
+/// `word_bits`-bit word with 8T cells, relative to an all-6T array.
+pub fn area_overhead(protected_bits: u8, word_bits: u8) -> f64 {
+    (AREA_RATIO_8T_OVER_6T - 1.0) * protected_bits as f64 / word_bits as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::bernoulli_fault_map;
+
+    #[test]
+    fn protection_clears_only_msb_faults() {
+        let map = bernoulli_fault_map(2, 64, 16, 0.3, 7);
+        let protected = protect_msbs(&map, 4);
+        for r in protected.records() {
+            assert!(r.bit < 12, "fault on protected bit {}", r.bit);
+        }
+        // Every surviving fault existed in the original map with the same
+        // polarity.
+        assert!(protected.is_subset_of(&map));
+        // And every original LSB fault survives.
+        let lsb_originals = map.records().iter().filter(|r| r.bit < 12).count();
+        assert_eq!(protected.fault_count(), lsb_originals);
+    }
+
+    #[test]
+    fn zero_protection_is_identity() {
+        let map = bernoulli_fault_map(1, 32, 16, 0.2, 3);
+        assert_eq!(protect_msbs(&map, 0), map);
+    }
+
+    #[test]
+    fn full_protection_clears_everything() {
+        let map = bernoulli_fault_map(1, 32, 16, 0.5, 3);
+        assert_eq!(protect_msbs(&map, 16).fault_count(), 0);
+    }
+
+    #[test]
+    fn area_overhead_scales_linearly() {
+        assert_eq!(area_overhead(0, 16), 0.0);
+        assert!((area_overhead(4, 16) - 0.075).abs() < 1e-12);
+        assert!((area_overhead(16, 16) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot protect")]
+    fn overwide_protection_rejected() {
+        let map = bernoulli_fault_map(1, 8, 16, 0.1, 1);
+        let _ = protect_msbs(&map, 17);
+    }
+}

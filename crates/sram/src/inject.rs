@@ -1,0 +1,127 @@
+//! Synthetic fault injection for feasibility studies.
+//!
+//! The paper's Fig. 5 evaluates memory-adaptive training *before silicon*
+//! by statically flipping "a proportion of randomly selected weight bits …
+//! where the proportion of faulty bits is determined from SPICE Monte Carlo
+//! simulations". This module reproduces that methodology: Bernoulli fault
+//! maps at a chosen bit-error proportion, with uniformly random stuck
+//! polarity (preferred states are a fair coin).
+
+use crate::fault_map::{BankFaultMap, FaultMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a synthetic fault map where each bit-cell independently fails
+/// with probability `ber`, with fair-coin stuck polarity.
+///
+/// Synthetic maps have no profiled operating point; their `voltage` field
+/// is 0.0.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= ber <= 1.0`.
+pub fn bernoulli_fault_map(
+    banks: usize,
+    words: usize,
+    word_bits: u8,
+    ber: f64,
+    seed: u64,
+) -> FaultMap {
+    assert!((0.0..=1.0).contains(&ber), "ber {ber} outside [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut maps = Vec::with_capacity(banks);
+    for _ in 0..banks {
+        let mut map = BankFaultMap::clean(words, word_bits);
+        for w in 0..words {
+            for b in 0..word_bits {
+                if rng.gen::<f64>() < ber {
+                    map.set_fault(w, b, rng.gen::<bool>());
+                }
+            }
+        }
+        maps.push(map);
+    }
+    FaultMap::new(0.0, 25.0, maps)
+}
+
+/// Builds a synthetic fault map with an exact number of faults, placed
+/// uniformly at random without replacement (useful for tight sweeps at
+/// small fault counts where Bernoulli sampling is noisy).
+pub fn exact_fault_map(
+    banks: usize,
+    words: usize,
+    word_bits: u8,
+    fault_count: usize,
+    seed: u64,
+) -> FaultMap {
+    let total = banks * words * word_bits as usize;
+    assert!(fault_count <= total, "more faults than cells");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher-Yates over cell indices.
+    let mut indices: Vec<usize> = (0..total).collect();
+    for i in 0..fault_count {
+        let j = rng.gen_range(i..total);
+        indices.swap(i, j);
+    }
+    let mut map = FaultMap::clean(0.0, banks, words, word_bits);
+    for &cell in &indices[..fault_count] {
+        let bank = cell / (words * word_bits as usize);
+        let rem = cell % (words * word_bits as usize);
+        let word = rem / word_bits as usize;
+        let bit = (rem % word_bits as usize) as u8;
+        map.bank_mut(bank).set_fault(word, bit, rng.gen::<bool>());
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_ber_converges() {
+        let map = bernoulli_fault_map(4, 1024, 16, 0.10, 3);
+        assert!((map.ber() - 0.10).abs() < 0.01, "ber = {}", map.ber());
+    }
+
+    #[test]
+    fn bernoulli_zero_and_one_are_degenerate() {
+        let clean = bernoulli_fault_map(2, 64, 16, 0.0, 1);
+        assert_eq!(clean.fault_count(), 0);
+        let broken = bernoulli_fault_map(2, 64, 16, 1.0, 1);
+        assert_eq!(broken.fault_count(), 2 * 64 * 16);
+    }
+
+    #[test]
+    fn bernoulli_is_deterministic_in_seed() {
+        let a = bernoulli_fault_map(1, 256, 16, 0.3, 9);
+        let b = bernoulli_fault_map(1, 256, 16, 0.3, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn polarities_are_roughly_balanced() {
+        let map = bernoulli_fault_map(1, 4096, 16, 0.5, 5);
+        let ones = map
+            .records()
+            .iter()
+            .filter(|r| r.stuck_at_one)
+            .count() as f64;
+        let frac = ones / map.fault_count() as f64;
+        assert!((frac - 0.5).abs() < 0.03, "stuck-at-1 fraction {frac}");
+    }
+
+    #[test]
+    fn exact_count_is_exact() {
+        for n in [0, 1, 17, 500] {
+            let map = exact_fault_map(2, 64, 16, n, 42);
+            assert_eq!(map.fault_count(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more faults than cells")]
+    fn exact_rejects_overfull() {
+        exact_fault_map(1, 2, 8, 17, 0);
+    }
+}

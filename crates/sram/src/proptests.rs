@@ -1,0 +1,113 @@
+//! Property-based tests over the SRAM fault model.
+
+use crate::*;
+use proptest::prelude::*;
+
+fn small_cfg(words: usize) -> SramConfig {
+    SramConfig {
+        words,
+        word_bits: 16,
+        dist: VminDistribution::date2018(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Reads at any operating point only ever move cells *towards* their
+    /// preferred state, and repeated reads are stable.
+    #[test]
+    fn reads_flip_to_preferred_and_stabilize(
+        seed in 0u64..1000,
+        v in 0.40f64..0.60,
+        pattern in 0u32..=0xFFFF,
+    ) {
+        let mut bank = SramBank::synthesize(&small_cfg(32), seed);
+        bank.set_operating_point(v, 25.0);
+        for addr in 0..bank.words() {
+            bank.write(addr, pattern);
+        }
+        for addr in 0..bank.words() {
+            let first = bank.read(addr);
+            let flipped = first ^ pattern;
+            for bit in 0..16u8 {
+                if (flipped >> bit) & 1 == 1 {
+                    prop_assert_eq!(
+                        (first >> bit) & 1 == 1,
+                        bank.cell_preferred(addr, bit)
+                    );
+                }
+            }
+            prop_assert_eq!(bank.read(addr), first);
+        }
+    }
+
+    /// Fault maps profiled at a higher voltage are subsets of maps profiled
+    /// at any lower voltage (same silicon, same temperature).
+    #[test]
+    fn profile_monotone_in_voltage(
+        seed in 0u64..500,
+        v_pair in (0.42f64..0.54, 0.42f64..0.54),
+    ) {
+        let (a, b) = v_pair;
+        let (v_hi, v_lo) = if a >= b { (a, b) } else { (b, a) };
+        let mut bank = SramBank::synthesize(&small_cfg(64), seed);
+        let (map_hi, _) = profile_bank(&mut bank, v_hi, 25.0);
+        let (map_lo, _) = profile_bank(&mut bank, v_lo, 25.0);
+        prop_assert!(map_hi.is_subset_of(&map_lo));
+    }
+
+    /// Applying a fault map is idempotent, and output bits always agree
+    /// with the map's stuck polarities.
+    #[test]
+    fn fault_map_apply_idempotent(
+        ber in 0.0f64..0.6,
+        seed in 0u64..1000,
+        word in 0u32..=0xFFFF,
+    ) {
+        let map = inject::bernoulli_fault_map(1, 16, 16, ber, seed);
+        for addr in 0..16 {
+            let once = map.apply(0, addr, word);
+            prop_assert_eq!(map.apply(0, addr, once), once);
+            let bank_map = &map.banks()[0];
+            prop_assert_eq!(once & bank_map.or_mask(addr), bank_map.or_mask(addr));
+            prop_assert_eq!(once & !bank_map.and_mask(addr) & 0xFFFF, 0);
+        }
+    }
+
+    /// Profiling never reports unstable bits under the stable-upset model,
+    /// and finds exactly the oracle's fault count.
+    #[test]
+    fn profile_matches_oracle(seed in 0u64..300, v in 0.43f64..0.53) {
+        let mut bank = SramBank::synthesize(&small_cfg(48), seed);
+        let (map, report) = profile_bank(&mut bank, v, 25.0);
+        prop_assert_eq!(report.unstable_bits, 0);
+        let oracle: usize = (0..bank.words())
+            .map(|w| (0..16u8).filter(|&b| bank.cell_vmin(w, b) > v).count())
+            .sum();
+        prop_assert_eq!(map.fault_count(), oracle);
+    }
+
+    /// The analytic fail-rate curve is the CDF of sampled cells: oracle
+    /// fail fraction converges to `fail_rate(v)`.
+    #[test]
+    fn population_matches_curve(seed in 0u64..50, v in 0.44f64..0.52) {
+        let bank = SramBank::synthesize(&small_cfg(2048), seed);
+        let expected = VminDistribution::date2018().fail_rate(v);
+        let measured = bank.fail_fraction_at(v, 25.0);
+        prop_assert!((measured - expected).abs() < 0.03);
+    }
+
+    /// Temperature monotonicity: for any cell, hotter die ⇒ lower
+    /// effective Vmin (below the inversion point).
+    #[test]
+    fn hotter_never_fails_more(seed in 0u64..200, v in 0.42f64..0.54,
+                               t_pair in (-15.0f64..90.0, -15.0f64..90.0)) {
+        let (a, b) = t_pair;
+        let (t_cold, t_hot) = if a <= b { (a, b) } else { (b, a) };
+        let bank = SramBank::synthesize(&small_cfg(64), seed);
+        prop_assert!(
+            bank.fail_fraction_at(v, t_hot) <= bank.fail_fraction_at(v, t_cold)
+        );
+    }
+}

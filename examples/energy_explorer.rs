@@ -1,0 +1,65 @@
+//! Energy exploration: Table II scenarios, the minimum-energy point, and
+//! GOPS/W accounting from the calibrated chip model.
+//!
+//! Run with: `cargo run --release --example energy_explorer`
+
+use matic_energy::{gops_per_watt, EnergyModel, OperatingPoint, Scenario};
+
+fn main() {
+    println!("== SNNAC energy model explorer ==\n");
+    let model = EnergyModel::snnac();
+
+    println!("operating scenarios (Table II):");
+    for s in Scenario::ALL {
+        let r = s.evaluate(&model);
+        println!(
+            "  {:<12} logic {:.2} V / sram {:.2} V / {:>5.1} MHz : {:>6.2} pJ/cy (baseline {:>6.2}) -> {:.2}x saving",
+            s.name(),
+            r.op.v_logic,
+            r.op.v_sram,
+            r.op.freq_hz / 1e6,
+            r.total_pj(),
+            r.baseline_total_pj(),
+            r.reduction()
+        );
+    }
+
+    let mep = model.joint_mep();
+    println!(
+        "\njoint minimum-energy point: {:.3} V @ {:.1} MHz, {:.2} pJ/cycle",
+        mep.v_logic,
+        mep.freq_hz / 1e6,
+        model.total_pj(mep)
+    );
+
+    println!("\nunified-rail energy vs voltage (the MEP bathtub):");
+    println!("{:>8} | {:>9} | {:>10} | {:>10} | {:>10}", "V", "f (MHz)", "logic pJ", "sram pJ", "total pJ");
+    println!("{:-<8}-+-{:-<9}-+-{:-<10}-+-{:-<10}-+-{:-<10}", "", "", "", "", "");
+    let mut v = 0.53;
+    while v <= 0.76 {
+        let f = model.delay().frequency(v);
+        let op = OperatingPoint {
+            v_logic: v,
+            v_sram: v,
+            freq_hz: f,
+        };
+        println!(
+            "{v:>8.2} | {:>9.1} | {:>10.2} | {:>10.2} | {:>10.2}",
+            f / 1e6,
+            model.logic_breakdown(op).total_pj(),
+            model.sram_breakdown(op).total_pj(),
+            model.total_pj(op)
+        );
+        v += 0.02;
+    }
+
+    println!("\nefficiency (8 MACs/cycle, Table III):");
+    println!("  nominal      : {:>6.1} GOPS/W", gops_per_watt(67.08));
+    let split = Scenario::EnOptSplit.evaluate(&model);
+    println!(
+        "  with MATIC   : {:>6.1} GOPS/W ({:.2} mW @ {:.1} MHz)",
+        gops_per_watt(split.total_pj()),
+        split.total_pj() * 1e-12 * split.op.freq_hz * 1e3,
+        split.op.freq_hz / 1e6
+    );
+}

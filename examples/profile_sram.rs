@@ -1,0 +1,51 @@
+//! SRAM profiling demo: the compile-time flow of §III-A on one die —
+//! read-after-write / read-after-read sweeps building the fault map, plus
+//! the failure-rate curve and a look at fault-map structure.
+//!
+//! Run with: `cargo run --release --example profile_sram`
+
+use matic_snnac::{Chip, ChipConfig};
+
+fn main() {
+    println!("== SRAM read-stability profiling on a synthesized die ==\n");
+    let mut chip = Chip::synthesize(ChipConfig::snnac(), 2024);
+
+    println!("failure-rate curve (profiled through the functional port):");
+    println!("{:>8} | {:>12} | {:>10}", "V (V)", "faulty bits", "BER");
+    println!("{:-<8}-+-{:-<12}-+-{:-<10}", "", "", "");
+    for v in [0.53, 0.52, 0.51, 0.50, 0.48, 0.46, 0.44, 0.42, 0.40] {
+        let map = chip.profile(v);
+        println!(
+            "{v:>8.2} | {:>12} | {:>9.4}%",
+            map.fault_count(),
+            100.0 * map.ber()
+        );
+    }
+
+    // Structure of the 0.50 V map: polarity balance and per-bank spread.
+    let map = chip.profile(0.50);
+    let records = map.records();
+    let stuck_one = records.iter().filter(|r| r.stuck_at_one).count();
+    println!("\nfault map at 0.50 V:");
+    println!(
+        "  {} faults; {:.1} % stuck-at-1 / {:.1} % stuck-at-0",
+        records.len(),
+        100.0 * stuck_one as f64 / records.len() as f64,
+        100.0 * (records.len() - stuck_one) as f64 / records.len() as f64
+    );
+    for (bank, bank_map) in map.banks().iter().enumerate() {
+        println!(
+            "  bank {bank}: {:>5} faults ({:.2} % of cells)",
+            bank_map.fault_count(),
+            100.0 * bank_map.ber()
+        );
+    }
+
+    // Voltage monotonicity: the 0.52 V map is a subset of the 0.50 V map.
+    let hi = chip.profile(0.52);
+    let lo = chip.profile(0.50);
+    println!(
+        "\nmonotonicity check: faults(0.52 V) ⊆ faults(0.50 V): {}",
+        hi.is_subset_of(&lo)
+    );
+}
