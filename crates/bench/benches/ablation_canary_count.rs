@@ -25,7 +25,10 @@ fn main() {
         "{:>10} | {:>12} | {:>16} | {:>16} | {:>12}",
         "per bank", "settled (V)", "canary bnd (V)", "1st data (V)", "gap (mV)"
     );
-    println!("{:-<10}-+-{:-<12}-+-{:-<16}-+-{:-<16}-+-{:-<12}", "", "", "", "", "");
+    println!(
+        "{:-<10}-+-{:-<12}-+-{:-<16}-+-{:-<16}-+-{:-<12}",
+        "", "", "", "", ""
+    );
     for per_bank in [1usize, 2, 4, 8, 16] {
         // Fresh identical die each time (selection profiling is
         // destructive and the experiment must be independent).

@@ -33,8 +33,7 @@ fn main() {
     );
     println!("{:-<8}-+-{:-<14}-+-{:-<16}", "", "", "");
     for pct in [1.0, 5.0, 10.0, 20.0, 30.0] {
-        let map =
-            bernoulli_fault_map(8, 576, 16, pct / 100.0, effort.seed + pct as u64);
+        let map = bernoulli_fault_map(8, 576, 16, pct / 100.0, effort.seed + pct as u64);
         let mut results = Vec::new();
         for rule in [UpdateRule::FloatMaster, UpdateRule::ResetToMasked] {
             let mut cfg = base.clone();

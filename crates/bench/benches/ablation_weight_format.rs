@@ -30,8 +30,7 @@ fn main() {
     );
     println!("{:-<8}-+-{:-<10}-+-{:-<10}-+-{:-<10}", "", "", "", "");
     for pct in [0.0, 5.0, 10.0, 30.0, 50.0] {
-        let map =
-            bernoulli_fault_map(8, 576, 16, pct / 100.0, effort.seed + pct as u64);
+        let map = bernoulli_fault_map(8, 576, 16, pct / 100.0, effort.seed + pct as u64);
         let mut row = format!("{pct:>7.0}% |");
         for frac in [12u8, 13, 14] {
             let mut cfg = effort.mat_config(bench);

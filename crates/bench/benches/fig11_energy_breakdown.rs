@@ -20,7 +20,10 @@ fn main() {
         "{:>8} | {:>9} | {:>10} | {:>10} | {:>10}",
         "V (V)", "f (MHz)", "dyn pJ", "leak pJ", "total pJ"
     );
-    println!("{:-<8}-+-{:-<9}-+-{:-<10}-+-{:-<10}-+-{:-<10}", "", "", "", "", "");
+    println!(
+        "{:-<8}-+-{:-<9}-+-{:-<10}-+-{:-<10}-+-{:-<10}",
+        "", "", "", "", ""
+    );
     for v in [0.9, 0.8, 0.7, 0.65, 0.6, 0.55] {
         let f = model.delay().frequency(v).min(250.0e6);
         let b = model.logic().breakdown(v, f);
@@ -38,7 +41,10 @@ fn main() {
         "{:>8} | {:>9} | {:>10} | {:>10} | {:>10}",
         "V (V)", "f (MHz)", "dyn pJ", "leak pJ", "total pJ"
     );
-    println!("{:-<8}-+-{:-<9}-+-{:-<10}-+-{:-<10}-+-{:-<10}", "", "", "", "", "");
+    println!(
+        "{:-<8}-+-{:-<9}-+-{:-<10}-+-{:-<10}-+-{:-<10}",
+        "", "", "", "", ""
+    );
     for (v, f) in [
         (0.90, 250.0e6),
         (0.80, 250.0e6),

@@ -6,12 +6,13 @@
 //! significant fraction of bit errors can be tolerated", with the naive
 //! baseline collapsing much earlier. The x-axis grid in the figure runs
 //! 0.5 → 90 %.
+//!
+//! Routed through the `matic-harness` BER axis: synthetic Bernoulli fault
+//! maps on the SNNAC weight-memory geometry, evaluated on the masked
+//! float view (the paper's simulation setting, before silicon).
 
 use matic_bench::{header, Effort};
-use matic_core::MatTrainer;
 use matic_datasets::Benchmark;
-use matic_nn::classification_error_percent;
-use matic_sram::inject::bernoulli_fault_map;
 
 fn main() {
     let effort = Effort::from_env();
@@ -20,25 +21,31 @@ fn main() {
         "MAT tolerates tens-of-percent bit failure; naive collapses early",
     );
 
-    let bench = Benchmark::Mnist;
-    let split = bench.generate_scaled(effort.seed, effort.data_scale);
-    let spec = bench.topology();
-    let cfg = effort.mat_config(bench);
-
-    // Geometry of the SNNAC weight memories (8 × 576 × 16).
-    let (banks, words, bits) = (8usize, 576usize, 16u8);
-    // Quantization-aware but fault-unaware baseline (see matic-bench docs).
-    let clean = matic_sram::FaultMap::clean(0.9, banks, words, bits);
-    let naive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &clean);
+    let percents = [0.5, 1.0, 3.0, 5.0, 10.0, 20.0, 30.0, 50.0, 70.0, 90.0];
+    let rates: Vec<f64> = percents.iter().map(|p| p / 100.0).collect();
+    let plan = effort
+        .plan_builder(Benchmark::Mnist)
+        .bit_error_rates(&rates)
+        .build()
+        .expect("fig5 plan is valid");
+    let report = matic_harness::run_sweep(&plan);
 
     println!("{:>8} | {:>12} | {:>12}", "% bits", "naive err", "MAT err");
     println!("{:->8}-+-{:->12}-+-{:->12}", "", "", "");
-    for pct in [0.5, 1.0, 3.0, 5.0, 10.0, 20.0, 30.0, 50.0, 70.0, 90.0] {
-        let map = bernoulli_fault_map(banks, words, bits, pct / 100.0, effort.seed + pct as u64);
-        let adaptive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &map);
-        let naive_err = classification_error_percent(&naive.deploy(&map), &split.test);
-        let mat_err = classification_error_percent(&adaptive.deploy(&map), &split.test);
-        println!("{pct:>7.1}% | {naive_err:>11.1}% | {mat_err:>11.1}%");
+    for &pct in &percents {
+        let err = |mode: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.mode == mode && c.ber_target == Some(pct / 100.0))
+                .expect("cell exists for every (mode, rate)")
+                .error
+        };
+        println!(
+            "{pct:>7.1}% | {:>11.1}% | {:>11.1}%",
+            err("naive"),
+            err("mat")
+        );
     }
     println!("\nshape check: MAT should hold near-nominal error well past the");
     println!("point where the naive curve has degraded to chance (90%).");

@@ -49,7 +49,5 @@ fn main() {
         mep.v_logic,
         mep.freq_hz / 1e6
     );
-    println!(
-        "paper reference totals: HighPerf 48.96, EnOpt_split 19.98, EnOpt_joint 20.60 pJ/cy"
-    );
+    println!("paper reference totals: HighPerf 48.96, EnOpt_split 19.98, EnOpt_joint 20.60 pJ/cy");
 }

@@ -1,16 +1,21 @@
 //! Shared experiment machinery for the table/figure benchmark harnesses.
 //!
 //! Every bench target under `benches/` regenerates one table or figure of
-//! the MATIC paper; the heavy lifting (training naive and memory-adaptive
-//! models against a synthesized chip, evaluating them **through the NPU at
-//! the overscaled voltage**) lives here so the harnesses stay declarative.
+//! the MATIC paper. Since the `matic-harness` crate exists, all sweep
+//! execution lives there — this crate only adapts the harness's
+//! population reports into the single-chip [`Sweep`] shape the printed
+//! tables use, and keeps the paper-calibrated [`Effort`] knobs in one
+//! place. No bespoke sweep loops remain here.
 
-use matic_core::{upload_weights, MatConfig, MatTrainer, TrainedModel};
-use matic_sram::FaultMap;
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use matic_core::{MatConfig, TrainedModel};
 use matic_datasets::Benchmark;
-use matic_nn::{Sample, SgdConfig};
-use matic_snnac::microcode::Program;
-use matic_snnac::{Chip, ChipConfig, Snnac};
+use matic_harness::{BenchmarkScenario, Scenario, SweepPlan, TrainingMode};
+use matic_nn::Sample;
+use matic_snnac::Chip;
+use std::sync::Arc;
 
 /// One voltage point of a naive-vs-adaptive sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,29 +80,31 @@ impl Effort {
         }
     }
 
-    /// The training configuration used by both models (per-benchmark
-    /// recipe with this effort's epoch budget).
+    /// The training configuration used by both models: the benchmark's
+    /// recipe at this effort's epoch budget (delegates to the harness
+    /// [`Scenario`] so benches and sweeps can never disagree).
     pub fn mat_config(&self, bench: Benchmark) -> MatConfig {
-        let recipe = bench.sgd();
-        // Narrow nets (hidden width ≤ 16: facedet and the two regressors)
-        // training around heavy fault maps occasionally land in poor
-        // minima; three deterministic restarts recover them at small cost.
-        let restarts = if bench.topology().layers[1] <= 16 { 3 } else { 1 };
-        MatConfig {
-            sgd: SgdConfig {
-                epochs: ((recipe.epochs as f64 * self.epoch_scale).round() as usize).max(2),
-                ..recipe
-            },
-            restarts,
-            ..MatConfig::paper()
-        }
+        BenchmarkScenario(bench).train_config(self.epoch_scale)
+    }
+
+    /// The sweep-plan skeleton this effort corresponds to (one chip,
+    /// naive + adaptive, this effort's scales and seed).
+    pub fn plan_builder(&self, bench: Benchmark) -> matic_harness::SweepPlanBuilder {
+        SweepPlan::builder()
+            .chips(1)
+            .scenario(Arc::new(BenchmarkScenario(bench)))
+            .modes(&[TrainingMode::Naive, TrainingMode::Mat])
+            .data_scale(self.data_scale)
+            .epoch_scale(self.epoch_scale)
+            .seed(self.seed)
     }
 }
 
 /// Evaluates a trained model **on the chip**: uploads weights at a safe
 /// voltage, overscales the SRAM rail to `voltage`, and runs the test set
 /// through the NPU, returning the benchmark's Table I metric
-/// (classification error % or MSE).
+/// (classification error % or MSE). Thin wrapper over
+/// [`matic_harness::eval_on_chip`].
 pub fn eval_on_chip(
     chip: &mut Chip,
     model: &TrainedModel,
@@ -105,95 +112,63 @@ pub fn eval_on_chip(
     test: &[Sample],
     voltage: f64,
 ) -> f64 {
-    chip.set_sram_voltage(0.9);
-    upload_weights(model, chip.array_mut());
-    chip.set_sram_voltage(voltage);
-    let npu = Snnac::snnac(model.format());
-    let program = Program::compile(model.master().spec(), npu.pe_count());
-    let mut wrong = 0usize;
-    let mut sq_err = 0.0f64;
-    for s in test {
-        let (out, _) = npu.execute(&program, model.layout(), chip.array_mut(), &s.input);
-        if bench.is_classification() {
-            let correct = if out.len() == 1 {
-                (out[0] >= 0.5) == (s.target[0] >= 0.5)
-            } else {
-                argmax(&out) == argmax(&s.target)
-            };
-            if !correct {
-                wrong += 1;
-            }
-        } else {
-            sq_err += out
-                .iter()
-                .zip(&s.target)
-                .map(|(y, t)| (y - t) * (y - t))
-                .sum::<f64>()
-                / out.len() as f64;
-        }
-    }
-    if bench.is_classification() {
-        100.0 * wrong as f64 / test.len() as f64
-    } else {
-        sq_err / test.len() as f64
-    }
-}
-
-fn argmax(v: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, x) in v.iter().enumerate() {
-        if *x > v[best] {
-            best = i;
-        }
-    }
-    best
+    matic_harness::eval_on_chip(chip, model, bench.is_classification(), test, voltage).0
 }
 
 /// Runs the full naive-vs-adaptive sweep of one benchmark over `voltages`
-/// on a freshly synthesized chip (the Fig. 10 / Table I experiment).
+/// on a freshly synthesized chip (the Fig. 10 / Table I experiment),
+/// executed by the `matic-harness` engine.
 ///
-/// The naive baseline trains once (float, fault-oblivious); the adaptive
-/// model re-trains against the chip's profiled fault map at every voltage,
-/// exactly as the deployment flow prescribes (one model per operating
-/// point, Fig. 3).
+/// The naive baseline trains once (quantization-aware, fault-oblivious);
+/// the adaptive model re-trains against the chip's profiled fault map at
+/// every voltage where new faults appear, exactly as the deployment flow
+/// prescribes (one model per operating point, Fig. 3).
 pub fn run_sweep(bench: Benchmark, voltages: &[f64], effort: Effort) -> Sweep {
-    let split = bench.generate_scaled(effort.seed, effort.data_scale);
-    let spec = bench.topology();
-    let cfg = effort.mat_config(bench);
-    let mut chip = Chip::synthesize(ChipConfig::snnac(), effort.seed.wrapping_mul(0x9E37));
+    let plan = effort
+        .plan_builder(bench)
+        .voltages(voltages)
+        .build()
+        .expect("bench sweep plans are valid by construction");
+    let report = matic_harness::run_sweep(&plan);
 
-    // The naive baseline is quantization-aware but fault-unaware: it
-    // trains against a *clean* fault map (the paper disables only the
-    // "memory-adaptive training modifications"; both models must respect
-    // the chip's fixed-point word format to be deployable at all).
-    let banks = chip.config().array.banks;
-    let words = chip.config().array.bank.words;
-    let word_bits = chip.config().array.bank.word_bits;
-    let clean = FaultMap::clean(0.9, banks, words, word_bits);
-    let naive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &clean);
-    let nominal = eval_on_chip(&mut chip, &naive, bench, &split.test, 0.9);
+    // Signal power of the test targets, for AEI normalization — only the
+    // regression benchmarks use it, so only they pay the split
+    // regeneration (with the exact seed the engine used).
+    let target_power = if bench.is_classification() {
+        1.0
+    } else {
+        let split = BenchmarkScenario(bench).generate(plan.data_seed(0), plan.data_scale);
+        let total_targets: usize = split.test.iter().map(|s| s.target.len()).sum();
+        split
+            .test
+            .iter()
+            .flat_map(|s| s.target.iter())
+            .map(|t| t * t)
+            .sum::<f64>()
+            / total_targets as f64
+    };
 
-    let total_targets: usize = split.test.iter().map(|s| s.target.len()).sum();
-    let target_power = split
-        .test
+    let nominal = report.cells[0].nominal_error;
+    let points = plan
+        .axis
+        .points()
         .iter()
-        .flat_map(|s| s.target.iter())
-        .map(|t| t * t)
-        .sum::<f64>()
-        / total_targets as f64;
-
-    let mut points = Vec::with_capacity(voltages.len());
-    for &v in voltages {
-        let map = chip.profile(v);
-        let adaptive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &map);
-        let naive_err = eval_on_chip(&mut chip, &naive, bench, &split.test, v);
-        let adaptive_err = eval_on_chip(&mut chip, &adaptive, bench, &split.test, v);
-        points.push(SweepPoint {
-            voltage: v,
-            naive: naive_err,
-            adaptive: adaptive_err,
-        });
-    }
+        .map(|&v| {
+            let err = |mode: &str| {
+                report
+                    .cells
+                    .iter()
+                    .find(|c| c.mode == mode && c.voltage == Some(v))
+                    .expect("cell exists for every (mode, voltage)")
+                    .error
+            };
+            SweepPoint {
+                voltage: v,
+                naive: err("naive"),
+                adaptive: err("mat"),
+            }
+        })
+        .collect();
     Sweep {
         benchmark: bench,
         nominal,
@@ -314,44 +289,19 @@ mod tests {
         assert!((a - 20.0).abs() < 1e-9);
         assert!((sweep.aei_reduction() - 10.0).abs() < 1e-9);
     }
-}
-
-
-#[cfg(test)]
-mod probe_recipes {
-    use super::*;
-    use matic_core::MatTrainer;
 
     #[test]
-    #[ignore]
-    fn recipe_probe() {
-        for (bench, settings) in [
-            (Benchmark::FaceDet, vec![(0.05f64, 0.9f64, 0.95f64, 60usize), (0.06, 0.9, 0.95, 60), (0.08, 0.9, 0.96, 40)]),
-            (Benchmark::BScholes, vec![(0.05, 0.9, 0.985, 30), (0.1, 0.9, 0.985, 30), (0.2, 0.5, 0.985, 30), (0.1, 0.5, 0.985, 60)]),
-        ] {
-            for (lr, mom, decay, epochs) in settings {
-                let effort = Effort { data_scale: 1.0, epoch_scale: 1.0, seed: 42 };
-                let split = bench.generate_scaled(effort.seed, effort.data_scale);
-                let spec = bench.topology();
-                let mut cfg = effort.mat_config(bench);
-                cfg.sgd.lr = lr;
-                cfg.sgd.momentum = mom;
-                cfg.sgd.lr_decay = decay;
-                cfg.sgd.epochs = epochs;
-                let mut chip = Chip::synthesize(ChipConfig::snnac(), effort.seed.wrapping_mul(0x9E37));
-                let clean = FaultMap::clean(0.9, 8, 576, 16);
-                let naive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &clean);
-                let nominal = eval_on_chip(&mut chip, &naive, bench, &split.test, 0.9);
-                let mut line = format!("{bench} lr {lr} mom {mom} dec {decay} ep {epochs}: nom {nominal:.3}");
-                for v in [0.50f64, 0.46] {
-                    let map = chip.profile(v);
-                    let adaptive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &map);
-                    let err = eval_on_chip(&mut chip, &adaptive, bench, &split.test, v);
-                    line += &format!("  a@{v:.2} {err:.3}");
-                }
-                println!("{line}");
-            }
-        }
+    fn sweep_points_follow_requested_voltages_descending() {
+        let sweep = run_sweep(
+            Benchmark::InverseK2j,
+            &[0.50, 0.90],
+            Effort {
+                data_scale: 0.15,
+                epoch_scale: 0.25,
+                seed: 2,
+            },
+        );
+        let volts: Vec<f64> = sweep.points.iter().map(|p| p.voltage).collect();
+        assert_eq!(volts, [0.90, 0.50]);
     }
 }
-

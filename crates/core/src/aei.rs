@@ -33,7 +33,12 @@ pub struct AeiSummary {
 
 impl AeiSummary {
     /// Computes both AEIs from per-voltage error sweeps.
-    pub fn from_sweeps(nominal_naive: f64, naive: &[f64], nominal_adaptive: f64, adaptive: &[f64]) -> Self {
+    pub fn from_sweeps(
+        nominal_naive: f64,
+        naive: &[f64],
+        nominal_adaptive: f64,
+        adaptive: &[f64],
+    ) -> Self {
         AeiSummary {
             naive: average_error_increase(nominal_naive, naive),
             adaptive: average_error_increase(nominal_adaptive, adaptive),

@@ -42,12 +42,18 @@ impl CanarySet {
     /// Profiling is destructive; run selection before weights are loaded
     /// (the deployment flow in Fig. 3 orders it that way).
     ///
+    /// High target voltages (above the distribution's first-failure knee,
+    /// ≈0.53 V on the modelled silicon) simply sweep further down until
+    /// the most marginal cells of the die appear — the runtime controller
+    /// then discovers the die's true safe floor even when deployment was
+    /// commanded at nominal.
+    ///
     /// # Panics
     ///
     /// Panics if `per_bank` is zero or `step_v` is not positive. Panics if
-    /// the sweep exhausts 100 mV below target without finding enough
-    /// marginal cells (physically implausible under the modelled Vmin
-    /// distribution).
+    /// the sweep exhausts the regulator floor (0.40 V, where the modelled
+    /// distribution has every cell failing) without finding enough
+    /// marginal cells — physically implausible.
     pub fn select(
         array: &mut SramArray,
         target_voltage: f64,
@@ -60,8 +66,13 @@ impl CanarySet {
         let banks = array.bank_count();
         let (at_target, _) = profile_array(array.banks_mut(), target_voltage, temp_c);
         let mut cells: Vec<Vec<CanaryCell>> = vec![Vec::new(); banks];
-        let mut v = target_voltage - step_v;
-        let floor = target_voltage - 0.1;
+        // No cell's Vmin exceeds the distribution's safe voltage (shifted
+        // for temperature), so sweeping from above it would only run
+        // destructive profiles that are guaranteed to find nothing.
+        let dist = &array.bank(0).config().dist;
+        let safe = dist.safe_voltage() + dist.temp_coeff() * (temp_c - dist.ref_temp_c());
+        let mut v = (target_voltage - step_v).min(safe);
+        let floor = 0.40;
         while cells.iter().any(|c| c.len() < per_bank) {
             assert!(
                 v > floor,
@@ -76,10 +87,7 @@ impl CanarySet {
                     if at_target.banks()[bank].is_faulty(word, bit) {
                         continue; // already compensated by training
                     }
-                    if cells[bank]
-                        .iter()
-                        .any(|c| c.word == word && c.bit == bit)
-                    {
+                    if cells[bank].iter().any(|c| c.word == word && c.bit == bit) {
                         continue; // found at a higher (earlier) voltage
                     }
                     if cells[bank].len() < per_bank {

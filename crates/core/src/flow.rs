@@ -69,7 +69,9 @@ impl DeploymentFlow {
         // (3) Canary bits are runtime-owned: pin them at the armed
         // (anti-preferred) value so training routes around them too.
         for c in canaries.cells() {
-            faults.bank_mut(c.bank).set_fault(c.word, c.bit, !c.preferred);
+            faults
+                .bank_mut(c.bank)
+                .set_fault(c.word, c.bit, !c.preferred);
         }
         // (4) Memory-adaptive training.
         let model = MatTrainer::new(spec.clone(), self.mat.clone()).train(train_data, &faults);
@@ -218,14 +220,11 @@ mod tests {
         // At the safe voltage no cell fails: the read-back equals the
         // quantized master with ONLY the armed canary bits overridden
         // (target-voltage fault masks do not manifest here).
-        let mut canary_pins = FaultMap::clean(
-            0.9,
-            arr.bank_count(),
-            arr.bank(0).words(),
-            16,
-        );
+        let mut canary_pins = FaultMap::clean(0.9, arr.bank_count(), arr.bank(0).words(), 16);
         for c in deployed.controller().canaries().cells() {
-            canary_pins.bank_mut(c.bank).set_fault(c.word, c.bit, !c.preferred);
+            canary_pins
+                .bank_mut(c.bank)
+                .set_fault(c.word, c.bit, !c.preferred);
         }
         let read = deployed.read_back(&mut arr);
         let expect = deployed.model().deploy(&canary_pins);

@@ -80,11 +80,7 @@ impl WeightLayout {
     /// # Errors
     ///
     /// Returns [`LayoutError`] if any bank overflows.
-    pub fn new(
-        spec: &NetSpec,
-        banks: usize,
-        words_per_bank: usize,
-    ) -> Result<Self, LayoutError> {
+    pub fn new(spec: &NetSpec, banks: usize, words_per_bank: usize) -> Result<Self, LayoutError> {
         assert!(banks > 0, "need at least one bank");
         let mut layer_base = vec![Vec::with_capacity(spec.depth()); banks];
         let mut used = vec![0usize; banks];

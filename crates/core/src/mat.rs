@@ -284,8 +284,7 @@ impl MatTrainer {
                 }
                 *master = effective;
                 master.apply_update(&grads, lr, self.cfg.sgd.momentum, momentum);
-                for layer in 0..depth {
-                    let (w_res, b_res) = &sub_lsb[layer];
+                for (layer, (w_res, b_res)) in sub_lsb.iter().enumerate() {
                     let cols = master.weights()[layer].cols();
                     for (i, eq) in w_res.iter().enumerate() {
                         *master.weights_mut()[layer].get_mut(i / cols, i % cols) += eq;
@@ -359,7 +358,12 @@ mod tests {
                     let data = toy_data();
                     let faults = bernoulli_fault_map(4, 32, 16, 0.15, seed);
                     let cfg = MatConfig {
-                        sgd: SgdConfig { epochs: 60, lr, momentum: mom, ..MatConfig::paper().sgd },
+                        sgd: SgdConfig {
+                            epochs: 60,
+                            lr,
+                            momentum: mom,
+                            ..MatConfig::paper().sgd
+                        },
                         ..MatConfig::paper()
                     };
                     let adaptive = MatTrainer::new(toy_spec(), cfg.clone()).train(&data, &faults);
@@ -393,7 +397,10 @@ mod tests {
             err_adaptive < err_naive,
             "adaptive {err_adaptive} must beat naive {err_naive}"
         );
-        assert!(err_adaptive < 0.02, "adaptive error too high: {err_adaptive}");
+        assert!(
+            err_adaptive < 0.02,
+            "adaptive error too high: {err_adaptive}"
+        );
     }
 
     #[test]
@@ -406,9 +413,7 @@ mod tests {
         // Every deployed weight's storage word must satisfy the masks.
         for (param, loc) in model.layout().entries() {
             let v = match param {
-                ParamRef::Weight { layer, row, col } => {
-                    deployed.weights()[layer].get(row, col)
-                }
+                ParamRef::Weight { layer, row, col } => deployed.weights()[layer].get(row, col),
                 ParamRef::Bias { layer, row } => deployed.biases()[layer][row],
             };
             let word = fmt.encode(matic_fixed::quantize(v, fmt));

@@ -9,8 +9,7 @@ use proptest::prelude::*;
 use std::collections::HashSet;
 
 fn arb_spec() -> impl Strategy<Value = NetSpec> {
-    (1usize..12, 1usize..12, 1usize..12)
-        .prop_map(|(a, b, c)| NetSpec::classifier(&[a, b, c]))
+    (1usize..12, 1usize..12, 1usize..12).prop_map(|(a, b, c)| NetSpec::classifier(&[a, b, c]))
 }
 
 proptest! {
@@ -41,9 +40,9 @@ proptest! {
             let m = &mut max_word[loc.bank];
             *m = Some(m.map_or(loc.word, |x| x.max(loc.word)));
         }
-        for b in 0..banks {
+        for (b, max) in max_word.iter().enumerate() {
             let used = layout.words_used(b);
-            match max_word[b] {
+            match *max {
                 Some(m) => prop_assert_eq!(used, m + 1),
                 None => prop_assert_eq!(used, 0),
             }

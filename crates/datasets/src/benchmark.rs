@@ -5,9 +5,7 @@ use crate::facedet::face_detection;
 use crate::kinematics::inverse_kinematics;
 use crate::mnist_like::mnist_like;
 use crate::split::Split;
-use matic_nn::{
-    classification_error_percent, mean_squared_error, Metric, Mlp, NetSpec, SgdConfig,
-};
+use matic_nn::{classification_error_percent, mean_squared_error, Metric, Mlp, NetSpec, SgdConfig};
 
 /// One of the paper's four evaluation workloads (Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

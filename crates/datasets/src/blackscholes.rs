@@ -46,7 +46,10 @@ pub enum OptionType {
 /// Panics if `s`, `k`, `sigma` or `t` is not positive.
 pub fn bs_price(s: f64, k: f64, r: f64, sigma: f64, t: f64, ty: OptionType) -> f64 {
     assert!(s > 0.0 && k > 0.0, "spot and strike must be positive");
-    assert!(sigma > 0.0 && t > 0.0, "volatility and expiry must be positive");
+    assert!(
+        sigma > 0.0 && t > 0.0,
+        "volatility and expiry must be positive"
+    );
     let d1 = ((s / k).ln() + (r + 0.5 * sigma * sigma) * t) / (sigma * t.sqrt());
     let d2 = d1 - sigma * t.sqrt();
     match ty {
@@ -85,10 +88,7 @@ pub fn black_scholes_dataset(n: usize, seed: u64) -> Split {
             // deep out-of-the-money options; clamp (prices are ≥ 0).
             let price = bs_price(s, k, r, sigma, t, ty).max(0.0);
             let ty_flag = if ty == OptionType::Call { 1.0 } else { 0.0 };
-            Sample::new(
-                vec![s, k, r, sigma, t, ty_flag],
-                vec![price / PRICE_SCALE],
-            )
+            Sample::new(vec![s, k, r, sigma, t, ty_flag], vec![price / PRICE_SCALE])
         })
         .collect();
     Split::from_samples(samples, 10, seed ^ 0xB5)

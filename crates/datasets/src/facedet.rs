@@ -94,8 +94,8 @@ fn render_clutter(rng: &mut StdRng) -> Vec<f64> {
             );
         }
         if rng.gen::<bool>() {
-            let r = rng.gen_range(2..18);
-            let c0 = rng.gen_range(0..12);
+            let r: usize = rng.gen_range(2..18);
+            let c0: usize = rng.gen_range(0..12);
             for c in c0..(c0 + 8) {
                 img[r * SIDE + c] -= rng.gen_range(0.3..0.5);
             }

@@ -145,8 +145,8 @@ mod tests {
 
     #[test]
     fn all_glyphs_are_10x10() {
-        for digit in 0..10 {
-            for row in DIGIT_GLYPHS[digit] {
+        for (digit, glyph) in DIGIT_GLYPHS.iter().enumerate() {
+            for row in *glyph {
                 assert_eq!(row.len(), 10, "digit {digit}");
             }
         }

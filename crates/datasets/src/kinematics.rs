@@ -69,8 +69,7 @@ mod tests {
     fn labels_invert_forward_kinematics() {
         let split = inverse_kinematics(100, 8);
         for s in &split.test {
-            let (x, y) =
-                forward_kinematics(s.target[0] * FRAC_PI_2, s.target[1] * FRAC_PI_2);
+            let (x, y) = forward_kinematics(s.target[0] * FRAC_PI_2, s.target[1] * FRAC_PI_2);
             assert!((x - s.input[0]).abs() < 1e-12);
             assert!((y - s.input[1]).abs() < 1e-12);
         }

@@ -51,8 +51,7 @@ fn render_digit(base: &[bool; 100], digit: usize, rng: &mut StdRng) -> Sample {
                 ink = !ink; // salt-and-pepper
             }
             let level: f64 = if ink { 0.8 } else { 0.1 };
-            input[(r * 10 + c) as usize] =
-                (level + rng.gen_range(-0.15..0.15)).clamp(0.0, 1.0);
+            input[(r * 10 + c) as usize] = (level + rng.gen_range(-0.15..0.15)).clamp(0.0, 1.0);
         }
     }
     let mut target = vec![0.0; 10];

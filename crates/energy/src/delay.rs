@@ -68,12 +68,7 @@ impl DelayModel {
             freq_hz <= self.frequency(2.0),
             "frequency {freq_hz} Hz unattainable"
         );
-        bisect(
-            |v| self.frequency(v) - freq_hz,
-            self.vt + 1e-9,
-            2.0,
-            1e-12,
-        )
+        bisect(|v| self.frequency(v) - freq_hz, self.vt + 1e-9, 2.0, 1e-12)
     }
 
     /// The fitted threshold voltage.

@@ -75,11 +75,7 @@ impl DomainEnergy {
     ///
     /// Panics if an anchor's implied dynamic energy is non-positive (the
     /// leakage assignment would be inconsistent with the measurements).
-    pub fn calibrate(
-        totals: &[(f64, f64, f64)],
-        leak_frac_at_ref: f64,
-        v0: f64,
-    ) -> Self {
+    pub fn calibrate(totals: &[(f64, f64, f64)], leak_frac_at_ref: f64, v0: f64) -> Self {
         let (v_ref, f_ref, e_ref) = totals[0];
         let leakage = LeakageModel {
             p0_watts: leak_frac_at_ref * e_ref * 1e-12 * f_ref,
@@ -133,7 +129,11 @@ mod tests {
     use super::*;
 
     fn logic() -> DomainEnergy {
-        DomainEnergy::calibrate(&[(0.9, 250.0e6, 30.58), (0.55, 17.8e6, 12.73)], 0.10, 0.1225)
+        DomainEnergy::calibrate(
+            &[(0.9, 250.0e6, 30.58), (0.55, 17.8e6, 12.73)],
+            0.10,
+            0.1225,
+        )
     }
 
     #[test]

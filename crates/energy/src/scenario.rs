@@ -145,10 +145,18 @@ mod tests {
         assert!((hp.baseline_total_pj() - 67.08).abs() < 0.05);
 
         let split = Scenario::EnOptSplit.evaluate(&m);
-        assert!((split.total_pj() - 19.98).abs() < 0.05, "{}", split.total_pj());
+        assert!(
+            (split.total_pj() - 19.98).abs() < 0.05,
+            "{}",
+            split.total_pj()
+        );
 
         let joint = Scenario::EnOptJoint.evaluate(&m);
-        assert!((joint.total_pj() - 20.60).abs() < 0.05, "{}", joint.total_pj());
+        assert!(
+            (joint.total_pj() - 20.60).abs() < 0.05,
+            "{}",
+            joint.total_pj()
+        );
         assert!((joint.baseline_total_pj() - 67.08).abs() < 0.05);
     }
 

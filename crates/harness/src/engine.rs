@@ -1,0 +1,488 @@
+//! The sweep executor: parallel evaluation of the plan's cell grid.
+//!
+//! # Parallel decomposition
+//!
+//! The unit of parallel work is one **(scenario, chip)** pair: everything
+//! inside a unit (profiling, the naive baseline, per-point adaptive
+//! training, NPU evaluation) runs sequentially so that the chip's
+//! stateful SRAM mechanics stay deterministic, while units — which share
+//! nothing — are distributed over a work queue that idle workers pull
+//! from ([`rayon`]'s dynamic scheduling). MAT training times vary wildly
+//! with fault density, which is exactly the load shape that queue
+//! balancing handles well.
+//!
+//! # Determinism
+//!
+//! Reports are byte-identical for every worker-thread count because:
+//!
+//! * every random quantity derives its seed from the plan and the cell's
+//!   grid position ([`crate::seeds`]), never from execution order;
+//! * each unit owns its chip instance, so no cross-unit state exists;
+//! * results are reassembled in grid order, not completion order;
+//! * reports carry no timestamps or run-environment details.
+//!
+//! # Model reuse
+//!
+//! Under [`ReusePolicy::SupersetMap`](crate::ReusePolicy::SupersetMap)
+//! the engine walks voltages high-to-low and keeps the last trained
+//! model; a new point reuses it iff the training-time fault map is a
+//! superset of the point's map (bit-cell failures are monotone in
+//! voltage, so "no new faults appeared" means the trained model already
+//! routes around everything present). This skips redundant retraining
+//! across the fault-free top of the voltage range while reproducing the
+//! paper's one-model-per-operating-point flow wherever maps differ.
+
+use crate::plan::{ReusePolicy, StressAxis, SweepPlan, TrainingMode};
+use crate::report::{CellRecord, PlanSummary, SweepReport, REPORT_SCHEMA};
+use crate::scenario::Scenario;
+use matic_core::{DeploymentFlow, MatTrainer, TrainedModel};
+use matic_datasets::Split;
+use matic_nn::{classification_error_percent, mean_squared_error, Mlp, Sample};
+use matic_snnac::microcode::Program;
+use matic_snnac::npu::NpuStats;
+use matic_snnac::{Chip, ChipConfig, Snnac};
+use matic_sram::inject::bernoulli_fault_map;
+use matic_sram::FaultMap;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+/// Runs the full sweep described by `plan` and aggregates the report.
+///
+/// Uses every worker rayon gives the process unless the plan pins
+/// [`threads`](SweepPlan::threads). The returned report serializes
+/// byte-identically for any thread count.
+pub fn run_sweep(plan: &SweepPlan) -> SweepReport {
+    // Datasets are shared per scenario (population statistics vary the
+    // silicon, not the data) and generated up front, deterministically.
+    let splits: Vec<Split> = plan
+        .scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.generate(plan.data_seed(i), plan.data_scale))
+        .collect();
+
+    // One work item per (scenario, chip): scenario-major so the flattened
+    // cell list lands in documented grid order.
+    let units: Vec<(usize, usize)> = (0..plan.scenarios.len())
+        .flat_map(|s| (0..plan.chips).map(move |c| (s, c)))
+        .collect();
+
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(plan.threads.unwrap_or(0))
+        .build()
+        .expect("thread pool construction is infallible");
+    let per_unit: Vec<Vec<CellRecord>> = pool.install(|| {
+        units
+            .par_iter()
+            .map(|&(scen_idx, chip_idx)| run_unit(plan, scen_idx, chip_idx, &splits[scen_idx]))
+            .collect()
+    });
+
+    let cells: Vec<CellRecord> = per_unit.into_iter().flatten().collect();
+    let points = SweepReport::summarize(&cells);
+    SweepReport {
+        schema: REPORT_SCHEMA.to_string(),
+        plan: PlanSummary {
+            chips: plan.chips,
+            stress_kind: plan.axis.kind().to_string(),
+            stress_points: plan.axis.points().to_vec(),
+            scenarios: plan
+                .scenarios
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect(),
+            modes: plan.modes.iter().map(|m| m.name().to_string()).collect(),
+            data_scale: plan.data_scale,
+            epoch_scale: plan.epoch_scale,
+            base_seed: plan.base_seed,
+        },
+        cells,
+        points,
+    }
+}
+
+/// Evaluates a trained model **on the chip**: uploads the quantized
+/// weights at a safe voltage, overscales the SRAM rail to `voltage`, and
+/// runs the test set through the NPU. Returns the Table I metric and the
+/// cycle counters of one inference (for energy accounting).
+pub fn eval_on_chip(
+    chip: &mut Chip,
+    model: &TrainedModel,
+    is_classification: bool,
+    test: &[Sample],
+    voltage: f64,
+) -> (f64, NpuStats) {
+    chip.set_sram_voltage(0.9);
+    matic_core::upload_weights(model, chip.array_mut());
+    chip.set_sram_voltage(voltage);
+    let npu = Snnac::snnac(model.format());
+    let program = Program::compile(model.master().spec(), npu.pe_count());
+    let mut first_stats: Option<NpuStats> = None;
+    let mut wrong = 0usize;
+    let mut sq_err = 0.0f64;
+    for s in test {
+        let (out, stats) = npu.execute(&program, model.layout(), chip.array_mut(), &s.input);
+        first_stats.get_or_insert(stats);
+        if is_classification {
+            if !classified_correctly(&out, &s.target) {
+                wrong += 1;
+            }
+        } else {
+            sq_err += out
+                .iter()
+                .zip(&s.target)
+                .map(|(y, t)| (y - t) * (y - t))
+                .sum::<f64>()
+                / out.len() as f64;
+        }
+    }
+    let metric = if is_classification {
+        100.0 * wrong as f64 / test.len().max(1) as f64
+    } else {
+        sq_err / test.len().max(1) as f64
+    };
+    (metric, first_stats.unwrap_or_default())
+}
+
+fn classified_correctly(out: &[f64], target: &[f64]) -> bool {
+    if out.len() == 1 {
+        (out[0] >= 0.5) == (target[0] >= 0.5)
+    } else {
+        argmax(out) == argmax(target)
+    }
+}
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, x) in v.iter().enumerate() {
+        if *x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Error of the masked float view (the Fig. 5 evaluation path).
+fn float_view_error(net: &Mlp, is_classification: bool, test: &[Sample]) -> f64 {
+    if is_classification {
+        classification_error_percent(net, test)
+    } else {
+        mean_squared_error(net, test)
+    }
+}
+
+/// Per-inference energy (pJ) at the chip's current operating point for an
+/// inference of `cycles` NPU cycles.
+fn inference_energy_pj(chip: &Chip, cycles: u64) -> f64 {
+    let op = chip.operating_point();
+    let per_cycle = chip.energy_model().logic_breakdown(op).total_pj()
+        + chip.energy_model().sram_breakdown(op).total_pj();
+    per_cycle * cycles as f64
+}
+
+/// The sequential evaluation of one (scenario, chip) unit.
+fn run_unit(plan: &SweepPlan, scen_idx: usize, chip_idx: usize, split: &Split) -> Vec<CellRecord> {
+    let scen = &*plan.scenarios[scen_idx];
+    match &plan.axis {
+        StressAxis::Voltage(points) => {
+            run_voltage_unit(plan, scen, scen_idx, chip_idx, split, points)
+        }
+        StressAxis::BitErrorRate(points) => {
+            run_ber_unit(plan, scen, scen_idx, chip_idx, split, points)
+        }
+    }
+}
+
+/// Cached adaptive model plus the fault map it was trained against.
+struct TrainedAt {
+    map: FaultMap,
+    model: TrainedModel,
+}
+
+/// Ensures `cache` holds an adaptive model valid for `map`, training one
+/// with `train` if the reuse policy does not permit keeping the cached
+/// model (valid = its training-time map is a superset of `map`). Returns
+/// `true` when the cached model was reused rather than freshly trained.
+/// Shared by the voltage and BER axes so their reuse semantics can never
+/// drift apart.
+fn ensure_adaptive_model(
+    plan: &SweepPlan,
+    cache: &mut Option<TrainedAt>,
+    map: &FaultMap,
+    train: impl FnOnce() -> TrainedModel,
+) -> bool {
+    let can_reuse = plan.reuse == ReusePolicy::SupersetMap
+        && cache.as_ref().is_some_and(|t| map.is_subset_of(&t.map));
+    if !can_reuse {
+        *cache = Some(TrainedAt {
+            map: map.clone(),
+            model: train(),
+        });
+    }
+    can_reuse
+}
+
+fn run_voltage_unit(
+    plan: &SweepPlan,
+    scen: &dyn Scenario,
+    _scen_idx: usize,
+    chip_idx: usize,
+    split: &Split,
+    points: &[f64],
+) -> Vec<CellRecord> {
+    let spec = scen.topology();
+    let cfg = scen.train_config(plan.epoch_scale);
+    let is_class = scen.is_classification();
+    let mut chip = Chip::synthesize(ChipConfig::snnac(), plan.chip_seed(chip_idx));
+    let geom = chip.config().array.clone();
+
+    // The fault-oblivious baseline: quantization-aware, trained once per
+    // unit against a clean map (the paper disables only the
+    // memory-adaptive modifications).
+    let clean = FaultMap::clean(0.9, geom.banks, geom.bank.words, geom.bank.word_bits);
+    let naive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &clean);
+    let (nominal, _) = eval_on_chip(&mut chip, &naive, is_class, &split.test, 0.9);
+
+    let mut cells = Vec::with_capacity(points.len() * plan.modes.len());
+    let mut cache: Option<TrainedAt> = None;
+    for &voltage in points {
+        let map = chip.profile(voltage);
+        // Adaptive model for this operating point (shared by Mat cells;
+        // MatCanary trains its own because canary pins change the map).
+        let reused = plan.modes.contains(&TrainingMode::Mat)
+            && ensure_adaptive_model(plan, &mut cache, &map, || {
+                MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &map)
+            });
+        for &mode in &plan.modes {
+            let cell = match mode {
+                TrainingMode::Naive => {
+                    let (error, stats) =
+                        eval_on_chip(&mut chip, &naive, is_class, &split.test, voltage);
+                    base_cell(plan, scen, chip_idx, mode, voltage, error, nominal, &map)
+                        .with_energy(inference_energy_pj(&chip, stats.cycles), stats.cycles)
+                }
+                TrainingMode::Mat => {
+                    let model = &cache.as_ref().expect("Mat model trained above").model;
+                    let (error, stats) =
+                        eval_on_chip(&mut chip, model, is_class, &split.test, voltage);
+                    let mut cell =
+                        base_cell(plan, scen, chip_idx, mode, voltage, error, nominal, &map)
+                            .with_energy(inference_energy_pj(&chip, stats.cycles), stats.cycles);
+                    cell.reused_model = reused;
+                    cell
+                }
+                TrainingMode::MatCanary => run_canary_cell(
+                    plan, scen, chip_idx, &mut chip, &spec, split, voltage, nominal,
+                ),
+            };
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+/// The full deployment-flow cell: profile → canary selection → MAT with
+/// pinned canaries → upload/arm → runtime controller settles the rail →
+/// evaluate through the NPU at the settled voltage.
+#[allow(clippy::too_many_arguments)]
+fn run_canary_cell(
+    plan: &SweepPlan,
+    scen: &dyn Scenario,
+    chip_idx: usize,
+    chip: &mut Chip,
+    spec: &matic_nn::NetSpec,
+    split: &Split,
+    voltage: f64,
+    nominal: f64,
+) -> CellRecord {
+    let is_class = scen.is_classification();
+    let flow = DeploymentFlow {
+        mat: scen.train_config(plan.epoch_scale),
+        ..DeploymentFlow::new(voltage)
+    };
+    let mut net = chip.deploy(&flow, spec, &split.train);
+    let settled = chip.poll_canaries(&mut net);
+    let mut wrong = 0usize;
+    let mut sq_err = 0.0f64;
+    let mut cycles = 0u64;
+    let mut energy_pj = 0.0f64;
+    for s in &split.test {
+        let (out, stats) = chip.infer(&net, &s.input);
+        if cycles == 0 {
+            cycles = stats.npu.cycles;
+            energy_pj = stats.energy_pj;
+        }
+        if is_class {
+            if !classified_correctly(&out, &s.target) {
+                wrong += 1;
+            }
+        } else {
+            sq_err += out
+                .iter()
+                .zip(&s.target)
+                .map(|(y, t)| (y - t) * (y - t))
+                .sum::<f64>()
+                / out.len() as f64;
+        }
+    }
+    let error = if is_class {
+        100.0 * wrong as f64 / split.test.len().max(1) as f64
+    } else {
+        sq_err / split.test.len().max(1) as f64
+    };
+    let map = net.deployment().fault_map().clone();
+    let mut cell = base_cell(
+        plan,
+        scen,
+        chip_idx,
+        TrainingMode::MatCanary,
+        voltage,
+        error,
+        nominal,
+        &map,
+    )
+    .with_energy(energy_pj, cycles);
+    cell.settled_voltage = Some(settled);
+    cell
+}
+
+fn run_ber_unit(
+    plan: &SweepPlan,
+    scen: &dyn Scenario,
+    scen_idx: usize,
+    chip_idx: usize,
+    split: &Split,
+    points: &[f64],
+) -> Vec<CellRecord> {
+    let spec = scen.topology();
+    let cfg = scen.train_config(plan.epoch_scale);
+    let is_class = scen.is_classification();
+    // The BER axis uses the SNNAC weight-memory geometry without
+    // synthesizing silicon: faults are injected, not profiled.
+    let geom = matic_sram::ArrayConfig::snnac();
+    let (banks, words, bits) = (geom.banks, geom.bank.words, geom.bank.word_bits);
+
+    let clean = FaultMap::clean(0.9, banks, words, bits);
+    let naive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &clean);
+    let nominal = float_view_error(&naive.quantized(), is_class, &split.test);
+
+    let mut cells = Vec::with_capacity(points.len() * plan.modes.len());
+    let mut cache: Option<TrainedAt> = None;
+    for (p_idx, &ber) in points.iter().enumerate() {
+        let map = bernoulli_fault_map(
+            banks,
+            words,
+            bits,
+            ber,
+            plan.cell_map_seed(chip_idx, scen_idx, p_idx),
+        );
+        let reused = plan.modes.contains(&TrainingMode::Mat)
+            && ensure_adaptive_model(plan, &mut cache, &map, || {
+                MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &map)
+            });
+        for &mode in &plan.modes {
+            let cell = match mode {
+                TrainingMode::Naive => {
+                    let error = float_view_error(&naive.deploy(&map), is_class, &split.test);
+                    base_ber_cell(plan, scen, chip_idx, mode, ber, error, nominal, &map)
+                }
+                TrainingMode::Mat => {
+                    let model = &cache.as_ref().expect("Mat model trained above").model;
+                    let error = float_view_error(&model.deploy(&map), is_class, &split.test);
+                    let mut cell =
+                        base_ber_cell(plan, scen, chip_idx, mode, ber, error, nominal, &map);
+                    cell.reused_model = reused;
+                    cell
+                }
+                TrainingMode::MatCanary => {
+                    unreachable!("plan validation rejects mat-canary on the BER axis")
+                }
+            };
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+#[allow(clippy::too_many_arguments)]
+fn base_cell(
+    plan: &SweepPlan,
+    scen: &dyn Scenario,
+    chip_idx: usize,
+    mode: TrainingMode,
+    voltage: f64,
+    error: f64,
+    nominal: f64,
+    map: &FaultMap,
+) -> CellRecord {
+    let mut cell = new_cell(plan, scen, chip_idx, mode, error, nominal, map);
+    cell.voltage = Some(voltage);
+    cell
+}
+
+#[allow(clippy::too_many_arguments)]
+fn base_ber_cell(
+    plan: &SweepPlan,
+    scen: &dyn Scenario,
+    chip_idx: usize,
+    mode: TrainingMode,
+    ber: f64,
+    error: f64,
+    nominal: f64,
+    map: &FaultMap,
+) -> CellRecord {
+    let mut cell = new_cell(plan, scen, chip_idx, mode, error, nominal, map);
+    cell.ber_target = Some(ber);
+    cell
+}
+
+fn new_cell(
+    plan: &SweepPlan,
+    scen: &dyn Scenario,
+    chip_idx: usize,
+    mode: TrainingMode,
+    error: f64,
+    nominal: f64,
+    map: &FaultMap,
+) -> CellRecord {
+    let is_class = scen.is_classification();
+    let margin = if is_class {
+        plan.fail_margin_percent
+    } else {
+        plan.fail_margin_mse
+    };
+    CellRecord {
+        scenario: scen.name().to_string(),
+        chip_index: chip_idx,
+        chip_seed: plan.chip_seed(chip_idx),
+        mode: mode.name().to_string(),
+        voltage: None,
+        ber_target: None,
+        error,
+        nominal_error: nominal,
+        metric: if is_class {
+            "classification_error_percent".to_string()
+        } else {
+            "mse".to_string()
+        },
+        energy_pj: None,
+        cycles: None,
+        measured_ber: map.ber(),
+        fault_count: map.fault_count(),
+        settled_voltage: None,
+        reused_model: false,
+        failed: error > nominal + margin,
+    }
+}
+
+trait WithEnergy {
+    fn with_energy(self, energy_pj: f64, cycles: u64) -> Self;
+}
+
+impl WithEnergy for CellRecord {
+    fn with_energy(mut self, energy_pj: f64, cycles: u64) -> Self {
+        self.energy_pj = Some(energy_pj);
+        self.cycles = Some(cycles);
+        self
+    }
+}

@@ -1,0 +1,481 @@
+//! [`SweepPlan`]: the declarative description of a chip-population sweep.
+
+use crate::scenario::{builtin_scenarios, scenario_by_name, Scenario};
+use std::fmt;
+use std::sync::Arc;
+
+/// How the deployed model was trained for a sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrainingMode {
+    /// Fault-oblivious baseline: quantization-aware training against a
+    /// clean fault map (the paper's "naive" column).
+    Naive,
+    /// Memory-adaptive training against the profiled fault map (§III-B).
+    Mat,
+    /// Memory-adaptive training plus in-situ canaries and the runtime
+    /// voltage controller (§III-C); the cell is evaluated at the
+    /// controller's settled voltage.
+    MatCanary,
+}
+
+impl TrainingMode {
+    /// All modes, in report order.
+    pub const ALL: [TrainingMode; 3] = [
+        TrainingMode::Naive,
+        TrainingMode::Mat,
+        TrainingMode::MatCanary,
+    ];
+
+    /// Stable identifier used in reports and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrainingMode::Naive => "naive",
+            TrainingMode::Mat => "mat",
+            TrainingMode::MatCanary => "mat-canary",
+        }
+    }
+
+    /// Parses a CLI identifier.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+impl fmt::Display for TrainingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The stress dimension a sweep walks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StressAxis {
+    /// SRAM supply voltages: chips are profiled and evaluated **on the
+    /// NPU** at each point (the Table I / Fig. 10 experiment).
+    Voltage(Vec<f64>),
+    /// Synthetic Bernoulli bit-error rates: fault maps are injected and
+    /// models evaluated through the masked float view (the Fig. 5
+    /// feasibility experiment). No energy accounting on this axis.
+    BitErrorRate(Vec<f64>),
+}
+
+impl StressAxis {
+    /// The stress values, in sweep order.
+    pub fn points(&self) -> &[f64] {
+        match self {
+            StressAxis::Voltage(v) | StressAxis::BitErrorRate(v) => v,
+        }
+    }
+
+    /// `"voltage"` or `"ber"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StressAxis::Voltage(_) => "voltage",
+            StressAxis::BitErrorRate(_) => "ber",
+        }
+    }
+}
+
+/// When a cell may reuse a model trained at an earlier sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReusePolicy {
+    /// Always retrain — the strict one-model-per-operating-point flow
+    /// (Fig. 3).
+    PerPoint,
+    /// Reuse the most recently trained model whenever its fault map is a
+    /// superset of the current point's map (it already routes around every
+    /// present fault). With voltages walked high-to-low this reuses models
+    /// across the fault-free top of the range and retrains exactly when
+    /// new faults appear — same results as [`ReusePolicy::PerPoint`]
+    /// wherever the maps differ.
+    SupersetMap,
+}
+
+/// An invalid [`SweepPlan`] description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(String);
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A validated sweep description: the cartesian grid
+/// `{chips} x {stress points} x {scenarios} x {training modes}` plus
+/// effort and seeding knobs. Build one with [`SweepPlan::builder`].
+#[derive(Clone)]
+pub struct SweepPlan {
+    /// Number of synthesized chip instances (process-variation samples).
+    pub chips: usize,
+    /// The stress dimension and its points (voltages sorted descending).
+    pub axis: StressAxis,
+    /// Workloads swept.
+    pub scenarios: Vec<Arc<dyn Scenario>>,
+    /// Training modes swept.
+    pub modes: Vec<TrainingMode>,
+    /// Dataset scale factor (1.0 = reference size).
+    pub data_scale: f64,
+    /// Multiplier on each scenario's reference epoch budget.
+    pub epoch_scale: f64,
+    /// Root seed; every chip/dataset/fault-map seed derives from it.
+    pub base_seed: u64,
+    /// Worker threads (`None` = rayon's default for this process).
+    pub threads: Option<usize>,
+    /// Model-reuse policy across stress points.
+    pub reuse: ReusePolicy,
+    /// A classification cell counts as failed when its error exceeds
+    /// nominal by this many percentage points.
+    pub fail_margin_percent: f64,
+    /// A regression cell counts as failed when its MSE exceeds nominal by
+    /// this much.
+    pub fail_margin_mse: f64,
+}
+
+impl fmt::Debug for SweepPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepPlan")
+            .field("chips", &self.chips)
+            .field("axis", &self.axis)
+            .field(
+                "scenarios",
+                &self
+                    .scenarios
+                    .iter()
+                    .map(|s| s.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .field("modes", &self.modes)
+            .field("data_scale", &self.data_scale)
+            .field("epoch_scale", &self.epoch_scale)
+            .field("base_seed", &self.base_seed)
+            .field("threads", &self.threads)
+            .field("reuse", &self.reuse)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SweepPlan {
+    /// Starts building a plan.
+    pub fn builder() -> SweepPlanBuilder {
+        SweepPlanBuilder::default()
+    }
+
+    /// The synthesis seed of chip instance `chip_idx`.
+    pub fn chip_seed(&self, chip_idx: usize) -> u64 {
+        crate::seeds::mix2(self.base_seed, 0xC41B_0001, chip_idx as u64)
+    }
+
+    /// The dataset seed of scenario `scen_idx` (shared by all chips, so
+    /// population statistics vary the silicon, not the data).
+    pub fn data_seed(&self, scen_idx: usize) -> u64 {
+        crate::seeds::mix2(self.base_seed, 0xDA7A_0002, scen_idx as u64)
+    }
+
+    /// The seed of the synthetic fault map for (`chip_idx`, `scen_idx`,
+    /// `point_idx`) on the BER axis. Independent of execution order and
+    /// worker count by construction.
+    pub fn cell_map_seed(&self, chip_idx: usize, scen_idx: usize, point_idx: usize) -> u64 {
+        crate::seeds::mix4(
+            self.base_seed,
+            0xFA17_0003,
+            chip_idx as u64,
+            scen_idx as u64,
+            point_idx as u64,
+        )
+    }
+
+    /// Total number of sweep cells.
+    pub fn cell_count(&self) -> usize {
+        self.chips * self.axis.points().len() * self.scenarios.len() * self.modes.len()
+    }
+}
+
+/// Builder for [`SweepPlan`]; see [`SweepPlan::builder`].
+#[derive(Clone)]
+pub struct SweepPlanBuilder {
+    chips: usize,
+    axis: Option<StressAxis>,
+    scenarios: Vec<Arc<dyn Scenario>>,
+    modes: Vec<TrainingMode>,
+    data_scale: f64,
+    epoch_scale: f64,
+    base_seed: u64,
+    threads: Option<usize>,
+    reuse: ReusePolicy,
+    fail_margin_percent: f64,
+    fail_margin_mse: f64,
+}
+
+impl Default for SweepPlanBuilder {
+    fn default() -> Self {
+        SweepPlanBuilder {
+            chips: 1,
+            axis: None,
+            scenarios: Vec::new(),
+            modes: vec![TrainingMode::Naive, TrainingMode::Mat],
+            data_scale: 1.0,
+            epoch_scale: 1.0,
+            base_seed: 42,
+            threads: None,
+            reuse: ReusePolicy::SupersetMap,
+            fail_margin_percent: 10.0,
+            fail_margin_mse: 0.05,
+        }
+    }
+}
+
+impl SweepPlanBuilder {
+    /// Number of chip instances to synthesize (default 1).
+    pub fn chips(mut self, n: usize) -> Self {
+        self.chips = n;
+        self
+    }
+
+    /// Sweeps the given SRAM voltages (sorted descending, deduplicated).
+    pub fn voltages(mut self, volts: &[f64]) -> Self {
+        let mut v: Vec<f64> = volts.to_vec();
+        v.sort_by(|a, b| b.partial_cmp(a).expect("voltage must not be NaN"));
+        v.dedup();
+        self.axis = Some(StressAxis::Voltage(v));
+        self
+    }
+
+    /// Sweeps `steps` evenly spaced voltages across `[lo, hi]`.
+    pub fn voltage_grid(self, lo: f64, hi: f64, steps: usize) -> Self {
+        self.voltages(&linspace(lo, hi, steps))
+    }
+
+    /// Sweeps synthetic Bernoulli bit-error rates (ascending, deduplicated).
+    pub fn bit_error_rates(mut self, rates: &[f64]) -> Self {
+        let mut r: Vec<f64> = rates.to_vec();
+        r.sort_by(|a, b| a.partial_cmp(b).expect("BER must not be NaN"));
+        r.dedup();
+        self.axis = Some(StressAxis::BitErrorRate(r));
+        self
+    }
+
+    /// Adds one workload.
+    pub fn scenario(mut self, s: Arc<dyn Scenario>) -> Self {
+        self.scenarios.push(s);
+        self
+    }
+
+    /// Adds a built-in workload by Table I name, or `"all"` for the full
+    /// suite.
+    pub fn benchmark(mut self, name: &str) -> Result<Self, PlanError> {
+        if name == "all" {
+            self.scenarios.extend(builtin_scenarios());
+            return Ok(self);
+        }
+        match scenario_by_name(name) {
+            Some(s) => {
+                self.scenarios.push(s);
+                Ok(self)
+            }
+            None => Err(PlanError(format!(
+                "unknown benchmark `{name}` (expected one of mnist, facedet, inversek2j, bscholes, all)"
+            ))),
+        }
+    }
+
+    /// Adds all four paper benchmarks.
+    pub fn all_benchmarks(mut self) -> Self {
+        self.scenarios.extend(builtin_scenarios());
+        self
+    }
+
+    /// Replaces the training-mode set (default: naive + mat). Duplicates
+    /// are dropped (first occurrence wins) so population statistics never
+    /// double-count a mode.
+    pub fn modes(mut self, modes: &[TrainingMode]) -> Self {
+        self.modes = Vec::new();
+        for &m in modes {
+            if !self.modes.contains(&m) {
+                self.modes.push(m);
+            }
+        }
+        self
+    }
+
+    /// Dataset scale factor (default 1.0).
+    pub fn data_scale(mut self, scale: f64) -> Self {
+        self.data_scale = scale;
+        self
+    }
+
+    /// Epoch-budget multiplier (default 1.0).
+    pub fn epoch_scale(mut self, scale: f64) -> Self {
+        self.epoch_scale = scale;
+        self
+    }
+
+    /// Root seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Explicit worker-thread count (default: rayon's process default).
+    /// The report is byte-identical for every choice.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Model-reuse policy (default [`ReusePolicy::SupersetMap`]).
+    pub fn reuse(mut self, policy: ReusePolicy) -> Self {
+        self.reuse = policy;
+        self
+    }
+
+    /// Failure margins for the fail-rate statistic (percentage points for
+    /// classification, absolute MSE for regression).
+    pub fn fail_margins(mut self, percent: f64, mse: f64) -> Self {
+        self.fail_margin_percent = percent;
+        self.fail_margin_mse = mse;
+        self
+    }
+
+    /// Validates and produces the plan.
+    pub fn build(self) -> Result<SweepPlan, PlanError> {
+        let axis = self
+            .axis
+            .ok_or_else(|| PlanError("a stress axis is required (voltages or BERs)".into()))?;
+        if axis.points().is_empty() {
+            return Err(PlanError("the stress axis has no points".into()));
+        }
+        match &axis {
+            StressAxis::Voltage(v) => {
+                if v.iter().any(|&x| !(0.2..=1.2).contains(&x)) {
+                    return Err(PlanError(
+                        "voltages must lie in [0.2, 1.2] V (the regulator range)".into(),
+                    ));
+                }
+                // Canary selection probes below target and bottoms out at
+                // the 0.40 V all-fail floor; targets at/below the first
+                // probe step would panic mid-sweep instead.
+                if self.modes.contains(&TrainingMode::MatCanary) && v.iter().any(|&x| x < 0.41) {
+                    return Err(PlanError(
+                        "mat-canary requires voltages of at least 0.41 V (the canary \
+                         search bottoms out at the 0.40 V all-fail floor)"
+                            .into(),
+                    ));
+                }
+            }
+            StressAxis::BitErrorRate(r) => {
+                if r.iter().any(|&x| !(0.0..=1.0).contains(&x)) {
+                    return Err(PlanError("bit-error rates must lie in [0, 1]".into()));
+                }
+                if self.modes.contains(&TrainingMode::MatCanary) {
+                    return Err(PlanError(
+                        "mat-canary needs a physical voltage axis (the runtime controller \
+                         walks the SRAM rail); it cannot run on the synthetic BER axis"
+                            .into(),
+                    ));
+                }
+            }
+        }
+        if self.chips == 0 {
+            return Err(PlanError("at least one chip is required".into()));
+        }
+        if self.scenarios.is_empty() {
+            return Err(PlanError("at least one scenario is required".into()));
+        }
+        if self.modes.is_empty() {
+            return Err(PlanError("at least one training mode is required".into()));
+        }
+        let positive = |x: f64| x.is_finite() && x > 0.0;
+        if !positive(self.data_scale) || !positive(self.epoch_scale) {
+            return Err(PlanError("scales must be positive".into()));
+        }
+        Ok(SweepPlan {
+            chips: self.chips,
+            axis,
+            scenarios: self.scenarios,
+            modes: self.modes,
+            data_scale: self.data_scale,
+            epoch_scale: self.epoch_scale,
+            base_seed: self.base_seed,
+            threads: self.threads,
+            reuse: self.reuse,
+            fail_margin_percent: self.fail_margin_percent,
+            fail_margin_mse: self.fail_margin_mse,
+        })
+    }
+}
+
+/// `steps` evenly spaced values covering `[lo, hi]` inclusive.
+pub fn linspace(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(steps >= 1, "linspace needs at least one step");
+    if steps == 1 {
+        return vec![lo];
+    }
+    (0..steps)
+        .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates() {
+        assert!(SweepPlan::builder().build().is_err(), "axis required");
+        assert!(
+            SweepPlan::builder().voltages(&[0.5]).build().is_err(),
+            "scenario required"
+        );
+        let plan = SweepPlan::builder()
+            .voltages(&[0.5, 0.9, 0.5])
+            .all_benchmarks()
+            .chips(2)
+            .build()
+            .unwrap();
+        assert_eq!(plan.axis.points(), [0.9, 0.5], "sorted descending, deduped");
+        assert_eq!(plan.cell_count(), 2 * 2 * 4 * 2);
+    }
+
+    #[test]
+    fn canary_rejected_on_ber_axis() {
+        let err = SweepPlan::builder()
+            .bit_error_rates(&[0.01])
+            .all_benchmarks()
+            .modes(&[TrainingMode::MatCanary])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("mat-canary"));
+    }
+
+    #[test]
+    fn linspace_covers_endpoints() {
+        let v = linspace(0.46, 0.90, 5);
+        assert_eq!(v.len(), 5);
+        assert!((v[0] - 0.46).abs() < 1e-12);
+        assert!((v[4] - 0.90).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeds_are_order_free_and_distinct() {
+        let plan = SweepPlan::builder()
+            .voltages(&[0.5])
+            .all_benchmarks()
+            .chips(4)
+            .build()
+            .unwrap();
+        let seeds: Vec<u64> = (0..4).map(|i| plan.chip_seed(i)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4);
+        assert_ne!(plan.data_seed(0), plan.data_seed(1));
+        assert_ne!(
+            plan.cell_map_seed(0, 1, 2),
+            plan.cell_map_seed(2, 1, 0),
+            "cell seeds must depend on position, not iteration order"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! The [`Scenario`] trait: how a workload plugs into the sweep engine.
+//!
+//! The four paper benchmarks ([`matic_datasets::Benchmark`]) are wrapped
+//! by [`BenchmarkScenario`]; external workloads implement [`Scenario`]
+//! directly and participate in sweeps with no engine changes.
+
+use matic_core::MatConfig;
+use matic_datasets::{Benchmark, Split};
+use matic_nn::{NetSpec, SgdConfig};
+use std::sync::Arc;
+
+/// A sweep workload: dataset generator, topology and training recipe.
+///
+/// Implementations must be deterministic in `seed` — the engine derives
+/// per-cell seeds from the plan so that reports are byte-identical
+/// regardless of worker count.
+pub trait Scenario: Send + Sync {
+    /// Stable identifier (used in reports and the CLI).
+    fn name(&self) -> &str;
+
+    /// The network topology trained for this workload.
+    fn topology(&self) -> NetSpec;
+
+    /// `true` when the Table I metric is classification error percent,
+    /// `false` when it is MSE.
+    fn is_classification(&self) -> bool;
+
+    /// Generates the train/test split, deterministic in `seed`; `scale`
+    /// shrinks the reference dataset size (e.g. `0.2` for quick runs).
+    fn generate(&self, seed: u64, scale: f64) -> Split;
+
+    /// The workload's reference SGD recipe.
+    fn sgd(&self) -> SgdConfig;
+
+    /// The full training configuration at `epoch_scale` of the reference
+    /// epoch budget.
+    ///
+    /// The default mirrors the repository's bench harnesses: narrow nets
+    /// (hidden width ≤ 16) get three deterministic restarts because they
+    /// occasionally land in poor minima when training around heavy fault
+    /// maps.
+    fn train_config(&self, epoch_scale: f64) -> MatConfig {
+        let recipe = self.sgd();
+        let restarts = if self.topology().layers[1] <= 16 {
+            3
+        } else {
+            1
+        };
+        MatConfig {
+            sgd: SgdConfig {
+                epochs: ((recipe.epochs as f64 * epoch_scale).round() as usize).max(2),
+                ..recipe
+            },
+            restarts,
+            ..MatConfig::paper()
+        }
+    }
+}
+
+/// [`Scenario`] adapter for the paper's four benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkScenario(pub Benchmark);
+
+impl Scenario for BenchmarkScenario {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn topology(&self) -> NetSpec {
+        self.0.topology()
+    }
+
+    fn is_classification(&self) -> bool {
+        self.0.is_classification()
+    }
+
+    fn generate(&self, seed: u64, scale: f64) -> Split {
+        self.0.generate_scaled(seed, scale)
+    }
+
+    fn sgd(&self) -> SgdConfig {
+        self.0.sgd()
+    }
+}
+
+impl From<Benchmark> for BenchmarkScenario {
+    fn from(b: Benchmark) -> Self {
+        BenchmarkScenario(b)
+    }
+}
+
+/// All four paper benchmarks, in Table I order.
+pub fn builtin_scenarios() -> Vec<Arc<dyn Scenario>> {
+    Benchmark::ALL
+        .iter()
+        .map(|&b| Arc::new(BenchmarkScenario(b)) as Arc<dyn Scenario>)
+        .collect()
+}
+
+/// Looks up a built-in scenario by its Table I name.
+pub fn scenario_by_name(name: &str) -> Option<Arc<dyn Scenario>> {
+    builtin_scenarios().into_iter().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_match_table_one() {
+        let names: Vec<String> = builtin_scenarios()
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect();
+        assert_eq!(names, ["mnist", "facedet", "inversek2j", "bscholes"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(scenario_by_name("mnist").is_some());
+        assert!(scenario_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn narrow_nets_get_restarts() {
+        assert_eq!(
+            BenchmarkScenario(Benchmark::InverseK2j)
+                .train_config(1.0)
+                .restarts,
+            3
+        );
+        assert_eq!(
+            BenchmarkScenario(Benchmark::Mnist)
+                .train_config(1.0)
+                .restarts,
+            1
+        );
+    }
+
+    #[test]
+    fn epoch_scale_floors_at_two() {
+        let cfg = BenchmarkScenario(Benchmark::Mnist).train_config(0.001);
+        assert_eq!(cfg.sgd.epochs, 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! Deterministic seed derivation.
+//!
+//! Every random quantity in a sweep (chip synthesis, dataset generation,
+//! synthetic fault maps) draws its seed from the plan's `base_seed` and
+//! the cell's *position* in the grid via SplitMix64 finalization. Seeds
+//! therefore never depend on execution order, which is what makes sweep
+//! reports byte-identical for every worker-thread count.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing permutation.
+pub fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes a base seed, a domain tag and one coordinate.
+pub fn mix2(base: u64, tag: u64, a: u64) -> u64 {
+    splitmix(splitmix(base ^ tag.rotate_left(24)) ^ a)
+}
+
+/// Mixes a base seed, a domain tag and three coordinates.
+pub fn mix4(base: u64, tag: u64, a: u64, b: u64, c: u64) -> u64 {
+    splitmix(splitmix(splitmix(mix2(base, tag, a)) ^ b.rotate_left(17)) ^ c.rotate_left(41))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixing_separates_nearby_inputs() {
+        let a = mix4(42, 1, 0, 0, 1);
+        let b = mix4(42, 1, 0, 1, 0);
+        let c = mix4(42, 1, 1, 0, 0);
+        assert!(a != b && b != c && a != c);
+    }
+
+    #[test]
+    fn splitmix_is_a_permutation_probe() {
+        // Spot-check: no collisions over a contiguous block.
+        let mut outs: Vec<u64> = (0..10_000).map(splitmix).collect();
+        outs.sort_unstable();
+        outs.dedup();
+        assert_eq!(outs.len(), 10_000);
+    }
+}

@@ -1,0 +1,82 @@
+//! Sweep reports must be byte-identical regardless of worker-thread
+//! count, and reproducible run-to-run.
+
+use matic_harness::{run_sweep, SweepPlan, TrainingMode};
+
+fn tiny_plan(threads: usize) -> SweepPlan {
+    SweepPlan::builder()
+        .chips(2)
+        .voltages(&[0.9, 0.52])
+        .benchmark("inversek2j")
+        .expect("builtin benchmark")
+        .modes(&[
+            TrainingMode::Naive,
+            TrainingMode::Mat,
+            TrainingMode::MatCanary,
+        ])
+        .data_scale(0.1)
+        .epoch_scale(0.2)
+        .seed(7)
+        .threads(threads)
+        .build()
+        .expect("plan is valid")
+}
+
+#[test]
+fn report_bytes_identical_across_thread_counts() {
+    let single = run_sweep(&tiny_plan(1)).to_json_pretty();
+    let four = run_sweep(&tiny_plan(4)).to_json_pretty();
+    assert_eq!(
+        single, four,
+        "serialized report must not depend on the worker count"
+    );
+}
+
+#[test]
+fn report_is_reproducible_run_to_run() {
+    let a = run_sweep(&tiny_plan(2));
+    let b = run_sweep(&tiny_plan(2));
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_csv(), b.to_csv());
+}
+
+#[test]
+fn ber_axis_is_deterministic_too() {
+    let plan = |threads: usize| {
+        SweepPlan::builder()
+            .chips(2)
+            .bit_error_rates(&[0.0, 0.05])
+            .benchmark("bscholes")
+            .expect("builtin benchmark")
+            .data_scale(0.1)
+            .epoch_scale(0.2)
+            .threads(threads)
+            .build()
+            .expect("plan is valid")
+    };
+    assert_eq!(run_sweep(&plan(1)).to_json(), run_sweep(&plan(3)).to_json());
+}
+
+#[test]
+fn different_seeds_give_different_populations() {
+    let plan = |seed: u64| {
+        SweepPlan::builder()
+            .chips(1)
+            .voltages(&[0.50])
+            .benchmark("inversek2j")
+            .expect("builtin benchmark")
+            .data_scale(0.1)
+            .epoch_scale(0.2)
+            .seed(seed)
+            .build()
+            .expect("plan is valid")
+    };
+    let a = run_sweep(&plan(1));
+    let b = run_sweep(&plan(2));
+    // Different silicon => different fault maps (overwhelmingly likely at
+    // 0.50 V where ~28 % of cells fail).
+    assert_ne!(
+        a.cells[0].fault_count, b.cells[0].fault_count,
+        "chip populations with different seeds should differ"
+    );
+}

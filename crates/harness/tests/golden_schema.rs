@@ -1,0 +1,96 @@
+//! Golden-file test of the JSON report schema.
+//!
+//! The report is serialized, every leaf is replaced by its JSON type
+//! name (arrays keep one canonicalized element), and the result is
+//! compared byte-for-byte against the committed golden file. Catches any
+//! unintended change to field names, nesting, ordering or value types —
+//! without being sensitive to the numeric outcomes themselves.
+//!
+//! To regenerate after an *intentional* schema change:
+//! `MATIC_UPDATE_GOLDEN=1 cargo test -p matic-harness --test golden_schema`
+
+use matic_harness::{run_sweep, SweepPlan, TrainingMode};
+use serde_json::Value;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/report_schema.json"
+);
+
+/// Replaces every leaf with its JSON type name; arrays collapse to their
+/// first element's canonical form (reports always have homogeneous
+/// arrays).
+fn canonicalize(v: &Value) -> Value {
+    match v {
+        Value::Null => Value::Str("null".into()),
+        Value::Bool(_) => Value::Str("bool".into()),
+        Value::I64(_) | Value::U64(_) => Value::Str("integer".into()),
+        Value::F64(_) => Value::Str("number".into()),
+        Value::Str(_) => Value::Str("string".into()),
+        Value::Seq(items) => Value::Seq(
+            items
+                .first()
+                .map(|first| vec![canonicalize(first)])
+                .unwrap_or_default(),
+        ),
+        Value::Map(entries) => Value::Map(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), canonicalize(v)))
+                .collect(),
+        ),
+    }
+}
+
+#[test]
+fn report_schema_matches_golden_file() {
+    // A minimal plan that populates every report field: two modes plus
+    // mat-canary (settled_voltage), a voltage axis (energy fields), and a
+    // point deep enough to have real faults.
+    let plan = SweepPlan::builder()
+        .chips(1)
+        .voltages(&[0.9, 0.50])
+        .benchmark("inversek2j")
+        .expect("builtin benchmark")
+        .modes(&[
+            TrainingMode::Naive,
+            TrainingMode::Mat,
+            TrainingMode::MatCanary,
+        ])
+        .data_scale(0.1)
+        .epoch_scale(0.2)
+        .build()
+        .expect("plan is valid");
+    let report = run_sweep(&plan);
+    let schema = serde_json::to_string_pretty(&canonicalize(&serde_json::to_value(&report)))
+        .expect("canonical schema serializes");
+
+    if std::env::var("MATIC_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &schema).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists (regenerate with MATIC_UPDATE_GOLDEN=1)");
+    assert_eq!(
+        schema, golden,
+        "JSON report schema drifted from tests/golden/report_schema.json; \
+         if intentional, regenerate with MATIC_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn schema_constant_is_embedded() {
+    let plan = SweepPlan::builder()
+        .chips(1)
+        .voltages(&[0.9])
+        .benchmark("bscholes")
+        .expect("builtin benchmark")
+        .data_scale(0.1)
+        .epoch_scale(0.2)
+        .build()
+        .expect("plan is valid");
+    let report = run_sweep(&plan);
+    assert_eq!(report.schema, matic_harness::REPORT_SCHEMA);
+    let json = report.to_json();
+    assert!(json.starts_with("{\"schema\":\"matic.sweep-report/v1\""));
+}

@@ -90,13 +90,13 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (w, xi) in row.iter().zip(x) {
                 acc += w * xi;
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -110,9 +110,8 @@ impl Matrix {
     pub fn t_matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "t_matvec dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &xr) in x.iter().enumerate() {
             let row = self.row(r);
-            let xr = x[r];
             for (yc, w) in y.iter_mut().zip(row) {
                 *yc += w * xr;
             }
@@ -128,8 +127,8 @@ impl Matrix {
     pub fn add_outer(&mut self, a: &[f64], b: &[f64], scale: f64) {
         assert_eq!(a.len(), self.rows, "outer rows mismatch");
         assert_eq!(b.len(), self.cols, "outer cols mismatch");
-        for r in 0..self.rows {
-            let ar = a[r] * scale;
+        for (r, &av) in a.iter().enumerate() {
+            let ar = av * scale;
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (w, bc) in row.iter_mut().zip(b) {
                 *w += ar * bc;

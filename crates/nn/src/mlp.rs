@@ -252,11 +252,7 @@ impl Mlp {
                 })
                 .collect(),
             // Sigmoid + cross-entropy cancels the activation derivative.
-            Loss::CrossEntropy => out
-                .iter()
-                .zip(&sample.target)
-                .map(|(y, t)| y - t)
-                .collect(),
+            Loss::CrossEntropy => out.iter().zip(&sample.target).map(|(y, t)| y - t).collect(),
         };
 
         for l in (0..depth).rev() {

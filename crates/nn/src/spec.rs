@@ -69,10 +69,7 @@ impl NetSpec {
     /// Total trainable parameters (weights + biases) — the x-axis of the
     /// paper's topology-selection study (Fig. 9b).
     pub fn param_count(&self) -> usize {
-        self.layers
-            .windows(2)
-            .map(|w| w[0] * w[1] + w[1])
-            .sum()
+        self.layers.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
     }
 
     /// Activation for parameterized layer `l` (0-based; the last layer uses

@@ -82,7 +82,11 @@ impl Afu {
         match activation {
             Activation::Sigmoid => self.sigmoid(x),
             Activation::Relu => {
-                let clamped = if x.raw() < 0 { Fx::zero(self.in_fmt) } else { x };
+                let clamped = if x.raw() < 0 {
+                    Fx::zero(self.in_fmt)
+                } else {
+                    x
+                };
                 clamped.convert(self.out_fmt)
             }
             Activation::Linear => x.convert(self.out_fmt),
@@ -222,6 +226,9 @@ mod tests {
     #[should_panic(expected = "format mismatch")]
     fn wrong_input_format_panics() {
         let afu = Afu::snnac();
-        let _ = afu.apply(Activation::Sigmoid, Fx::from_f64(0.0, QFormat::new(8, 4).unwrap()));
+        let _ = afu.apply(
+            Activation::Sigmoid,
+            Fx::from_f64(0.0, QFormat::new(8, 4).unwrap()),
+        );
     }
 }

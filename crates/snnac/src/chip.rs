@@ -397,10 +397,7 @@ mod tests {
         let mut net_b = chip_b.deploy(&quick_flow(0.50), &spec, &toy_data());
         let v_uc = chip_b.poll_canaries_via_uc(&mut net_b);
 
-        assert!(
-            (v_rust - v_uc).abs() < 1e-9,
-            "rust {v_rust} vs µC {v_uc}"
-        );
+        assert!((v_rust - v_uc).abs() < 1e-9, "rust {v_rust} vs µC {v_uc}");
         assert!(v_uc < 0.55, "no overscaling from µC: {v_uc}");
     }
 

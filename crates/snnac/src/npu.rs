@@ -42,6 +42,7 @@ pub struct Snnac {
 impl Snnac {
     /// The fabricated configuration: 8 PEs, Q3.12 weights, Q1.14
     /// activations, 4-cycle group overhead (systolic fill/drain).
+    #[allow(clippy::self_named_constructors)]
     pub fn snnac(weight_fmt: QFormat) -> Self {
         Snnac {
             pes: 8,

@@ -48,9 +48,10 @@ proptest! {
             match *op {
                 MicroOp::SetLayer { layer, .. } => current_layer = layer as usize,
                 MicroOp::Macc { neuron_base, active } => {
-                    for n in neuron_base as usize..(neuron_base + active) as usize {
-                        prop_assert!(!covered[current_layer][n], "neuron covered twice");
-                        covered[current_layer][n] = true;
+                    let range = neuron_base as usize..(neuron_base + active) as usize;
+                    for slot in &mut covered[current_layer][range] {
+                        prop_assert!(!*slot, "neuron covered twice");
+                        *slot = true;
                     }
                     prop_assert!(active as usize <= pes);
                 }

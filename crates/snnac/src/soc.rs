@@ -99,9 +99,7 @@ impl Mmio for NpuPeripheral<'_> {
             a if (npu_map::NPU_IN..npu_map::NPU_IN + self.input.len() as u16).contains(&a) => {
                 self.input[(a - npu_map::NPU_IN) as usize]
             }
-            a if (npu_map::NPU_OUT..npu_map::NPU_OUT + self.output.len() as u16)
-                .contains(&a) =>
-            {
+            a if (npu_map::NPU_OUT..npu_map::NPU_OUT + self.output.len() as u16).contains(&a) => {
                 self.output[(a - npu_map::NPU_OUT) as usize]
             }
             _ => 0,
@@ -110,11 +108,10 @@ impl Mmio for NpuPeripheral<'_> {
 
     fn write(&mut self, addr: u16, value: u16) {
         match addr {
-            npu_map::NPU_CTRL
-                if value == 1 => {
-                    self.done = false;
-                    self.run();
-                }
+            npu_map::NPU_CTRL if value == 1 => {
+                self.done = false;
+                self.run();
+            }
             a if (npu_map::NPU_IN..npu_map::NPU_IN + self.fan_in as u16).contains(&a) => {
                 self.input[(a - npu_map::NPU_IN) as usize] = value;
             }
@@ -276,8 +273,7 @@ mod tests {
     fn uc_driven_inference_matches_direct_npu_exactly() {
         let (npu, program, model, mut array) = setup();
         let input = [0.25, 0.75, 0.5];
-        let (direct, direct_stats) =
-            npu.execute(&program, model.layout(), &mut array, &input);
+        let (direct, direct_stats) = npu.execute(&program, model.layout(), &mut array, &input);
         let (via_uc, uc_stats) =
             run_inference_via_uc(&npu, &program, model.layout(), &mut array, &input);
         // Bit-exact: both paths quantize inputs to the same Q1.14 words

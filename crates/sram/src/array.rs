@@ -27,7 +27,12 @@ impl SramArray {
     /// Synthesizes `cfg.banks` banks with per-bank derived seeds.
     pub fn synthesize(cfg: &ArrayConfig, seed: u64) -> Self {
         let banks = (0..cfg.banks)
-            .map(|i| SramBank::synthesize(&cfg.bank, seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))))
+            .map(|i| {
+                SramBank::synthesize(
+                    &cfg.bank,
+                    seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                )
+            })
             .collect();
         SramArray {
             banks,

@@ -163,11 +163,7 @@ impl SramBank {
         let dt = temp_c - self.cfg.dist.ref_temp_c();
         let v_query = (voltage - self.cfg.dist.temp_coeff() * dt) as f32;
         let bits = self.cfg.word_bits as usize;
-        let failing = self
-            .vmin
-            .iter()
-            .filter(|&&vm| v_query < vm)
-            .count();
+        let failing = self.vmin.iter().filter(|&&vm| v_query < vm).count();
         failing as f64 / (self.cfg.words * bits) as f64
     }
 

@@ -169,7 +169,9 @@ impl FaultMap {
         FaultMap {
             voltage,
             temp_c: 25.0,
-            banks: (0..banks).map(|_| BankFaultMap::clean(words, word_bits)).collect(),
+            banks: (0..banks)
+                .map(|_| BankFaultMap::clean(words, word_bits))
+                .collect(),
         }
     }
 
@@ -213,12 +215,13 @@ impl FaultMap {
             .iter()
             .enumerate()
             .flat_map(|(bank, map)| {
-                map.iter().map(move |(word, bit, stuck_at_one)| FaultRecord {
-                    bank,
-                    word,
-                    bit,
-                    stuck_at_one,
-                })
+                map.iter()
+                    .map(move |(word, bit, stuck_at_one)| FaultRecord {
+                        bank,
+                        word,
+                        bit,
+                        stuck_at_one,
+                    })
             })
             .collect()
     }

@@ -102,11 +102,7 @@ mod tests {
     #[test]
     fn polarities_are_roughly_balanced() {
         let map = bernoulli_fault_map(1, 4096, 16, 0.5, 5);
-        let ones = map
-            .records()
-            .iter()
-            .filter(|r| r.stuck_at_one)
-            .count() as f64;
+        let ones = map.records().iter().filter(|r| r.stuck_at_one).count() as f64;
         let frac = ones / map.fault_count() as f64;
         assert!((frac - 0.5).abs() < 0.03, "stuck-at-1 fraction {frac}");
     }

@@ -40,7 +40,11 @@ pub struct ProfileReport {
 /// Contents are test patterns, so profiling is destructive; the deployment
 /// flow profiles before weights are loaded. The bank is left at the safe
 /// voltage with zeroed contents.
-pub fn profile_bank(bank: &mut SramBank, voltage: f64, temp_c: f64) -> (BankFaultMap, ProfileReport) {
+pub fn profile_bank(
+    bank: &mut SramBank,
+    voltage: f64,
+    temp_c: f64,
+) -> (BankFaultMap, ProfileReport) {
     let cfg = bank.config().clone();
     let safe_v = cfg.dist.safe_voltage().max(0.9);
     let mut map = BankFaultMap::clean(cfg.words, cfg.word_bits);
@@ -146,10 +150,8 @@ mod tests {
                 if fails {
                     oracle_count += 1;
                     assert!(map.is_faulty(addr, bit), "missed fault @({addr},{bit})");
-                    let (_, _, polarity) = map
-                        .iter()
-                        .find(|&(w, b, _)| w == addr && b == bit)
-                        .unwrap();
+                    let (_, _, polarity) =
+                        map.iter().find(|&(w, b, _)| w == addr && b == bit).unwrap();
                     assert_eq!(polarity, bank.cell_preferred(addr, bit));
                 } else {
                     assert!(!map.is_faulty(addr, bit), "phantom fault @({addr},{bit})");

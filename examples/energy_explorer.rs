@@ -33,8 +33,14 @@ fn main() {
     );
 
     println!("\nunified-rail energy vs voltage (the MEP bathtub):");
-    println!("{:>8} | {:>9} | {:>10} | {:>10} | {:>10}", "V", "f (MHz)", "logic pJ", "sram pJ", "total pJ");
-    println!("{:-<8}-+-{:-<9}-+-{:-<10}-+-{:-<10}-+-{:-<10}", "", "", "", "", "");
+    println!(
+        "{:>8} | {:>9} | {:>10} | {:>10} | {:>10}",
+        "V", "f (MHz)", "logic pJ", "sram pJ", "total pJ"
+    );
+    println!(
+        "{:-<8}-+-{:-<9}-+-{:-<10}-+-{:-<10}-+-{:-<10}",
+        "", "", "", "", ""
+    );
     let mut v = 0.53;
     while v <= 0.76 {
         let f = model.delay().frequency(v);

@@ -45,9 +45,7 @@ fn main() {
         let err = ((rx - x).powi(2) + (ry - y).powi(2)).sqrt();
         worst = worst.max(err);
         mean += err;
-        println!(
-            "{i:>6} | ({x:>6.3}, {y:>6.3}) | ({rx:>6.3}, {ry:>6.3}) | {err:>10.4}"
-        );
+        println!("{i:>6} | ({x:>6.3}, {y:>6.3}) | ({rx:>6.3}, {ry:>6.3}) | {err:>10.4}");
     }
     mean /= n as f64;
     println!("\nmean end-effector error {mean:.4}, worst {worst:.4} (arm length 1.0)");

@@ -80,7 +80,10 @@ fn main() {
     println!("results over {} test samples:", split.test.len());
     println!("  MSE  @ {settled:.3} V : {mse:.4}");
     println!("  MSE  @ 0.900 V : {mse_nom:.4}");
-    println!("  energy/inference @ {settled:.3} V : {:.1} nJ ({cycles} cycles total)", per_inf / 1e3);
+    println!(
+        "  energy/inference @ {settled:.3} V : {:.1} nJ ({cycles} cycles total)",
+        per_inf / 1e3
+    );
     println!("  energy/inference @ 0.900 V : {:.1} nJ", energy_nom / 1e3);
     println!(
         "  SRAM-rail energy saving: {:.2}x with accuracy within noise of nominal",

@@ -1,90 +1,47 @@
 //! Voltage sweep: naive vs memory-adaptive error across the overscaling
-//! range (the Fig. 10 experiment, single benchmark).
+//! range (the Fig. 10 experiment, single benchmark), driven by the
+//! `matic-harness` sweep engine.
 //!
 //! Run with: `cargo run --release --example voltage_sweep [mnist|facedet|inversek2j|bscholes]`
+//!
+//! For population sweeps (many chips, JSON/CSV reports, all benchmarks)
+//! use the CLI instead: `cargo run --release -- sweep --chips 8`.
 
-use matic_core::{train_naive, upload_weights, MatConfig, MatTrainer};
-use matic_datasets::Benchmark;
-use matic_snnac::microcode::Program;
-use matic_snnac::{Chip, ChipConfig, Snnac};
+use matic::harness::{SweepPlan, TrainingMode};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "mnist".into());
-    let bench = match which.as_str() {
-        "mnist" => Benchmark::Mnist,
-        "facedet" => Benchmark::FaceDet,
-        "inversek2j" => Benchmark::InverseK2j,
-        "bscholes" => Benchmark::BScholes,
-        other => {
-            eprintln!("unknown benchmark `{other}`");
+    let plan = SweepPlan::builder()
+        .chips(1)
+        .voltages(&[0.53, 0.52, 0.51, 0.50, 0.48, 0.46])
+        .benchmark(&which)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
             std::process::exit(1);
-        }
-    };
+        })
+        .modes(&[TrainingMode::Naive, TrainingMode::Mat])
+        .seed(99)
+        .build()
+        .expect("sweep plan is valid");
 
-    println!("== naive vs MATIC across SRAM voltage: {bench} ==\n");
-    let split = bench.generate_scaled(42, 1.0);
-    let spec = bench.topology();
-    let cfg = MatConfig {
-        sgd: bench.sgd(),
-        restarts: if bench.topology().layers[1] <= 16 { 3 } else { 1 },
-        ..MatConfig::paper()
-    };
-    let mut chip = Chip::synthesize(ChipConfig::snnac(), 99);
-    let naive = train_naive(
-        &spec,
-        &split.train,
-        &cfg,
-        chip.config().array.banks,
-        chip.config().array.bank.words,
+    println!("== naive vs MATIC across SRAM voltage: {which} ==\n");
+    let report = matic::harness::run_sweep(&plan);
+
+    println!(
+        "nominal error @0.9 V: {:.3}\n",
+        report.cells[0].nominal_error
     );
-
-    let eval = |chip: &mut Chip, model: &matic_core::TrainedModel, v: f64| -> f64 {
-        chip.set_sram_voltage(0.9);
-        upload_weights(model, chip.array_mut());
-        chip.set_sram_voltage(v);
-        let npu = Snnac::snnac(model.format());
-        let program = Program::compile(model.master().spec(), npu.pe_count());
-        let mut wrong = 0usize;
-        let mut mse = 0.0;
-        for s in &split.test {
-            let (out, _) = npu.execute(&program, model.layout(), chip.array_mut(), &s.input);
-            if bench.is_classification() {
-                let ok = if out.len() == 1 {
-                    (out[0] >= 0.5) == (s.target[0] >= 0.5)
-                } else {
-                    let am = |v: &[f64]| {
-                        (0..v.len()).max_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap()).unwrap()
-                    };
-                    am(&out) == am(&s.target)
-                };
-                if !ok {
-                    wrong += 1;
-                }
-            } else {
-                mse += out
-                    .iter()
-                    .zip(&s.target)
-                    .map(|(y, t)| (y - t) * (y - t))
-                    .sum::<f64>()
-                    / out.len() as f64;
-            }
-        }
-        if bench.is_classification() {
-            100.0 * wrong as f64 / split.test.len() as f64
-        } else {
-            mse / split.test.len() as f64
-        }
-    };
-
-    let nominal = eval(&mut chip, &naive, 0.9);
-    println!("nominal error @0.9 V: {nominal:.3}\n");
     println!("{:>8} | {:>10} | {:>10}", "V (V)", "naive", "MATIC");
     println!("{:-<8}-+-{:-<10}-+-{:-<10}", "", "", "");
-    for v in [0.53, 0.52, 0.51, 0.50, 0.48, 0.46] {
-        let map = chip.profile(v);
-        let adaptive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &map);
-        let e_naive = eval(&mut chip, &naive, v);
-        let e_adapt = eval(&mut chip, &adaptive, v);
-        println!("{v:>8.2} | {e_naive:>10.3} | {e_adapt:>10.3}");
+    for &v in plan.axis.points() {
+        let err = |mode: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.mode == mode && c.voltage == Some(v))
+                .expect("cell exists for every (mode, voltage)")
+                .error
+        };
+        println!("{v:>8.2} | {:>10.3} | {:>10.3}", err("naive"), err("mat"));
     }
 }

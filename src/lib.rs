@@ -17,6 +17,9 @@
 //!   and in-situ synaptic canaries (Algorithm 1).
 //! * [`snnac`] — a cycle-level simulator of the SNNAC 8-PE systolic
 //!   accelerator, including an MSP430-inspired runtime microcontroller.
+//! * [`harness`] — the parallel chip-population sweep engine behind the
+//!   `matic` CLI: grids of {chips × voltages × benchmarks × training
+//!   modes} with deterministic JSON/CSV reports.
 //!
 //! ## Quickstart
 //!
@@ -36,10 +39,14 @@
 //! assert!(err < 90.0); // far better than the 90 % chance floor
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use matic_core as core;
 pub use matic_datasets as datasets;
 pub use matic_energy as energy;
 pub use matic_fixed as fixed;
+pub use matic_harness as harness;
 pub use matic_nn as nn;
 pub use matic_snnac as snnac;
 pub use matic_sram as sram;
@@ -52,6 +59,7 @@ pub mod prelude {
     pub use matic_datasets::{Dataset, Split};
     pub use matic_energy::{EnergyModel, OperatingPoint, Scenario};
     pub use matic_fixed::{Accumulator, Fx, QFormat};
+    pub use matic_harness::{Scenario as SweepScenario, SweepPlan, SweepReport, TrainingMode};
     pub use matic_nn::{Activation, Loss, Mlp, NetSpec, SgdConfig};
     pub use matic_snnac::{Chip, ChipConfig, Snnac};
     pub use matic_sram::{FaultMap, SramArray, SramConfig};

@@ -1,0 +1,237 @@
+//! `matic` — the reproduction's command-line interface.
+//!
+//! `matic sweep` runs a parallel chip-population sweep through
+//! [`matic_harness`] and writes a deterministic JSON report (plus an
+//! optional per-cell CSV). `matic list` shows the available benchmarks
+//! and training modes.
+
+use matic_harness::{ReusePolicy, SweepPlan, SweepReport, TrainingMode};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+matic — MATIC (DATE 2018) reproduction toolkit
+
+USAGE:
+    matic sweep [OPTIONS]    run a chip-population sweep
+    matic list               list built-in benchmarks and training modes
+    matic help               show this message
+
+SWEEP OPTIONS:
+    --chips N           chip instances to synthesize        [default: 4]
+    --voltages SPEC     SRAM voltages: lo:hi:steps grid or comma list
+                        (e.g. 0.46:0.90:5 or 0.53,0.50,0.46) [default: 0.46:0.90:5]
+    --bers SPEC         sweep synthetic bit-error rates instead of voltages
+                        (the Fig. 5 axis; evaluated on the masked float view)
+    --benchmarks LIST   all | comma list of mnist,facedet,inversek2j,bscholes
+                                                            [default: all]
+    --modes LIST        comma list of naive,mat,mat-canary  [default: naive,mat]
+    --scale X           dataset scale factor                [default: 0.5]
+    --epochs X          epoch-budget multiplier             [default: 0.5]
+    --seed N            root seed                           [default: 42]
+    --threads N         worker threads                      [default: all cores]
+    --no-reuse          strict one-model-per-point (disable superset reuse)
+    --out PATH          JSON report path                    [default: matic-sweep.json]
+    --csv PATH          also write the per-cell table as CSV
+    --quiet             suppress the summary table
+
+The JSON report is byte-identical for every --threads value and contains
+no timestamps or host details: identical plans give identical bytes.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sweep") => match run_sweep_command(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list() {
+    println!("benchmarks (Table I):");
+    for s in matic_harness::builtin_scenarios() {
+        let layers: Vec<String> = s.topology().layers.iter().map(|n| n.to_string()).collect();
+        let metric = if s.is_classification() {
+            "classification error %"
+        } else {
+            "mean squared error"
+        };
+        println!("  {:<12} {:<12} {metric}", s.name(), layers.join("-"));
+    }
+    println!("\ntraining modes:");
+    println!("  naive        fault-oblivious baseline (quantization-aware)");
+    println!("  mat          memory-adaptive training (paper §III-B)");
+    println!("  mat-canary   MAT + in-situ canaries and runtime controller (§III-C)");
+}
+
+fn run_sweep_command(args: &[String]) -> Result<(), String> {
+    let mut chips = 4usize;
+    let mut voltages: Option<Vec<f64>> = None;
+    let mut bers: Option<Vec<f64>> = None;
+    let mut benchmarks = "all".to_string();
+    let mut modes = vec![TrainingMode::Naive, TrainingMode::Mat];
+    let mut scale = 0.5f64;
+    let mut epochs = 0.5f64;
+    let mut seed = 42u64;
+    let mut threads: Option<usize> = None;
+    let mut reuse = ReusePolicy::SupersetMap;
+    let mut out = "matic-sweep.json".to_string();
+    let mut csv: Option<String> = None;
+    let mut quiet = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--chips" => chips = parse(&value("--chips")?, "--chips")?,
+            "--voltages" => voltages = Some(parse_grid(&value("--voltages")?)?),
+            "--bers" => bers = Some(parse_grid(&value("--bers")?)?),
+            "--benchmarks" => benchmarks = value("--benchmarks")?,
+            "--modes" => {
+                modes = value("--modes")?
+                    .split(',')
+                    .map(|m| {
+                        TrainingMode::from_name(m.trim())
+                            .ok_or_else(|| format!("unknown mode `{m}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--scale" => scale = parse(&value("--scale")?, "--scale")?,
+            "--epochs" => epochs = parse(&value("--epochs")?, "--epochs")?,
+            "--seed" => seed = parse(&value("--seed")?, "--seed")?,
+            "--threads" => threads = Some(parse(&value("--threads")?, "--threads")?),
+            "--no-reuse" => reuse = ReusePolicy::PerPoint,
+            "--out" => out = value("--out")?,
+            "--csv" => csv = Some(value("--csv")?),
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown option `{other}` (see `matic help`)")),
+        }
+    }
+    if voltages.is_some() && bers.is_some() {
+        return Err("--voltages and --bers are mutually exclusive".into());
+    }
+
+    let mut builder = SweepPlan::builder()
+        .chips(chips)
+        .data_scale(scale)
+        .epoch_scale(epochs)
+        .seed(seed)
+        .modes(&modes)
+        .reuse(reuse);
+    builder = match (voltages, bers) {
+        (_, Some(r)) => builder.bit_error_rates(&r),
+        (Some(v), None) => builder.voltages(&v),
+        (None, None) => builder.voltage_grid(0.46, 0.90, 5),
+    };
+    for name in benchmarks.split(',') {
+        builder = builder.benchmark(name.trim()).map_err(|e| e.to_string())?;
+    }
+    if let Some(n) = threads {
+        builder = builder.threads(n);
+    }
+    let plan = builder.build().map_err(|e| e.to_string())?;
+
+    let workers = plan.threads.unwrap_or_else(rayon::current_num_threads);
+    eprintln!(
+        "sweep: {} cells ({} chips x {} {} points x {} benchmarks x {} modes) on {} threads",
+        plan.cell_count(),
+        plan.chips,
+        plan.axis.points().len(),
+        plan.axis.kind(),
+        plan.scenarios.len(),
+        plan.modes.len(),
+        workers,
+    );
+    let start = std::time::Instant::now();
+    let report = matic_harness::run_sweep(&plan);
+    let elapsed = start.elapsed();
+
+    std::fs::write(&out, report.to_json_pretty()).map_err(|e| format!("writing {out}: {e}"))?;
+    if let Some(path) = &csv {
+        std::fs::write(path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if !quiet {
+        print_summary(&report);
+    }
+    eprintln!(
+        "sweep: {} cells in {:.1}s -> {out}{}",
+        report.cells.len(),
+        elapsed.as_secs_f64(),
+        csv.map(|p| format!(" + {p}")).unwrap_or_default(),
+    );
+    Ok(())
+}
+
+fn print_summary(report: &SweepReport) {
+    println!(
+        "{:>11} | {:>10} | {:>8} | {:>11} | {:>9} | {:>9} | {:>9}",
+        "benchmark",
+        "mode",
+        report.plan.stress_kind.as_str(),
+        "mean err",
+        "std",
+        "fail rate",
+        "mean pJ"
+    );
+    println!("{:-<84}", "");
+    for p in &report.points {
+        println!(
+            "{:>11} | {:>10} | {:>8.3} | {:>11.4} | {:>9.4} | {:>8.1}% | {:>9}",
+            p.scenario,
+            p.mode,
+            p.stress,
+            p.error.mean,
+            p.error.std_dev,
+            p.fail_rate * 100.0,
+            p.mean_energy_pj
+                .map(|e| format!("{e:.1}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("invalid value `{s}` for {name}"))
+}
+
+/// Parses `lo:hi:steps` (inclusive linear grid) or a comma-separated list.
+fn parse_grid(spec: &str) -> Result<Vec<f64>, String> {
+    if spec.contains(':') {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("grid `{spec}` must be lo:hi:steps"));
+        }
+        let lo: f64 = parse(parts[0], "grid lo")?;
+        let hi: f64 = parse(parts[1], "grid hi")?;
+        let steps: usize = parse(parts[2], "grid steps")?;
+        if steps == 0 {
+            return Err("grid needs at least one step".into());
+        }
+        Ok(matic_harness::linspace(lo, hi, steps))
+    } else {
+        spec.split(',')
+            .map(|v| parse(v.trim(), "grid value"))
+            .collect()
+    }
+}

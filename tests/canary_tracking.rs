@@ -44,7 +44,9 @@ fn mse(chip: &mut Chip, net: &DeployedNetwork, test: &[matic_nn::Sample]) -> f64
 fn voltage_tracks_temperature_ramp_with_stable_accuracy() {
     let (mut chip, mut net, test) = deploy(0xF12);
     let mut voltages = Vec::new();
-    let temps = [25.0, 10.0, -5.0, -15.0, 0.0, 15.0, 30.0, 45.0, 60.0, 75.0, 90.0];
+    let temps = [
+        25.0, 10.0, -5.0, -15.0, 0.0, 15.0, 30.0, 45.0, 60.0, 75.0, 90.0,
+    ];
     for &t in &temps {
         chip.set_temperature(t);
         let v = chip.poll_canaries_via_uc(&mut net);

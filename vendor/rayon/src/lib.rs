@@ -1,0 +1,329 @@
+//! Offline vendor shim for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! Provides the data-parallel iterator subset this workspace uses:
+//! `par_iter()` / `into_par_iter()`, `map`, `for_each` and `collect`.
+//! Execution uses `std::thread::scope` with a shared atomic work queue —
+//! idle workers pull the next undone item, which gives the same dynamic
+//! load balancing (work stealing from a single shared deque) that makes
+//! rayon effective for heterogeneous task sizes like MAT training runs.
+//!
+//! Result order is always the input order regardless of worker count or
+//! scheduling, so anything built on these iterators is deterministic in
+//! its outputs by construction.
+//!
+//! Thread count resolution: `RAYON_NUM_THREADS` (if set and non-zero),
+//! otherwise [`std::thread::available_parallelism`].
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+std::thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The number of worker threads parallel iterators will use: an
+/// [`ThreadPool::install`] override if one is active, else
+/// `RAYON_NUM_THREADS`, else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_OVERRIDE.with(|c| c.get());
+    if installed > 0 {
+        return installed;
+    }
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Builds [`ThreadPool`]s, mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests an explicit worker count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Finalizes the pool. Never fails in this shim; the `Result` mirrors
+    /// the upstream signature.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count policy, mirroring `rayon::ThreadPool`. This shim
+/// spawns workers per parallel call, so the pool only pins the count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing every parallel
+    /// iterator invoked (transitively) inside it on this thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let n = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        };
+        let prev = POOL_OVERRIDE.with(|c| c.replace(n));
+        let out = f();
+        POOL_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+}
+
+/// Runs `f` over `items` on `threads` workers pulling from a shared queue;
+/// results come back in input order.
+fn run_pool<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync, threads: usize) -> Vec<U> {
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Items become a bank of one-shot cells; the cursor is the work queue.
+    let bank: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<U>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    {
+        let slots: Vec<Mutex<&mut Option<U>>> = results.iter_mut().map(Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        return;
+                    }
+                    let item = bank[idx]
+                        .lock()
+                        .expect("work item lock poisoned")
+                        .take()
+                        .expect("work item taken twice");
+                    let out = f(item);
+                    **slots[idx].lock().expect("result lock poisoned") = Some(out);
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("worker dropped a result"))
+        .collect()
+}
+
+/// A parallel iterator: a materializable sequence of `Send` items.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Materializes all items, in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `op` in parallel.
+    fn map<U, F>(self, op: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, op }
+    }
+
+    /// Applies `op` to every item in parallel (for side effects).
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = self.map(op).drive();
+    }
+
+    /// Collects the items into `C`, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.drive().into_iter().collect()
+    }
+
+    /// The sum of all items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+}
+
+/// Source iterator over an owned vector (items handed to workers as-is).
+pub struct IterVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterVec<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A mapped parallel iterator (this is where the pool actually runs).
+pub struct Map<B, F> {
+    base: B,
+    op: F,
+}
+
+impl<B, U, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn drive(self) -> Vec<U> {
+        run_pool(self.base.drive(), self.op, current_num_threads())
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterVec<T>;
+
+    fn into_par_iter(self) -> IterVec<T> {
+        IterVec { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = IterVec<usize>;
+
+    fn into_par_iter(self) -> IterVec<usize> {
+        IterVec {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = IterVec<&'a T>;
+
+    fn par_iter(&'a self) -> IterVec<&'a T> {
+        IterVec {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = IterVec<&'a T>;
+
+    fn par_iter(&'a self) -> IterVec<&'a T> {
+        IterVec {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..500).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let out: Vec<String> = vec!["a", "b", "c"]
+            .into_par_iter()
+            .map(|s| s.to_uppercase())
+            .collect();
+        assert_eq!(out, ["A", "B", "C"]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_and_ordered() {
+        // Heterogeneous task sizes exercise the shared-queue scheduling.
+        let out: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                let spin = if i % 7 == 0 { 20_000 } else { 10 };
+                let mut acc = i;
+                for _ in 0..spin {
+                    acc = acc.wrapping_mul(31).wrapping_add(1);
+                }
+                let _ = acc;
+                i
+            })
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let total: u64 = (0..100u64).collect::<Vec<_>>().into_par_iter().sum();
+        assert_eq!(total, 4950);
+    }
+}

@@ -1,0 +1,425 @@
+//! Offline vendor shim for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` proc
+//! macros (the build environment has no crates.io access, so `syn` and
+//! `quote` are unavailable). The parser handles exactly the shapes this
+//! workspace declares: non-generic structs (named, tuple, unit) and
+//! non-generic enums with unit, tuple and struct variants. `#[serde(...)]`
+//! field attributes are not supported and there is no need for them here.
+//!
+//! Generated impls target the value-tree model of the companion `serde`
+//! shim: structs become maps in field-declaration order; enums use the
+//! externally tagged representation, matching upstream serde's default.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree based; see crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree based; see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- item model ---------------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---- parsing ------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += t.is_some() as usize;
+        t
+    }
+
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                // `#[...]` attribute (doc comments arrive in this form too).
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                    {
+                        self.next();
+                    }
+                }
+                // `pub`, `pub(crate)`, `pub(in ...)`.
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    self.next();
+                    if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        self.next();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!(
+                "serde shim derive: expected identifier, got {other:?}"
+            )),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs_and_vis();
+    let kind = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())?
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_items(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Ok(Item {
+                name,
+                body: Body::Struct(fields),
+            })
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())?
+                }
+                other => {
+                    return Err(format!(
+                        "serde shim derive: expected enum body, got {other:?}"
+                    ))
+                }
+            };
+            Ok(Item {
+                name,
+                body: Body::Enum(body),
+            })
+        }
+        other => Err(format!(
+            "serde shim derive: unsupported item kind `{other}`"
+        )),
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Fields, String> {
+    let mut c = Cursor::new(ts);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        if c.peek().is_none() {
+            return Ok(Fields::Named(names));
+        }
+        names.push(c.expect_ident()?);
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field name, got {other:?}"
+                ))
+            }
+        }
+        skip_type_until_comma(&mut c);
+    }
+}
+
+/// Advances past a type, stopping after the next `,` that sits outside any
+/// `<...>` nesting (groups are single opaque tokens, so only angle
+/// brackets need depth tracking).
+fn skip_type_until_comma(c: &mut Cursor) {
+    let mut angle = 0i32;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_top_level_items(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut count = 0;
+    loop {
+        c.skip_attrs_and_vis();
+        if c.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_type_until_comma(&mut c);
+    }
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        if c.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = c.expect_ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_items(g.stream());
+                c.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                c.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        skip_type_until_comma(&mut c);
+        variants.push(Variant { name, fields });
+    }
+}
+
+// ---- code generation ----------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| gen_ser_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+            fn to_value(&self) -> ::serde::Value {{ {body} }} \
+        }}"
+    )
+}
+
+fn gen_ser_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.fields {
+        Fields::Unit => {
+            format!("{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),")
+        }
+        Fields::Tuple(1) => format!(
+            "{name}::{vn}(f0) => ::serde::Value::Map(::std::vec![(\
+                ::std::string::String::from({vn:?}), \
+                ::serde::Serialize::to_value(f0))]),"
+        ),
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(\
+                    ::std::string::String::from({vn:?}), \
+                    ::serde::Value::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                    ::std::string::String::from({vn:?}), \
+                    ::serde::Value::Map(::std::vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => gen_de_fields(name, name, fields, "v"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => return ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    let build = gen_de_fields(name, &format!("{name}::{vn}"), &v.fields, "payload");
+                    format!("{vn:?} => {{ let payload = payload; {build} }}")
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{ \
+                     match s {{ {unit} _ => return ::std::result::Result::Err(\
+                         ::serde::Error::custom(::std::format!(\
+                             \"unknown {name} variant `{{s}}`\"))), }} \
+                 }} \
+                 let entries = v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected externally tagged {name}\"))?; \
+                 if entries.len() != 1 {{ \
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"expected single-key map for {name}\")); \
+                 }} \
+                 let (tag, payload) = (&entries[0].0, &entries[0].1); \
+                 match tag.as_str() {{ \
+                     {tagged} \
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown {name} variant `{{other}}`\"))), \
+                 }}",
+                unit = unit_arms.join(" "),
+                tagged = tagged_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+            fn from_value(v: &::serde::Value) \
+                -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+        }}"
+    )
+}
+
+/// Builds `constructor { .. }` / `constructor(..)` / `constructor` from the
+/// value bound to `src`.
+fn gen_de_fields(type_name: &str, constructor: &str, fields: &Fields, src: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value({src}.get({f:?})\
+                            .ok_or_else(|| ::serde::Error::custom(\
+                                \"missing field `{f}` in {type_name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({constructor} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({constructor}(\
+                ::serde::Deserialize::from_value({src})?))"
+        ),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = {src}.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected sequence for {type_name}\"))?; \
+                 if items.len() != {n} {{ \
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"wrong tuple arity for {type_name}\")); \
+                 }} \
+                 ::std::result::Result::Ok({constructor}({}))",
+                inits.join(", ")
+            )
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({constructor})"),
+    }
+}
