@@ -1,18 +1,29 @@
 //! Criterion micro-benchmarks of the hot kernels: the fixed-point MAC
-//! inner loop, injection masking, SRAM profiling, and NPU inference.
+//! inner loop, injection masking, fault-composition, SRAM profiling, NPU
+//! inference (per-MAC reference vs. fault-composed), and the
+//! memory-adaptive training step.
 //!
 //! These do not map to a paper table; they document the simulator's own
-//! performance so sweep runtimes stay predictable.
+//! performance so sweep runtimes stay predictable. Besides the console
+//! lines, the run emits a machine-readable baseline to
+//! `BENCH_kernel.json` (override the path with `MATIC_BENCH_OUT`;
+//! `MATIC_BENCH_SAMPLES` trims the per-bench sample count for smoke
+//! runs). The committed `BENCH_kernel.json` at the repository root is the
+//! first point of the kernel-performance trajectory — regenerate it with
+//! `cargo bench -p matic-bench --bench kernels` from the repo root.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use matic_core::{train_naive, upload_weights, MatConfig, ParamRef, WeightLayout};
+use criterion::{black_box, Criterion};
+use matic_core::{
+    train_naive, upload_weights, ComposedQuantizer, FaultedWeights, MaskedQuantizer, MatConfig,
+    MatTrainer, ParamRef, TrainedModel, WeightLayout,
+};
 use matic_datasets::Benchmark;
 use matic_fixed::{Accumulator, Fx, QFormat};
-use matic_nn::SgdConfig;
+use matic_nn::kernel::fx_dot;
+use matic_nn::{MomentumState, Sample, SgdConfig};
 use matic_snnac::microcode::Program;
 use matic_snnac::{Chip, ChipConfig, Snnac};
 use matic_sram::{inject::bernoulli_fault_map, profile_bank, SramBank, SramConfig};
-use std::hint::black_box;
 
 fn bench_mac(c: &mut Criterion) {
     let q = QFormat::snnac_weight();
@@ -22,7 +33,7 @@ fn bench_mac(c: &mut Criterion) {
     let ws: Vec<Fx> = (0..1024)
         .map(|i| Fx::from_f64(((i * 7 % 1024) as f64 / 1024.0) - 0.5, q))
         .collect();
-    c.bench_function("fixed_mac_1024", |b| {
+    c.bench_function("fixed_mac_1024_sequential", |b| {
         b.iter(|| {
             let mut acc = Accumulator::new();
             for (w, x) in ws.iter().zip(&xs) {
@@ -30,6 +41,12 @@ fn bench_mac(c: &mut Criterion) {
             }
             black_box(acc.raw())
         })
+    });
+    // The blocked/unrolled kernel over the same operands (identical sum).
+    let ws_raw: Vec<i32> = ws.iter().map(|w| w.raw()).collect();
+    let xs_raw: Vec<i32> = xs.iter().map(|x| x.raw()).collect();
+    c.bench_function("fx_dot_1024_unrolled", |b| {
+        b.iter(|| black_box(fx_dot(black_box(&ws_raw), black_box(&xs_raw))))
     });
 }
 
@@ -57,7 +74,9 @@ fn bench_profiling(c: &mut Criterion) {
     });
 }
 
-fn bench_inference(c: &mut Criterion) {
+/// A trained MNIST-topology model on an overscaled chip: the shared
+/// fixture for the inference-path benchmarks.
+fn inference_fixture() -> (TrainedModel, Chip, Snnac, Program, Vec<f64>) {
     let bench = Benchmark::Mnist;
     let split = bench.generate_scaled(1, 0.05);
     let cfg = MatConfig {
@@ -74,12 +93,16 @@ fn bench_inference(c: &mut Criterion) {
     let npu = Snnac::snnac(model.format());
     let program = Program::compile(model.master().spec(), npu.pe_count());
     let input = split.test[0].input.clone();
-    // Keep the layout access pattern honest.
-    let _probe: WeightLayout = model.layout().clone();
-    let _ = _probe.location_of(ParamRef::Bias { layer: 0, row: 0 });
-    c.bench_function("npu_inference_mnist_100_32_10", |b| {
+    (model, chip, npu, program, input)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (model, mut chip, npu, program, input) = inference_fixture();
+
+    // The legacy oracle: locate + fetch + decode inside the MAC loop.
+    c.bench_function("npu_inference_mnist_per_mac", |b| {
         b.iter(|| {
-            black_box(npu.execute(
+            black_box(npu.execute_reference(
                 &program,
                 model.layout(),
                 chip.array_mut(),
@@ -87,11 +110,127 @@ fn bench_inference(c: &mut Criterion) {
             ))
         })
     });
+
+    // Composing the fault-composed artifact (once per operating point).
+    c.bench_function("compose_faulted_weights_mnist", |b| {
+        b.iter(|| {
+            black_box(FaultedWeights::from_array(
+                model.layout(),
+                model.format(),
+                chip.array_mut(),
+            ))
+        })
+    });
+
+    // The hot path: dense blocked kernel over the composed artifact.
+    let weights = FaultedWeights::from_array(model.layout(), model.format(), chip.array_mut());
+    c.bench_function("npu_inference_mnist_composed", |b| {
+        b.iter(|| black_box(npu.execute_composed(&program, &weights, black_box(&input))))
+    });
 }
 
-criterion_group!(
-    name = kernels;
-    config = Criterion::default().sample_size(20);
-    targets = bench_mac, bench_masking, bench_profiling, bench_inference
-);
-criterion_main!(kernels);
+fn bench_quantizer(c: &mut Criterion) {
+    let bench = Benchmark::Mnist;
+    let spec = bench.topology();
+    let layout = WeightLayout::new(&spec, 8, 576).unwrap();
+    let fmt = QFormat::snnac_weight();
+    let map = bernoulli_fault_map(8, 576, 16, 0.28, 3);
+    let master = matic_nn::Mlp::init(spec.clone(), 9);
+
+    // Per-parameter reference: resolve the layout inside the sweep.
+    let reference = MaskedQuantizer::new(fmt, &layout, Some(&map));
+    c.bench_function("masked_quantize_mnist_per_param", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for layer in 0..spec.depth() {
+                for row in 0..spec.layers[layer + 1] {
+                    for col in 0..spec.layers[layer] {
+                        let p = ParamRef::Weight { layer, row, col };
+                        acc += reference.effective_value(p, black_box(0.37));
+                    }
+                    acc += reference.effective_value(ParamRef::Bias { layer, row }, 0.37);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    // Composed fast path: masks pre-gathered into dense buffers.
+    let composed = ComposedQuantizer::new(fmt, &layout, Some(&map));
+    let mut effective = master.clone();
+    c.bench_function("composed_quantize_mnist_dense", |b| {
+        b.iter(|| {
+            composed.effective_into(black_box(&master), &mut effective);
+            black_box(effective.biases()[0][0])
+        })
+    });
+}
+
+fn bench_mat_step(c: &mut Criterion) {
+    let bench = Benchmark::Mnist;
+    let split = bench.generate_scaled(2, 0.05);
+    let map = bernoulli_fault_map(8, 576, 16, 0.28, 5);
+    let cfg = MatConfig::paper();
+    let trainer = MatTrainer::new(bench.topology(), cfg.clone());
+    let layout = WeightLayout::new(&bench.topology(), 8, 576).unwrap();
+    let quant = ComposedQuantizer::new(cfg.weight_fmt, &layout, Some(&map));
+    let batch: Vec<Sample> = split.train.iter().take(8).cloned().collect();
+    let mut master = matic_nn::Mlp::init(bench.topology(), 1);
+    let mut momentum = MomentumState::zeros_like(&master);
+    c.bench_function("mat_step_mnist_batch8", |b| {
+        b.iter(|| {
+            trainer.step(&mut master, &quant, &batch, 1e-6, &mut momentum);
+            black_box(master.biases()[0][0])
+        })
+    });
+}
+
+fn main() {
+    let samples: usize = std::env::var("MATIC_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    let mut c = Criterion::default().sample_size(samples);
+    bench_mac(&mut c);
+    bench_masking(&mut c);
+    bench_profiling(&mut c);
+    bench_inference(&mut c);
+    bench_quantizer(&mut c);
+    bench_mat_step(&mut c);
+
+    #[derive(serde::Serialize)]
+    struct Entry {
+        name: String,
+        median_ns: u64,
+        min_ns: u64,
+        max_ns: u64,
+        samples: u64,
+    }
+    #[derive(serde::Serialize)]
+    struct Baseline {
+        schema: String,
+        benches: Vec<Entry>,
+    }
+    let baseline = Baseline {
+        schema: "matic-bench-kernel/1".to_string(),
+        benches: c
+            .results()
+            .iter()
+            .map(|r| Entry {
+                name: r.name.clone(),
+                median_ns: r.median_ns as u64,
+                min_ns: r.min_ns as u64,
+                max_ns: r.max_ns as u64,
+                samples: r.samples as u64,
+            })
+            .collect(),
+    };
+    // Default to the workspace root (cargo runs benches from the crate
+    // directory) so the committed baseline is regenerated in place.
+    let out = std::env::var("MATIC_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json").to_string()
+    });
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write(&out, json + "\n").expect("baseline written");
+    println!("\nkernel baseline -> {out}");
+}

@@ -51,6 +51,7 @@
 
 mod aei;
 mod canary;
+mod composed;
 mod controller;
 mod flow;
 mod layout;
@@ -59,11 +60,12 @@ mod quantizer;
 
 pub use aei::{average_error_increase, AeiSummary};
 pub use canary::{CanaryCell, CanarySet};
+pub use composed::FaultedWeights;
 pub use controller::{CanaryController, ControllerConfig, PollOutcome};
 pub use flow::{upload_weights, DeployedModel, DeploymentFlow};
-pub use layout::{Location, ParamRef, WeightLayout};
+pub use layout::{LayoutError, Location, ParamRef, WeightLayout};
 pub use mat::{train_naive, MatConfig, MatTrainer, TrainedModel, UpdateRule};
-pub use quantizer::MaskedQuantizer;
+pub use quantizer::{ComposedQuantizer, MaskedQuantizer};
 
 #[cfg(test)]
 mod proptests;

@@ -1,9 +1,9 @@
 //! Memory-adaptive training (paper §III-B, Fig. 4).
 
-use crate::layout::{ParamRef, WeightLayout};
-use crate::quantizer::MaskedQuantizer;
+use crate::layout::WeightLayout;
+use crate::quantizer::ComposedQuantizer;
 use matic_fixed::QFormat;
-use matic_nn::{Mlp, MomentumState, NetSpec, Sample, SgdConfig};
+use matic_nn::{BatchScratch, Gradients, Mlp, MomentumState, NetSpec, Sample, SgdConfig};
 use matic_sram::FaultMap;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -125,8 +125,7 @@ impl TrainedModel {
     /// stuck bits applied — exactly what the accelerator reads at the
     /// overscaled voltage.
     pub fn deploy_with(&self, faults: Option<&FaultMap>) -> Mlp {
-        let quant = MaskedQuantizer::new(self.fmt, &self.layout, faults);
-        apply_quantizer(&self.master, &quant)
+        ComposedQuantizer::new(self.fmt, &self.layout, faults).effective(&self.master)
     }
 
     /// The deployed view under a fault map.
@@ -140,25 +139,23 @@ impl TrainedModel {
     }
 }
 
-/// Rebuilds a network with every parameter passed through the quantizer.
-fn apply_quantizer(master: &Mlp, quant: &MaskedQuantizer<'_>) -> Mlp {
-    let mut out = master.clone();
-    let depth = master.spec().depth();
-    for layer in 0..depth {
-        let rows = master.weights()[layer].rows();
-        let cols = master.weights()[layer].cols();
-        for row in 0..rows {
-            for col in 0..cols {
-                let p = ParamRef::Weight { layer, row, col };
-                let v = master.weights()[layer].get(row, col);
-                out.weights_mut()[layer].set(row, col, quant.effective_value(p, v));
-            }
-            let p = ParamRef::Bias { layer, row };
-            let v = master.biases()[layer][row];
-            out.biases_mut()[layer][row] = quant.effective_value(p, v);
+/// Reusable training-step buffers: the effective (masked) network, the
+/// batch gradients, and the forward/backward scratch. One set per
+/// training run keeps the step loop allocation-free.
+struct StepBuffers {
+    effective: Mlp,
+    grads: Gradients,
+    scratch: BatchScratch,
+}
+
+impl StepBuffers {
+    fn for_net(net: &Mlp) -> Self {
+        StepBuffers {
+            effective: net.clone(),
+            grads: Gradients::zeros_like(net),
+            scratch: BatchScratch::default(),
         }
     }
-    out
 }
 
 /// The memory-adaptive trainer.
@@ -205,11 +202,13 @@ impl MatTrainer {
         let bank0 = &faults.banks()[0];
         let layout = WeightLayout::new(&self.spec, faults.banks().len(), bank0.words())
             .expect("network must fit the weight memories");
-        let quant = MaskedQuantizer::new(self.cfg.weight_fmt, &layout, Some(faults));
+        // Compose the fault map into dense per-layer masks once; every
+        // training step then runs mask-application as a flat sweep.
+        let quant = ComposedQuantizer::new(self.cfg.weight_fmt, &layout, Some(faults));
         let mut best: Option<(f64, Mlp)> = None;
         for restart in 0..self.cfg.restarts.max(1) {
             let master = self.train_once(data, &quant, restart as u64);
-            let loss = apply_quantizer(&master, &quant).mean_loss(data);
+            let loss = quant.effective(&master).mean_loss(data);
             if best.as_ref().is_none_or(|(b, _)| loss < *b) {
                 best = Some((loss, master));
             }
@@ -221,17 +220,25 @@ impl MatTrainer {
         }
     }
 
-    fn train_once(&self, data: &[Sample], quant: &MaskedQuantizer<'_>, restart: u64) -> Mlp {
+    fn train_once(&self, data: &[Sample], quant: &ComposedQuantizer, restart: u64) -> Mlp {
         let mut master = Mlp::init(self.spec.clone(), self.cfg.init_seed + restart);
         let mut momentum = MomentumState::zeros_like(&master);
+        let mut bufs = StepBuffers::for_net(&master);
         let mut rng = StdRng::seed_from_u64(self.cfg.shuffle_seed + restart);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut lr = self.cfg.sgd.lr;
         for _ in 0..self.cfg.sgd.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(self.cfg.sgd.batch_size.max(1)) {
-                let batch: Vec<Sample> = chunk.iter().map(|&i| data[i].clone()).collect();
-                self.step(&mut master, quant, &batch, lr, &mut momentum);
+                self.step_indexed(
+                    &mut master,
+                    quant,
+                    data,
+                    chunk,
+                    lr,
+                    &mut momentum,
+                    &mut bufs,
+                );
             }
             lr *= self.cfg.sgd.lr_decay;
         }
@@ -245,20 +252,38 @@ impl MatTrainer {
     pub fn step(
         &self,
         master: &mut Mlp,
-        quant: &MaskedQuantizer<'_>,
+        quant: &ComposedQuantizer,
         batch: &[Sample],
         lr: f64,
         momentum: &mut MomentumState,
     ) {
+        let indices: Vec<usize> = (0..batch.len()).collect();
+        let mut bufs = StepBuffers::for_net(master);
+        self.step_indexed(master, quant, batch, &indices, lr, momentum, &mut bufs);
+    }
+
+    /// The allocation-free step core driven by the training loop.
+    #[allow(clippy::too_many_arguments)]
+    fn step_indexed(
+        &self,
+        master: &mut Mlp,
+        quant: &ComposedQuantizer,
+        data: &[Sample],
+        indices: &[usize],
+        lr: f64,
+        momentum: &mut MomentumState,
+        bufs: &mut StepBuffers,
+    ) {
         // (1) Effective network m = Bor | (Band & Q(w)).
-        let effective = apply_quantizer(master, quant);
+        quant.effective_into(master, &mut bufs.effective);
         // (2) Backprop through m — "the network error propagated in the
         // backward pass reflects the impact of the bit-errors".
-        let grads = effective.gradients(batch);
+        bufs.effective
+            .gradients_indexed(data, indices, &mut bufs.grads, &mut bufs.scratch);
         match self.cfg.update_rule {
             UpdateRule::FloatMaster => {
                 // (3) w ← m − α·v + (w − m) = w − α·v, on the float masters.
-                master.apply_update(&grads, lr, self.cfg.sgd.momentum, momentum);
+                master.apply_update(&bufs.grads, lr, self.cfg.sgd.momentum, momentum);
             }
             UpdateRule::ResetToMasked => {
                 // (3') w ← m − α·v + (w − Q(w)): re-seed masters from the
@@ -282,8 +307,8 @@ impl MatTrainer {
                         .collect();
                     sub_lsb.push((w_res, b_res));
                 }
-                *master = effective;
-                master.apply_update(&grads, lr, self.cfg.sgd.momentum, momentum);
+                master.clone_from(&bufs.effective);
+                master.apply_update(&bufs.grads, lr, self.cfg.sgd.momentum, momentum);
                 for (layer, (w_res, b_res)) in sub_lsb.iter().enumerate() {
                     let cols = master.weights()[layer].cols();
                     for (i, eq) in w_res.iter().enumerate() {
@@ -321,6 +346,7 @@ pub fn train_naive(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layout::ParamRef;
     use matic_nn::mean_squared_error;
     use matic_sram::inject::bernoulli_fault_map;
 

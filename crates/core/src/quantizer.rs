@@ -70,6 +70,189 @@ impl<'a> MaskedQuantizer<'a> {
     pub fn effective_value(&self, param: ParamRef, value: f64) -> f64 {
         self.effective(param, value).0
     }
+
+    /// Pre-resolves every parameter's fault masks into dense per-layer
+    /// buffers, producing the [`ComposedQuantizer`] fast path.
+    pub fn compose(&self) -> ComposedQuantizer {
+        ComposedQuantizer::new(self.fmt, self.layout, self.faults)
+    }
+}
+
+/// Per-layer injection masks aligned with the dense row-major parameter
+/// storage of an [`Mlp`](matic_nn::Mlp), kept as separate OR/AND planes
+/// so the quantize-mask-decode sweep reads flat `u32` streams.
+#[derive(Debug, Clone)]
+struct LayerMasks {
+    /// Per-weight OR masks, row-major `fan_out × fan_in`.
+    w_or: Vec<u32>,
+    /// Per-weight AND masks, row-major `fan_out × fan_in`.
+    w_and: Vec<u32>,
+    /// Per-bias OR masks.
+    b_or: Vec<u32>,
+    /// Per-bias AND masks.
+    b_and: Vec<u32>,
+}
+
+/// The [`QFormat`] constants of the quantize-mask-decode sweep, hoisted
+/// out of the per-parameter loop.
+#[derive(Debug, Clone, Copy)]
+struct QuantConsts {
+    scale: f64,
+    inv_scale: f64,
+    raw_max: i32,
+    raw_min: i32,
+    raw_max_f: f64,
+    raw_min_f: f64,
+    word_mask: u32,
+    sign_shift: u32,
+}
+
+impl QuantConsts {
+    fn of(fmt: QFormat) -> Self {
+        QuantConsts {
+            scale: fmt.scale(),
+            inv_scale: fmt.inv_scale(),
+            raw_max: fmt.raw_max(),
+            raw_min: fmt.raw_min(),
+            raw_max_f: fmt.raw_max() as f64,
+            raw_min_f: fmt.raw_min() as f64,
+            word_mask: fmt.word_mask(),
+            sign_shift: 32 - fmt.word_bits() as u32,
+        }
+    }
+
+    /// `dequantize(decode((encode(quantize(x)) & and) | or))`, operation
+    /// for operation the same arithmetic as the scalar helpers in
+    /// `matic-fixed` — every comparison, tie-break and conversion matches,
+    /// so the result is bit-identical. Written select-friendly (no early
+    /// returns) so the per-parameter sweep stays branchless.
+    #[inline]
+    fn effective(self, x: f64, or: u32, and: u32) -> f64 {
+        const MAGIC: f64 = 4_503_599_627_370_496.0; // 2^52
+        let scaled = x * self.scale;
+        // Inline `round_half_away`: exact nearest-even via the 2^52 trick,
+        // tie fixed up to away-from-zero, sign restored by copysign (t is
+        // always non-negative). |scaled| >= 2^52, infinities and NaNs pass
+        // through unchanged, exactly like the early return in the scalar
+        // helper.
+        let a = scaled.abs();
+        let t = (a + MAGIC) - MAGIC;
+        let t = if a - t == 0.5 { t + 1.0 } else { t };
+        let rounded = if a < MAGIC {
+            t.copysign(scaled)
+        } else {
+            scaled
+        };
+        let raw = if rounded >= self.raw_max_f {
+            self.raw_max
+        } else if rounded <= self.raw_min_f {
+            self.raw_min
+        } else {
+            rounded as i32
+        };
+        let stored = ((raw as u32 & self.word_mask) & and) | or;
+        let decoded = ((stored << self.sign_shift) as i32) >> self.sign_shift;
+        decoded as f64 * self.inv_scale
+    }
+}
+
+/// The composed fast path of [`MaskedQuantizer`]: every parameter's
+/// OR/AND masks are gathered through the layout **once**, so the per-step
+/// quantize-and-mask sweep of memory-adaptive training touches only
+/// dense, cache-friendly buffers — no per-parameter address arithmetic
+/// inside the training loop.
+///
+/// Produces bit-identical effective values to the per-parameter
+/// [`MaskedQuantizer`] it was composed from (the masks are the same; only
+/// their lookup is hoisted).
+#[derive(Debug, Clone)]
+pub struct ComposedQuantizer {
+    fmt: QFormat,
+    layers: Vec<LayerMasks>,
+}
+
+impl ComposedQuantizer {
+    /// Gathers the masks of every parameter placed by `layout` (pass
+    /// `faults = None` for a quantization-only composition).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`MaskedQuantizer::new`].
+    pub fn new(fmt: QFormat, layout: &WeightLayout, faults: Option<&FaultMap>) -> Self {
+        // Delegate validation so both paths reject the same inputs.
+        let _ = MaskedQuantizer::new(fmt, layout, faults);
+        let clean = (0u32, fmt.word_mask());
+        let spec = layout.spec();
+        let mut layers = Vec::with_capacity(spec.depth());
+        let mask_of = |param: ParamRef| match faults {
+            Some(map) => {
+                let Location { bank, word } = layout.location_of(param);
+                let bank = &map.banks()[bank];
+                (bank.or_masks()[word], bank.and_masks()[word])
+            }
+            None => clean,
+        };
+        for layer in 0..spec.depth() {
+            let (fan_in, fan_out) = (spec.layers[layer], spec.layers[layer + 1]);
+            let mut masks = LayerMasks {
+                w_or: Vec::with_capacity(fan_out * fan_in),
+                w_and: Vec::with_capacity(fan_out * fan_in),
+                b_or: Vec::with_capacity(fan_out),
+                b_and: Vec::with_capacity(fan_out),
+            };
+            for row in 0..fan_out {
+                for col in 0..fan_in {
+                    let (or, and) = mask_of(ParamRef::Weight { layer, row, col });
+                    masks.w_or.push(or);
+                    masks.w_and.push(and);
+                }
+                let (or, and) = mask_of(ParamRef::Bias { layer, row });
+                masks.b_or.push(or);
+                masks.b_and.push(and);
+            }
+            layers.push(masks);
+        }
+        ComposedQuantizer { fmt, layers }
+    }
+
+    /// The weight format.
+    pub fn format(&self) -> QFormat {
+        self.fmt
+    }
+
+    /// Writes the effective (quantized + masked) view of `master` into
+    /// `out`, overwriting every parameter. `out` must have the same
+    /// topology as `master` (reuse the same buffer across training steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes of `master` and `out` differ.
+    pub fn effective_into(&self, master: &matic_nn::Mlp, out: &mut matic_nn::Mlp) {
+        assert_eq!(master.spec(), out.spec(), "effective_into shape mismatch");
+        let k = QuantConsts::of(self.fmt);
+        for (layer, masks) in self.layers.iter().enumerate() {
+            let src = master.weights()[layer].as_slice();
+            let dst = out.weights_mut()[layer].as_mut_slice();
+            for (((d, &s), &or), &and) in dst.iter_mut().zip(src).zip(&masks.w_or).zip(&masks.w_and)
+            {
+                *d = k.effective(s, or, and);
+            }
+            let src = &master.biases()[layer];
+            let dst = &mut out.biases_mut()[layer];
+            for (((d, &s), &or), &and) in dst.iter_mut().zip(src).zip(&masks.b_or).zip(&masks.b_and)
+            {
+                *d = k.effective(s, or, and);
+            }
+        }
+    }
+
+    /// The effective view as a fresh network (convenience form of
+    /// [`ComposedQuantizer::effective_into`]).
+    pub fn effective(&self, master: &matic_nn::Mlp) -> matic_nn::Mlp {
+        let mut out = master.clone();
+        self.effective_into(master, &mut out);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +343,84 @@ mod tests {
         // the mask (Fig. 4 takes it from the quantize step).
         let plain = matic_fixed::quantize_with_residual(x, fmt).residual;
         assert_eq!(eq, plain);
+    }
+
+    #[test]
+    fn composed_scalar_core_matches_fixed_helpers_on_edge_values() {
+        let fmt = QFormat::new(16, 13).unwrap();
+        let k = QuantConsts::of(fmt);
+        let (or, and) = (0x0041u32, 0xFFDFu32);
+        let mut probes: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            fmt.lsb() / 2.0,
+            -fmt.lsb() / 2.0,
+            0.49999999999999994,
+            fmt.max_value(),
+            fmt.min_value(),
+            1e300,
+            -1e300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+        ];
+        let mut x = -4.2;
+        while x < 4.2 {
+            probes.push(x);
+            x += 0.0137;
+        }
+        for &v in &probes {
+            let raw = matic_fixed::quantize(v, fmt);
+            let stored = (fmt.encode(raw) & and) | or;
+            let reference = matic_fixed::dequantize(fmt.decode(stored), fmt);
+            assert_eq!(
+                k.effective(v, or, and).to_bits(),
+                reference.to_bits(),
+                "x = {v:e}"
+            );
+        }
+        // NaN routes through the same saturating-cast branch.
+        let raw = matic_fixed::quantize(f64::NAN, fmt);
+        let stored = (fmt.encode(raw) & and) | or;
+        let reference = matic_fixed::dequantize(fmt.decode(stored), fmt);
+        assert_eq!(k.effective(f64::NAN, or, and), reference);
+    }
+
+    #[test]
+    fn composed_matches_per_param_quantizer_exactly() {
+        use matic_nn::Mlp;
+        use matic_sram::inject::bernoulli_fault_map;
+
+        let spec = NetSpec::classifier(&[6, 5, 3]);
+        let layout = WeightLayout::new(&spec, 2, 64).unwrap();
+        let fmt = QFormat::new(16, 12).unwrap();
+        let map = bernoulli_fault_map(2, 64, 16, 0.25, 11);
+        let master = Mlp::init(spec.clone(), 3);
+
+        let reference = MaskedQuantizer::new(fmt, &layout, Some(&map));
+        let composed = reference.compose();
+        let fast = composed.effective(&master);
+
+        for layer in 0..spec.depth() {
+            for row in 0..spec.layers[layer + 1] {
+                for col in 0..spec.layers[layer] {
+                    let p = ParamRef::Weight { layer, row, col };
+                    let v = master.weights()[layer].get(row, col);
+                    assert_eq!(
+                        fast.weights()[layer].get(row, col),
+                        reference.effective_value(p, v),
+                        "weight {p:?}"
+                    );
+                }
+                let p = ParamRef::Bias { layer, row };
+                let v = master.biases()[layer][row];
+                assert_eq!(
+                    fast.biases()[layer][row],
+                    reference.effective_value(p, v),
+                    "bias {p:?}"
+                );
+            }
+        }
     }
 
     #[test]

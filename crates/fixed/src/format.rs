@@ -138,6 +138,14 @@ impl QFormat {
         (1u64 << self.frac_bits) as f64
     }
 
+    /// Exact reciprocal scale `2^-frac_bits` (equals [`QFormat::lsb`]);
+    /// dividing by [`QFormat::scale`] and multiplying by this are
+    /// bit-identical for every representable raw value, and the multiply
+    /// is cheaper.
+    pub fn inv_scale(self) -> f64 {
+        self.lsb()
+    }
+
     /// Largest raw (two's complement) value, `2^(word_bits-1) - 1`.
     pub fn raw_max(self) -> i32 {
         ((1i64 << (self.word_bits - 1)) - 1) as i32

@@ -15,6 +15,8 @@
 //! * [`quantize_with_residual`] — quantization with *fractional-error
 //!   extraction*: the εq term of the memory-adaptive weight-update rule
 //!   `w ← m − α·∂J/∂m + εq`;
+//! * [`FxTensor`] — dense row-major raw-value tensors, the storage form of
+//!   fault-composed weights consumed by the blocked kernels in `matic-nn`;
 //! * raw storage-word encode/decode used by the SRAM fault model.
 //!
 //! # Example
@@ -36,11 +38,13 @@ mod acc;
 mod format;
 mod quant;
 mod scalar;
+mod tensor;
 
 pub use acc::Accumulator;
 pub use format::{FormatError, QFormat};
-pub use quant::{dequantize, quantize, quantize_with_residual, Quantized};
+pub use quant::{dequantize, quantize, quantize_with_residual, round_half_away, Quantized};
 pub use scalar::Fx;
+pub use tensor::FxTensor;
 
 #[cfg(test)]
 mod proptests;

@@ -38,8 +38,8 @@ pub struct Quantized {
 /// ```
 pub fn quantize(x: f64, fmt: QFormat) -> i32 {
     let scaled = x * fmt.scale();
-    // round() is round-half-away-from-zero, matching common RTL rounding.
-    let rounded = scaled.round();
+    // Round-half-away-from-zero, matching common RTL rounding.
+    let rounded = round_half_away(scaled);
     if rounded >= fmt.raw_max() as f64 {
         fmt.raw_max()
     } else if rounded <= fmt.raw_min() as f64 {
@@ -49,9 +49,45 @@ pub fn quantize(x: f64, fmt: QFormat) -> i32 {
     }
 }
 
+/// Round-half-away-from-zero, bit-identical to [`f64::round`] for every
+/// input (including NaNs, infinities, negative zero and values at the
+/// integer-precision limit).
+///
+/// `f64::round` lowers to a `libm` call on baseline x86-64 (no SSE4.1),
+/// which dominates the quantize-mask-decode sweep that memory-adaptive
+/// training runs over every parameter on every step. This inline version
+/// uses the exact 2⁵² magic-number trick: adding and subtracting 2⁵²
+/// rounds `|x|` to the nearest-even integer in one exact operation pair,
+/// and the single half-ulp fixup converts nearest-even ties into
+/// away-from-zero ties.
+#[inline]
+pub fn round_half_away(x: f64) -> f64 {
+    const MAGIC: f64 = 4_503_599_627_370_496.0; // 2^52
+    let a = x.abs();
+    if a >= MAGIC || a.is_nan() {
+        // Already integral (|x| >= 2^52), infinite, or NaN.
+        return x;
+    }
+    // Exact nearest-even integer of `a` (ulp at 2^52 is 1.0).
+    let t = (a + MAGIC) - MAGIC;
+    // `a - t` is exact; it equals +0.5 only on a tie nearest-even broke
+    // downward, which half-away must break upward.
+    let t = if a - t == 0.5 { t + 1.0 } else { t };
+    if x.is_sign_negative() {
+        -t
+    } else {
+        t
+    }
+}
+
 /// Converts a raw fixed-point value back to a real number.
+///
+/// Multiplies by the exact power-of-two reciprocal rather than dividing:
+/// both are exact IEEE operations for power-of-two scales, so the result
+/// is bit-identical, but the multiply keeps this off the division unit in
+/// the quantize-mask-decode sweeps that run once per training step.
 pub fn dequantize(raw: i32, fmt: QFormat) -> f64 {
-    raw as f64 / fmt.scale()
+    raw as f64 * fmt.inv_scale()
 }
 
 /// Quantizes `x` and also returns the residual εq = `x − value(Q(x))`.
@@ -136,6 +172,51 @@ mod tests {
         let q = QFormat::new(12, 9).unwrap();
         for raw in [-2048, -1, 0, 1, 2047] {
             assert_eq!(quantize(dequantize(raw, q), q), raw);
+        }
+    }
+
+    #[test]
+    fn round_half_away_matches_f64_round_exhaustively() {
+        // Edge cases with known pathologies.
+        for x in [
+            0.0,
+            -0.0,
+            0.5,
+            -0.5,
+            1.5,
+            -1.5,
+            2.5,
+            -2.5,
+            0.49999999999999994, // largest f64 < 0.5: naive +0.5 tricks fail
+            -0.49999999999999994,
+            4503599627370495.5, // largest non-integral f64
+            -4503599627370495.5,
+            4503599627370496.0, // 2^52: integral from here on
+            f64::MAX,
+            f64::MIN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+        ] {
+            assert_eq!(round_half_away(x).to_bits(), x.round().to_bits(), "{x:e}");
+        }
+        assert!(round_half_away(f64::NAN).is_nan());
+        // A deterministic xorshift sweep over raw bit patterns covers
+        // subnormals, huge magnitudes and random fractions alike.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..1_000_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = f64::from_bits(state);
+            if x.is_nan() {
+                continue;
+            }
+            assert_eq!(
+                round_half_away(x).to_bits(),
+                x.round().to_bits(),
+                "bits {state:#x} value {x:e}"
+            );
         }
     }
 

@@ -1,0 +1,169 @@
+//! Dense fixed-point tensors: the storage form of fault-composed weights.
+//!
+//! The per-MAC injection path re-derives every faulted weight on every
+//! multiply (locate the word, read the bank, decode). [`FxTensor`] is the
+//! alternative that makes the hot loops cheap: a row-major matrix of raw
+//! two's-complement values in a single [`QFormat`], materialized *once*
+//! per operating point and then consumed by the blocked integer kernels
+//! in `matic-nn`.
+
+use crate::format::QFormat;
+use crate::quant::dequantize;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `rows × cols` matrix of raw fixed-point values.
+///
+/// Rows follow the weight-matrix convention of the rest of the workspace
+/// (`rows = fan_out`, `cols = fan_in`), so [`FxTensor::row`] yields
+/// exactly the operand slice a processing element streams through its MAC.
+///
+/// # Example
+///
+/// ```
+/// use matic_fixed::{FxTensor, QFormat};
+///
+/// let q = QFormat::new(16, 12)?;
+/// // Decode two stored SRAM words into a 1x2 tensor of raw weights.
+/// let words = [q.encode(1024), q.encode(-2048)];
+/// let t = FxTensor::from_words(1, 2, &words, q);
+/// assert_eq!(t.row(0), &[1024, -2048]);
+/// assert_eq!(t.to_f64(0, 1), -0.5); // -2048 / 2^12
+/// # Ok::<(), matic_fixed::FormatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FxTensor {
+    rows: usize,
+    cols: usize,
+    fmt: QFormat,
+    raw: Vec<i32>,
+}
+
+impl FxTensor {
+    /// An all-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize, fmt: QFormat) -> Self {
+        FxTensor {
+            rows,
+            cols,
+            fmt,
+            raw: vec![0; rows * cols],
+        }
+    }
+
+    /// Builds a tensor from row-major raw values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len() != rows * cols`.
+    pub fn from_raw(rows: usize, cols: usize, raw: Vec<i32>, fmt: QFormat) -> Self {
+        assert_eq!(raw.len(), rows * cols, "shape mismatch");
+        FxTensor {
+            rows,
+            cols,
+            fmt,
+            raw,
+        }
+    }
+
+    /// Decodes row-major storage words (as read from a weight SRAM) into a
+    /// tensor, sign-extending each word in `fmt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != rows * cols`.
+    pub fn from_words(rows: usize, cols: usize, words: &[u32], fmt: QFormat) -> Self {
+        assert_eq!(words.len(), rows * cols, "shape mismatch");
+        FxTensor {
+            rows,
+            cols,
+            fmt,
+            raw: words.iter().map(|&w| fmt.decode(w)).collect(),
+        }
+    }
+
+    /// Number of rows (fan-out for weight tensors).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (fan-in for weight tensors).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The tensor's fixed-point format.
+    pub fn format(&self) -> QFormat {
+        self.fmt
+    }
+
+    /// Raw element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> i32 {
+        self.raw[r * self.cols + c]
+    }
+
+    /// Sets a raw element.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, raw: i32) {
+        self.raw[r * self.cols + c] = raw;
+    }
+
+    /// One row of raw values (a PE's MAC operand stream).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[i32] {
+        &self.raw[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// All raw values, row-major.
+    pub fn as_raw(&self) -> &[i32] {
+        &self.raw
+    }
+
+    /// An element decoded back to a real number (exact).
+    pub fn to_f64(&self, r: usize, c: usize) -> f64 {
+        dequantize(self.get(r, c), self.fmt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::quantize;
+
+    fn q() -> QFormat {
+        QFormat::new(16, 12).unwrap()
+    }
+
+    #[test]
+    fn from_words_sign_extends() {
+        let words = [q().encode(-1), q().encode(1)];
+        let t = FxTensor::from_words(2, 1, &words, q());
+        assert_eq!(t.get(0, 0), -1);
+        assert_eq!(t.get(1, 0), 1);
+    }
+
+    #[test]
+    fn rows_are_contiguous_slices() {
+        let raw: Vec<i32> = (0..6).collect();
+        let t = FxTensor::from_raw(2, 3, raw, q());
+        assert_eq!(t.row(0), &[0, 1, 2]);
+        assert_eq!(t.row(1), &[3, 4, 5]);
+        assert_eq!(t.as_raw().len(), 6);
+    }
+
+    #[test]
+    fn roundtrips_through_f64() {
+        let mut t = FxTensor::zeros(1, 1, q());
+        t.set(0, 0, quantize(0.75, q()));
+        assert_eq!(t.to_f64(0, 0), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_raw_checks_shape() {
+        let _ = FxTensor::from_raw(2, 2, vec![0; 3], q());
+    }
+}

@@ -106,6 +106,29 @@ impl std::error::Error for PlanError {}
 /// A validated sweep description: the cartesian grid
 /// `{chips} x {stress points} x {scenarios} x {training modes}` plus
 /// effort and seeding knobs. Build one with [`SweepPlan::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use matic_harness::{SweepPlan, TrainingMode};
+///
+/// let plan = SweepPlan::builder()
+///     .chips(8)
+///     .voltage_grid(0.46, 0.90, 5)
+///     .benchmark("all")?
+///     .modes(&[TrainingMode::Naive, TrainingMode::Mat])
+///     .seed(42)
+///     .build()?;
+///
+/// // Voltages walk high-to-low so superset fault maps come first.
+/// assert_eq!(plan.axis.points()[0], 0.90);
+/// assert_eq!(plan.cell_count(), 8 * 5 * 4 * 2);
+/// // Every random quantity is seeded from the grid position, never from
+/// // execution order, so `run_sweep` reports are byte-identical for any
+/// // worker-thread count.
+/// assert_ne!(plan.chip_seed(0), plan.chip_seed(1));
+/// # Ok::<(), matic_harness::PlanError>(())
+/// ```
 #[derive(Clone)]
 pub struct SweepPlan {
     /// Number of synthesized chip instances (process-variation samples).

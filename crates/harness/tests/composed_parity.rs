@@ -1,0 +1,114 @@
+//! The sweep engine's fault-composed evaluation must reproduce the
+//! legacy per-MAC evaluation loop bit-for-bit on the real benchmarks.
+//!
+//! `eval_on_chip` composes a `FaultedWeights` artifact once per
+//! (model, voltage) and runs the dense kernel across the test set; this
+//! suite re-implements the pre-composition evaluation (per-sample,
+//! per-MAC fetches through `Snnac::execute_reference`) and asserts exact
+//! metric and cycle equality for every paper benchmark.
+
+use matic_core::{train_naive, upload_weights, TrainedModel};
+use matic_harness::eval_on_chip;
+use matic_nn::Sample;
+use matic_snnac::microcode::Program;
+use matic_snnac::npu::NpuStats;
+use matic_snnac::{Chip, ChipConfig, Snnac};
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, x) in v.iter().enumerate() {
+        if *x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn classified_correctly(out: &[f64], target: &[f64]) -> bool {
+    if out.len() == 1 {
+        (out[0] >= 0.5) == (target[0] >= 0.5)
+    } else {
+        argmax(out) == argmax(target)
+    }
+}
+
+/// The evaluation loop exactly as it ran before fault composition: one
+/// per-MAC NPU execution per test sample.
+fn eval_reference(
+    chip: &mut Chip,
+    model: &TrainedModel,
+    is_classification: bool,
+    test: &[Sample],
+    voltage: f64,
+) -> (f64, NpuStats) {
+    chip.set_sram_voltage(0.9);
+    upload_weights(model, chip.array_mut());
+    chip.set_sram_voltage(voltage);
+    let npu = Snnac::snnac(model.format());
+    let program = Program::compile(model.master().spec(), npu.pe_count());
+    let mut first_stats: Option<NpuStats> = None;
+    let mut wrong = 0usize;
+    let mut sq_err = 0.0f64;
+    for s in test {
+        let (out, stats) =
+            npu.execute_reference(&program, model.layout(), chip.array_mut(), &s.input);
+        first_stats.get_or_insert(stats);
+        if is_classification {
+            if !classified_correctly(&out, &s.target) {
+                wrong += 1;
+            }
+        } else {
+            sq_err += out
+                .iter()
+                .zip(&s.target)
+                .map(|(y, t)| (y - t) * (y - t))
+                .sum::<f64>()
+                / out.len() as f64;
+        }
+    }
+    let metric = if is_classification {
+        100.0 * wrong as f64 / test.len().max(1) as f64
+    } else {
+        sq_err / test.len().max(1) as f64
+    };
+    (metric, first_stats.unwrap_or_default())
+}
+
+#[test]
+fn engine_eval_matches_per_mac_reference_on_all_benchmarks() {
+    for scenario in matic_harness::builtin_scenarios() {
+        let split = scenario.generate(11, 0.15);
+        let cfg = scenario.train_config(0.1);
+        let model = train_naive(&scenario.topology(), &split.train, &cfg, 8, 576);
+        for (chip_seed, voltage) in [(3u64, 0.52), (3, 0.46), (9, 0.50)] {
+            let mut fast_chip = Chip::synthesize(ChipConfig::snnac(), chip_seed);
+            let mut ref_chip = Chip::synthesize(ChipConfig::snnac(), chip_seed);
+            let (fast, fast_stats) = eval_on_chip(
+                &mut fast_chip,
+                &model,
+                scenario.is_classification(),
+                &split.test,
+                voltage,
+            );
+            let (reference, ref_stats) = eval_reference(
+                &mut ref_chip,
+                &model,
+                scenario.is_classification(),
+                &split.test,
+                voltage,
+            );
+            assert_eq!(
+                fast.to_bits(),
+                reference.to_bits(),
+                "{} @ {voltage} V seed {chip_seed}: metric diverged ({fast} vs {reference})",
+                scenario.name()
+            );
+            assert_eq!(
+                fast_stats,
+                ref_stats,
+                "{} @ {voltage} V seed {chip_seed}: stats diverged",
+                scenario.name()
+            );
+        }
+    }
+}

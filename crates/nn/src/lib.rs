@@ -42,6 +42,7 @@
 
 mod activation;
 mod gradcheck;
+pub mod kernel;
 mod matrix;
 mod metrics;
 mod mlp;
@@ -52,7 +53,7 @@ pub use activation::Activation;
 pub use gradcheck::numerical_gradients;
 pub use matrix::Matrix;
 pub use metrics::{classification_error_percent, mean_squared_error, Metric};
-pub use mlp::{Gradients, Mlp, MomentumState};
+pub use mlp::{BatchScratch, Gradients, Mlp, MomentumState, TrainScratch};
 pub use sample::Sample;
 pub use spec::{Loss, NetSpec};
 

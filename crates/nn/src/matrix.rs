@@ -88,8 +88,21 @@ impl Matrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free [`Matrix::matvec`] into a caller-owned buffer.
+    /// Accumulation order is identical to `matvec`, so results are
+    /// bit-for-bit the same (training hot loops rely on this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output mismatch");
         for (r, yr) in y.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
@@ -98,7 +111,6 @@ impl Matrix {
             }
             *yr = acc;
         }
-        y
     }
 
     /// `y = selfᵀ · x` (transposed matrix-vector product, used to
@@ -108,15 +120,28 @@ impl Matrix {
     ///
     /// Panics if `x.len() != rows`.
     pub fn t_matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "t_matvec dimension mismatch");
         let mut y = vec![0.0; self.cols];
+        self.t_matvec_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free [`Matrix::t_matvec`] into a caller-owned buffer
+    /// (the buffer is overwritten, not accumulated into). Bit-identical
+    /// to `t_matvec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `y.len() != cols`.
+    pub fn t_matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "t_matvec dimension mismatch");
+        assert_eq!(y.len(), self.cols, "t_matvec output mismatch");
+        y.fill(0.0);
         for (r, &xr) in x.iter().enumerate() {
             let row = self.row(r);
             for (yc, w) in y.iter_mut().zip(row) {
                 *yc += w * xr;
             }
         }
-        y
     }
 
     /// Rank-1 update `self += scale · a·bᵀ` (gradient accumulation).

@@ -31,6 +31,16 @@ impl Gradients {
         }
     }
 
+    /// Resets all gradients to zero (buffer reuse across training steps).
+    pub fn reset(&mut self) {
+        for w in &mut self.weights {
+            w.fill_zero();
+        }
+        for b in &mut self.biases {
+            b.fill(0.0);
+        }
+    }
+
     /// Accumulates `other` into `self`.
     pub fn accumulate(&mut self, other: &Gradients) {
         for (a, b) in self.weights.iter_mut().zip(&other.weights) {
@@ -54,6 +64,45 @@ impl Gradients {
             }
         }
     }
+}
+
+/// Reusable buffers for allocation-free forward/backward passes.
+///
+/// Training loops call [`Mlp::accumulate_sample_gradients`] thousands of
+/// times per epoch; routing every pass through one scratch set removes
+/// all per-sample heap traffic from the hot path while producing
+/// bit-identical numbers (every operation runs in the same order as the
+/// allocating reference).
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    /// Per-layer activations (input included), reused across samples.
+    acts: Vec<Vec<f64>>,
+    /// Current backprop delta.
+    delta: Vec<f64>,
+    /// Next (earlier-layer) delta under construction.
+    prev: Vec<f64>,
+}
+
+/// Reusable buffers for the **batched** forward/backward pass of
+/// [`Mlp::gradients_indexed`].
+///
+/// Activations and deltas are stored column-major over the mini-batch
+/// (`[unit * batch + sample]`), which turns every inner loop into
+/// independent per-sample lanes: the compiler vectorizes across samples
+/// while each sample's own floating-point accumulation order — and
+/// therefore its bits — remains exactly that of the sequential
+/// one-sample-at-a-time reference.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    /// Per-layer activations, `[unit * batch + sample]` (input included).
+    acts: Vec<Vec<f64>>,
+    /// Per-layer activations transposed to `[sample * width + unit]`,
+    /// feeding the per-sample backward sweep.
+    acts_t: Vec<Vec<f64>>,
+    /// Current backprop delta of one sample.
+    delta: Vec<f64>,
+    /// Next (earlier-layer) delta under construction.
+    prev: Vec<f64>,
 }
 
 /// Momentum accumulators matching a network's shape.
@@ -196,6 +245,18 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if `input.len()` differs from the input-layer width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use matic_nn::{Mlp, NetSpec};
+    ///
+    /// let net = Mlp::init(NetSpec::classifier(&[4, 8, 3]), 7);
+    /// let out = net.forward(&[0.1, 0.9, 0.4, 0.2]);
+    /// assert_eq!(out.len(), 3);
+    /// // Sigmoid outputs are probabilities.
+    /// assert!(out.iter().all(|y| (0.0..=1.0).contains(y)));
+    /// ```
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
         self.forward_trace(input).pop().unwrap()
     }
@@ -231,58 +292,224 @@ impl Mlp {
         samples.iter().map(|s| self.sample_loss(s)).sum::<f64>() / samples.len() as f64
     }
 
+    /// Forward pass into caller-owned activation buffers (the scratch form
+    /// of [`Mlp::forward_trace`]; same operations in the same order).
+    fn forward_trace_scratch(&self, input: &[f64], acts: &mut Vec<Vec<f64>>) {
+        assert_eq!(input.len(), self.spec.layers[0], "input width mismatch");
+        acts.resize(self.spec.depth() + 1, Vec::new());
+        acts[0].clear();
+        acts[0].extend_from_slice(input);
+        for l in 0..self.spec.depth() {
+            let (head, tail) = acts.split_at_mut(l + 1);
+            let z = &mut tail[0];
+            z.resize(self.weights[l].rows(), 0.0);
+            self.weights[l].matvec_into(&head[l], z);
+            for (zi, bi) in z.iter_mut().zip(&self.biases[l]) {
+                *zi += bi;
+            }
+            self.spec.activation(l).apply_slice(z);
+        }
+    }
+
     /// Backward pass for one sample: gradients of the loss with respect to
     /// **this network's** weights. The memory-adaptive loop calls this on
     /// the masked/quantized copy so that "the network error propagated in
     /// the backward pass reflects the impact of the bit-errors" (§III-B).
     pub fn sample_gradients(&self, sample: &Sample) -> Gradients {
-        let acts = self.forward_trace(&sample.input);
-        let depth = self.spec.depth();
         let mut grads = Gradients::zeros_like(self);
+        let mut scratch = TrainScratch::default();
+        self.accumulate_sample_gradients(sample, &mut grads, &mut scratch);
+        grads
+    }
+
+    /// Adds one sample's gradients into `grads` without allocating:
+    /// activations and deltas live in `scratch`, and the per-layer
+    /// contributions are accumulated straight into the batch totals. The
+    /// arithmetic (values and addition order) is exactly that of
+    /// [`Mlp::sample_gradients`] followed by [`Gradients::accumulate`].
+    pub fn accumulate_sample_gradients(
+        &self,
+        sample: &Sample,
+        grads: &mut Gradients,
+        scratch: &mut TrainScratch,
+    ) {
+        self.forward_trace_scratch(&sample.input, &mut scratch.acts);
+        let depth = self.spec.depth();
 
         // Output delta: dJ/dz for the output layer.
-        let out = &acts[depth];
-        let mut delta: Vec<f64> = match self.spec.loss {
-            Loss::Mse => out
-                .iter()
-                .zip(&sample.target)
-                .map(|(y, t)| {
+        let out = &scratch.acts[depth];
+        scratch.delta.clear();
+        match self.spec.loss {
+            Loss::Mse => scratch
+                .delta
+                .extend(out.iter().zip(&sample.target).map(|(y, t)| {
                     let dact = self.spec.output.derivative_from_output(*y);
                     (y - t) * dact
-                })
-                .collect(),
+                })),
             // Sigmoid + cross-entropy cancels the activation derivative.
-            Loss::CrossEntropy => out.iter().zip(&sample.target).map(|(y, t)| y - t).collect(),
-        };
+            Loss::CrossEntropy => scratch
+                .delta
+                .extend(out.iter().zip(&sample.target).map(|(y, t)| y - t)),
+        }
 
         for l in (0..depth).rev() {
-            grads.weights[l].add_outer(&delta, &acts[l], 1.0);
-            for (g, d) in grads.biases[l].iter_mut().zip(&delta) {
+            grads.weights[l].add_outer(&scratch.delta, &scratch.acts[l], 1.0);
+            for (g, d) in grads.biases[l].iter_mut().zip(&scratch.delta) {
                 *g += d;
             }
             if l > 0 {
-                let mut prev = self.weights[l].t_matvec(&delta);
-                for (p, a) in prev.iter_mut().zip(&acts[l]) {
+                scratch.prev.resize(self.weights[l].cols(), 0.0);
+                self.weights[l].t_matvec_into(&scratch.delta, &mut scratch.prev);
+                for (p, a) in scratch.prev.iter_mut().zip(&scratch.acts[l]) {
                     *p *= self.spec.activation(l - 1).derivative_from_output(*a);
                 }
-                delta = prev;
+                std::mem::swap(&mut scratch.delta, &mut scratch.prev);
             }
         }
-        grads
     }
 
     /// Mean gradients over a mini-batch.
     pub fn gradients(&self, batch: &[Sample]) -> Gradients {
         let mut total = Gradients::zeros_like(self);
+        let mut scratch = TrainScratch::default();
         for s in batch {
-            total.accumulate(&self.sample_gradients(s));
+            self.accumulate_sample_gradients(s, &mut total, &mut scratch);
         }
         total.scale(1.0 / batch.len().max(1) as f64);
         total
     }
 
+    /// Mean gradients of the samples selected by `indices`, written into
+    /// the reusable `total`/`scratch` buffers: the batched, allocation-free
+    /// form of [`Mlp::gradients`] that training loops drive with their
+    /// shuffled index order.
+    ///
+    /// The whole mini-batch moves through the network together in
+    /// column-major sample lanes, but every sample's accumulation order is
+    /// the reference order (columns ascending in the forward product, rows
+    /// ascending in the backpropagated delta, samples ascending into the
+    /// gradient totals), so the result is bit-identical to summing
+    /// [`Mlp::sample_gradients`] over the batch.
+    pub fn gradients_indexed(
+        &self,
+        data: &[Sample],
+        indices: &[usize],
+        total: &mut Gradients,
+        scratch: &mut BatchScratch,
+    ) {
+        total.reset();
+        let b = indices.len();
+        if b == 0 {
+            return;
+        }
+        let depth = self.spec.depth();
+
+        // Forward pass, all samples in lock-step.
+        scratch.acts.resize(depth + 1, Vec::new());
+        let width0 = self.spec.layers[0];
+        let a0 = &mut scratch.acts[0];
+        a0.resize(width0 * b, 0.0);
+        for (s, &i) in indices.iter().enumerate() {
+            let input = &data[i].input;
+            assert_eq!(input.len(), width0, "input width mismatch");
+            for (c, &x) in input.iter().enumerate() {
+                a0[c * b + s] = x;
+            }
+        }
+        for l in 0..depth {
+            let rows = self.weights[l].rows();
+            let act = self.spec.activation(l);
+            let (head, tail) = scratch.acts.split_at_mut(l + 1);
+            let x = &head[l];
+            let z = &mut tail[0];
+            z.resize(rows * b, 0.0);
+            // The full-size mini-batch gets register-resident lane
+            // accumulators; ragged tail batches take the generic path.
+            // Both run the same per-lane operations in the same order.
+            match b {
+                8 => forward_layer_lanes::<8>(&self.weights[l], &self.biases[l], act, x, z),
+                4 => forward_layer_lanes::<4>(&self.weights[l], &self.biases[l], act, x, z),
+                _ => {
+                    for r in 0..rows {
+                        let zrow = &mut z[r * b..(r + 1) * b];
+                        zrow.fill(0.0);
+                        // Per sample: Σ_c w·x with columns ascending — the
+                        // exact accumulation order of `Matrix::matvec`.
+                        for (xc, &w) in x.chunks_exact(b).zip(self.weights[l].row(r)) {
+                            for (zv, xv) in zrow.iter_mut().zip(xc) {
+                                *zv += w * xv;
+                            }
+                        }
+                        let bias = self.biases[l][r];
+                        for zv in zrow.iter_mut() {
+                            *zv = act.apply(*zv + bias);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Transpose activations to per-sample rows for the backward sweep.
+        scratch.acts_t.resize(depth + 1, Vec::new());
+        for l in 0..=depth {
+            let width = self.spec.layers[l];
+            let src = &scratch.acts[l];
+            let dst = &mut scratch.acts_t[l];
+            dst.resize(width * b, 0.0);
+            for c in 0..width {
+                for s in 0..b {
+                    dst[s * width + c] = src[c * b + s];
+                }
+            }
+        }
+
+        // Backward pass, one sample at a time (samples ascending — the
+        // order the per-sample reference accumulates the batch in; each
+        // inner loop runs over contiguous per-sample slices, exactly like
+        // `sample_gradients`).
+        let fan_out = *self.spec.layers.last().unwrap();
+        for (s, &i) in indices.iter().enumerate() {
+            let target = &data[i].target;
+            assert_eq!(target.len(), fan_out, "target width mismatch");
+            let out = &scratch.acts_t[depth][s * fan_out..(s + 1) * fan_out];
+            scratch.delta.clear();
+            match self.spec.loss {
+                Loss::Mse => scratch.delta.extend(out.iter().zip(target).map(|(y, t)| {
+                    let dact = self.spec.output.derivative_from_output(*y);
+                    (y - t) * dact
+                })),
+                // Sigmoid + cross-entropy cancels the activation derivative.
+                Loss::CrossEntropy => scratch
+                    .delta
+                    .extend(out.iter().zip(target).map(|(y, t)| y - t)),
+            }
+            for l in (0..depth).rev() {
+                let width = self.spec.layers[l];
+                let a_l = &scratch.acts_t[l][s * width..(s + 1) * width];
+                total.weights[l].add_outer(&scratch.delta, a_l, 1.0);
+                for (g, d) in total.biases[l].iter_mut().zip(&scratch.delta) {
+                    *g += d;
+                }
+                if l > 0 {
+                    scratch.prev.resize(width, 0.0);
+                    self.weights[l].t_matvec_into(&scratch.delta, &mut scratch.prev);
+                    for (p, a) in scratch.prev.iter_mut().zip(a_l) {
+                        *p *= self.spec.activation(l - 1).derivative_from_output(*a);
+                    }
+                    std::mem::swap(&mut scratch.delta, &mut scratch.prev);
+                }
+            }
+        }
+        total.scale(1.0 / b as f64);
+    }
+
     /// Applies one SGD step: `θ ← θ − lr · v` where `v` is the momentum
     /// velocity updated with `grads`.
+    ///
+    /// The velocity update and the weight update run fused in one pass
+    /// (per element `v ← µ·v + g` then `θ ← θ − lr·v`, the exact
+    /// per-element operations [`MomentumState::update`] followed by a
+    /// scaled add would perform — one memory sweep instead of three).
     pub fn apply_update(
         &mut self,
         grads: &Gradients,
@@ -290,13 +517,33 @@ impl Mlp {
         momentum: f64,
         state: &mut MomentumState,
     ) {
-        let (vw, vb) = state.update(grads, momentum);
-        for (w, v) in self.weights.iter_mut().zip(vw) {
-            w.add_scaled(v, -lr);
+        for ((w, v), g) in self
+            .weights
+            .iter_mut()
+            .zip(&mut state.weights)
+            .zip(&grads.weights)
+        {
+            for ((wv, vv), gv) in w
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(g.as_slice())
+            {
+                let vel = momentum * *vv + gv;
+                *vv = vel;
+                *wv += -lr * vel;
+            }
         }
-        for (b, v) in self.biases.iter_mut().zip(vb) {
-            for (x, y) in b.iter_mut().zip(v) {
-                *x -= lr * y;
+        for ((b, v), g) in self
+            .biases
+            .iter_mut()
+            .zip(&mut state.biases)
+            .zip(&grads.biases)
+        {
+            for ((bv, vv), gv) in b.iter_mut().zip(v.iter_mut()).zip(g) {
+                let vel = momentum * *vv + gv;
+                *vv = vel;
+                *bv += -lr * vel;
             }
         }
     }
@@ -308,17 +555,43 @@ impl Mlp {
         let mut rng = StdRng::seed_from_u64(shuffle_seed);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut momentum = MomentumState::zeros_like(self);
+        let mut grads = Gradients::zeros_like(self);
+        let mut scratch = BatchScratch::default();
         let mut lr = cfg.lr;
         for _ in 0..cfg.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(cfg.batch_size.max(1)) {
-                let batch: Vec<Sample> = chunk.iter().map(|&i| data[i].clone()).collect();
-                let grads = self.gradients(&batch);
+                self.gradients_indexed(data, chunk, &mut grads, &mut scratch);
                 self.apply_update(&grads, lr, cfg.momentum, &mut momentum);
             }
             lr *= cfg.lr_decay;
         }
         self.mean_loss(data)
+    }
+}
+
+/// One layer of the batched forward pass with `B` sample lanes held in
+/// registers: `z[r] = f(Σ_c w[r][c] · x[c] + bias[r])` per lane, columns
+/// ascending — the exact accumulation order of [`Matrix::matvec`], so
+/// each lane's bits match the one-sample-at-a-time reference.
+fn forward_layer_lanes<const B: usize>(
+    weights: &Matrix,
+    biases: &[f64],
+    act: crate::activation::Activation,
+    x: &[f64],
+    z: &mut [f64],
+) {
+    for (r, zrow) in z.chunks_exact_mut(B).enumerate() {
+        let mut acc = [0.0f64; B];
+        for (xc, &w) in x.chunks_exact(B).zip(weights.row(r)) {
+            for (a, xv) in acc.iter_mut().zip(xc) {
+                *a += w * xv;
+            }
+        }
+        let bias = biases[r];
+        for (zv, a) in zrow.iter_mut().zip(acc) {
+            *zv = act.apply(a + bias);
+        }
     }
 }
 
@@ -426,6 +699,41 @@ mod tests {
         );
         let after = net.mean_loss(&data);
         assert!(after < before / 4.0, "{before} -> {after}");
+    }
+
+    #[test]
+    fn batched_gradients_are_bit_identical_to_per_sample() {
+        // The batched path may vectorize across samples but must keep
+        // every sample's accumulation order — exact f64 equality, not
+        // approximate closeness, across losses and batch sizes.
+        for spec in [
+            NetSpec::classifier(&[5, 7, 3]),
+            NetSpec::regressor(&[4, 6, 2]),
+        ] {
+            let net = Mlp::init(spec.clone(), 11);
+            let data: Vec<Sample> = (0..13)
+                .map(|i| {
+                    let x: Vec<f64> = (0..spec.layers[0])
+                        .map(|c| ((i * 7 + c * 3) % 17) as f64 / 17.0 - 0.4)
+                        .collect();
+                    let t: Vec<f64> = (0..*spec.layers.last().unwrap())
+                        .map(|c| ((i + c) % 5) as f64 / 5.0)
+                        .collect();
+                    Sample::new(x, t)
+                })
+                .collect();
+            for batch in [1usize, 4, 8, 13] {
+                let indices: Vec<usize> = (0..batch).collect();
+                let reference = net.gradients(&data[..batch]);
+                let mut total = Gradients::zeros_like(&net);
+                let mut scratch = BatchScratch::default();
+                net.gradients_indexed(&data, &indices, &mut total, &mut scratch);
+                assert_eq!(total, reference, "spec {spec:?} batch {batch}");
+                // Reusing the same scratch must not perturb a second run.
+                net.gradients_indexed(&data, &indices, &mut total, &mut scratch);
+                assert_eq!(total, reference);
+            }
+        }
     }
 
     #[test]

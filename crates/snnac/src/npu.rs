@@ -9,11 +9,19 @@
 //! the read-disturb mechanics of `matic-sram` are exercised exactly as on
 //! silicon: at overscaled voltages marginal cells flip to their preferred
 //! state and the PE consumes the corrupted word.
+//!
+//! The simulator realizes those fetches in two bit-identical ways: the
+//! per-MAC reference path ([`Snnac::execute_reference`]) reads a word per
+//! multiply, while the default path composes the array's post-disturb
+//! contents into a dense [`FaultedWeights`] artifact once and then runs a
+//! blocked integer kernel ([`Snnac::execute_composed`]) — the fast shape
+//! evaluation loops should use, composing once per operating point.
 
 use crate::afu::Afu;
 use crate::microcode::{MicroOp, Program};
-use matic_core::{ParamRef, WeightLayout};
+use matic_core::{FaultedWeights, ParamRef, WeightLayout};
 use matic_fixed::{Accumulator, Fx, QFormat};
+use matic_nn::kernel::fx_matvec;
 use matic_sram::SramArray;
 use serde::{Deserialize, Serialize};
 
@@ -78,6 +86,15 @@ impl Snnac {
     /// `layout` maps each (layer, neuron, input) weight to its physical
     /// word; it must have been built for the same bank count as `array`.
     ///
+    /// Internally this composes the array's current contents into a
+    /// [`FaultedWeights`] artifact (one physical read per stored word —
+    /// the same reads, in effect, that the per-MAC fetch loop would
+    /// issue) and then runs the blocked integer kernel over the dense
+    /// tensors. Outputs, statistics and the post-disturb array state are
+    /// bit-identical to [`Snnac::execute_reference`]; callers evaluating
+    /// many inputs at one operating point should compose once themselves
+    /// and call [`Snnac::execute_composed`] directly.
+    ///
     /// Returns the output activations (as reals) and cycle statistics.
     ///
     /// # Panics
@@ -85,6 +102,146 @@ impl Snnac {
     /// Panics if `input` width does not match the program's first layer or
     /// the layout disagrees with the array geometry.
     pub fn execute(
+        &self,
+        program: &Program,
+        layout: &WeightLayout,
+        array: &mut SramArray,
+        input: &[f64],
+    ) -> (Vec<f64>, NpuStats) {
+        assert!(
+            layout.banks() == array.bank_count(),
+            "layout banks {} != array banks {}",
+            layout.banks(),
+            array.bank_count()
+        );
+        let weights = FaultedWeights::from_array(layout, self.weight_fmt, array);
+        self.execute_composed(program, &weights, input)
+    }
+
+    /// Executes a compiled program over fault-composed weight tensors:
+    /// the fast path that never consults a fault map or weight memory
+    /// inside the MAC loop.
+    ///
+    /// `weights` is the [`FaultedWeights`] artifact of the current
+    /// (chip, voltage) operating point; compose it once per operating
+    /// point and reuse it across the whole evaluation set. The MAC
+    /// arithmetic is exact integer accumulation, so the blocked/unrolled
+    /// kernel produces bit-identical activations — and identical cycle
+    /// accounting, since the modeled hardware still fetches every word —
+    /// to the per-MAC reference path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` width does not match the program's first layer
+    /// or the artifact's shapes disagree with the program.
+    pub fn execute_composed(
+        &self,
+        program: &Program,
+        weights: &FaultedWeights,
+        input: &[f64],
+    ) -> (Vec<f64>, NpuStats) {
+        let mut stats = NpuStats::default();
+        // The input FIFO holds the current layer's inputs (activation fmt),
+        // mirrored as raw values for the integer kernel.
+        let mut current: Vec<Fx> = input
+            .iter()
+            .map(|&x| Fx::from_f64(x, self.act_fmt))
+            .collect();
+        let mut current_raw: Vec<i32> = current.iter().map(|fx| fx.raw()).collect();
+        let mut next: Vec<Fx> = Vec::new();
+        let mut fan_in = 0usize;
+        let mut layer = 0usize;
+        let mut activation = matic_nn::Activation::Sigmoid;
+        let mut pending: Vec<Fx> = Vec::new(); // accumulator-drained group
+        let mut group_dots = vec![0i64; self.pes];
+        let act_frac = self.act_fmt.frac_bits();
+
+        for op in program.ops() {
+            match *op {
+                MicroOp::SetLayer {
+                    layer: l,
+                    fan_in: fi,
+                    fan_out: fo,
+                    activation: act,
+                } => {
+                    layer = l as usize;
+                    fan_in = fi as usize;
+                    activation = act;
+                    next = Vec::with_capacity(fo as usize);
+                }
+                MicroOp::LoadInput => {
+                    assert_eq!(
+                        current.len(),
+                        fan_in,
+                        "input width mismatch at layer {layer}"
+                    );
+                    // Streaming the input vector costs one cycle per element.
+                    stats.cycles += fan_in as u64;
+                }
+                MicroOp::Macc {
+                    neuron_base,
+                    active,
+                } => {
+                    // All active PEs run in lock-step: fan_in MAC cycles,
+                    // one bias-fetch cycle, plus fill/drain overhead.
+                    stats.cycles += fan_in as u64 + 1 + self.group_overhead;
+                    pending.clear();
+                    let tensor = weights.layer(layer);
+                    let biases = weights.bias(layer);
+                    let base = neuron_base as usize;
+                    let group = active as usize;
+                    // The group's neurons are consecutive tensor rows, so
+                    // the whole lock-step MACC is one blocked matvec over
+                    // the dense storage; exact i64 accumulation makes the
+                    // unrolled kernel equal the sequential MAC chain.
+                    let rows =
+                        &tensor.as_raw()[base * tensor.cols()..(base + group) * tensor.cols()];
+                    let dots = &mut group_dots[..group];
+                    fx_matvec(rows, &current_raw, dots);
+                    for (pe, &dot) in dots.iter().enumerate() {
+                        let mut acc = Accumulator::new();
+                        acc.add_raw(dot);
+                        acc.add_raw((biases[base + pe] as i64) << act_frac);
+                        stats.sram_reads += fan_in as u64 + 1;
+                        stats.macs += fan_in as u64;
+                        // Narrow the wide accumulator to the AFU input.
+                        pending.push(acc.narrow_from(
+                            self.weight_fmt,
+                            act_frac,
+                            self.afu.input_format(),
+                        ));
+                    }
+                }
+                MicroOp::Activate => {
+                    // The AFU drains one value per cycle.
+                    stats.cycles += pending.len() as u64;
+                    for z in pending.drain(..) {
+                        next.push(self.afu.apply(activation, z));
+                    }
+                }
+                MicroOp::StoreOutput => {
+                    stats.cycles += 1;
+                    current = std::mem::take(&mut next);
+                    current_raw.clear();
+                    current_raw.extend(current.iter().map(|fx| fx.raw()));
+                }
+            }
+        }
+        (current.iter().map(|fx| fx.to_f64()).collect(), stats)
+    }
+
+    /// The per-MAC reference path: locate, fetch and decode every weight
+    /// word inside the MAC loop, one SRAM read per multiply.
+    ///
+    /// Kept as the **bit-exactness oracle**: parity tests drive this and
+    /// [`Snnac::execute`] over the same inputs and assert identical
+    /// outputs, statistics and post-disturb array state. It is not a hot
+    /// path — use [`Snnac::execute`] or [`Snnac::execute_composed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Snnac::execute`].
+    pub fn execute_reference(
         &self,
         program: &Program,
         layout: &WeightLayout,

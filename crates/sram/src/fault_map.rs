@@ -81,6 +81,35 @@ impl BankFaultMap {
         self.and_masks[word_addr]
     }
 
+    /// All per-word OR masks, indexed by word address. Together with
+    /// [`BankFaultMap::and_masks`] this is the bulk form consumed when the
+    /// whole bank's masks are composed into weight storage up front
+    /// (`matic-core`'s composed quantizer) instead of being applied
+    /// word-by-word inside a training or inference loop.
+    pub fn or_masks(&self) -> &[u32] {
+        &self.or_masks
+    }
+
+    /// All per-word AND masks, indexed by word address; see
+    /// [`BankFaultMap::or_masks`].
+    pub fn and_masks(&self) -> &[u32] {
+        &self.and_masks
+    }
+
+    /// Applies the injection masks to a buffer of stored words in place
+    /// (`words[i] = (words[i] & and[i]) | or[i]`): the bulk counterpart of
+    /// [`BankFaultMap::apply`] for composing a whole bank at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is longer than the bank.
+    pub fn apply_slice(&self, words: &mut [u32]) {
+        assert!(words.len() <= self.or_masks.len(), "buffer exceeds bank");
+        for ((w, &and), &or) in words.iter_mut().zip(&self.and_masks).zip(&self.or_masks) {
+            *w = (*w & and) | or;
+        }
+    }
+
     /// Mask of faulty bits in a word (either polarity).
     pub fn fault_bits(&self, word_addr: usize) -> u32 {
         self.or_masks[word_addr] | (!self.and_masks[word_addr] & word_mask(self.word_bits))
@@ -145,6 +174,26 @@ impl BankFaultMap {
 
 /// Fault maps for a full weight-memory array, plus the operating point the
 /// profile was taken at.
+///
+/// # Examples
+///
+/// A fault map is the per-word OR/AND injection masking of Fig. 4: a cell
+/// stuck at 1 forces its bit high, a cell stuck at 0 forces it low, and
+/// clean words pass through untouched.
+///
+/// ```
+/// use matic_sram::FaultMap;
+///
+/// let mut map = FaultMap::clean(0.50, 2, 64, 16);
+/// map.bank_mut(0).set_fault(3, 15, true);  // sign bit stuck at 1
+/// map.bank_mut(1).set_fault(9, 0, false);  // LSB stuck at 0
+///
+/// assert_eq!(map.apply(0, 3, 0x0001), 0x8001);
+/// assert_eq!(map.apply(1, 9, 0xFFFF), 0xFFFE);
+/// assert_eq!(map.apply(0, 0, 0x1234), 0x1234); // clean word
+/// assert_eq!(map.fault_count(), 2);
+/// assert!((map.ber() - 2.0 / (2.0 * 64.0 * 16.0)).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultMap {
     /// Profiled supply voltage.
@@ -326,6 +375,23 @@ mod tests {
         b.set_fault(0, 0, false);
         assert!(!a.is_subset_of(&b));
         assert!(!b.is_subset_of(&a));
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar_apply() {
+        let mut map = BankFaultMap::clean(8, 16);
+        map.set_fault(1, 2, true);
+        map.set_fault(5, 11, false);
+        let mut words: Vec<u32> = (0..8).map(|i| (i * 0x1357) & 0xFFFF).collect();
+        let expect: Vec<u32> = words
+            .iter()
+            .enumerate()
+            .map(|(w, &v)| map.apply(w, v))
+            .collect();
+        map.apply_slice(&mut words);
+        assert_eq!(words, expect);
+        assert_eq!(map.or_masks().len(), 8);
+        assert_eq!(map.and_masks()[5] & (1 << 11), 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Hybrid 8T-6T protection — the related-work alternative to MATIC.
 //!
-//! Srinivasan et al. (DATE 2016, cited as [20] in the paper) store weight
+//! Srinivasan et al. (DATE 2016, cited as \[20\] in the paper) store weight
 //! MSBs in 8T bit-cells, which remain read-stable at voltages where 6T
 //! cells fail; the paper's critique is that "this approach has no
 //! adaptation mechanism". This module models that design point so the

@@ -16,15 +16,34 @@ pub use std::hint::black_box;
 
 use std::time::{Duration, Instant};
 
+/// Per-iteration statistics of one completed benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Benchmark name as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: u128,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u128,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
 /// The benchmark driver.
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
+    results: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            results: Vec::new(),
+        }
     }
 }
 
@@ -40,9 +59,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut samples = Vec::with_capacity(self.sample_size);
+        let sample_size = self.sample_size;
+        let mut samples = Vec::with_capacity(sample_size);
         // One untimed warm-up sample, then the real ones.
-        for i in 0..=self.sample_size {
+        for i in 0..=sample_size {
             let mut b = Bencher {
                 per_iter: Duration::ZERO,
             };
@@ -60,7 +80,21 @@ impl Criterion {
             fmt_duration(*samples.last().unwrap()),
             samples.len(),
         );
+        self.results.push(BenchRecord {
+            name: name.to_string(),
+            median_ns: median.as_nanos(),
+            min_ns: samples[0].as_nanos(),
+            max_ns: samples.last().unwrap().as_nanos(),
+            samples: samples.len(),
+        });
         self
+    }
+
+    /// All benchmark results recorded so far, in execution order. Bench
+    /// harnesses use this to emit machine-readable baselines (e.g.
+    /// `BENCH_kernel.json`) alongside the human-readable console lines.
+    pub fn results(&self) -> &[BenchRecord] {
+        &self.results
     }
 }
 
