@@ -79,6 +79,18 @@ impl MatConfig {
             ..Self::paper()
         }
     }
+
+    /// Stable 128-bit content fingerprint of the full training recipe
+    /// (SGD hyperparameters, weight format, seeds, restarts, update
+    /// rule). Any knob that can change a trained model changes the
+    /// digest, which is how the sweep cache invalidates cells when the
+    /// trainer or quantizer configuration moves.
+    pub fn fingerprint(&self) -> u128 {
+        let mut f = matic_sram::fingerprint::Fingerprint::new();
+        f.write_str("matic.mat-config/v1");
+        f.write_u128(matic_sram::fingerprint::fingerprint_of(self));
+        f.finish()
+    }
 }
 
 impl Default for MatConfig {

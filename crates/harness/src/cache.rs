@@ -1,0 +1,721 @@
+//! Persistent, content-addressed sweep cache: checkpoint-on-write cell
+//! results that make warm re-runs near-instant and long sweeps
+//! interruptible.
+//!
+//! # Content addressing
+//!
+//! Every grid cell's result is stored under a [`CellKey`]: a canonical
+//! set of named fields covering **everything that determined the cell's
+//! numbers** — the chip's synthesis seed and configuration fingerprint,
+//! the profiled fault map's content fingerprint, the stress value, the
+//! benchmark identity (name + topology + dataset seed/scale), the full
+//! trainer/quantizer configuration fingerprint, the walk context (axis
+//! kind, the complete point list, reuse policy — model reuse makes a
+//! cell's provenance depend on the points walked before it), the failure
+//! margins, and a schema/version tag. Execution details (worker-thread
+//! count, output paths) are deliberately **not** part of the key, so a
+//! cell computed on one thread count is a valid hit on any other.
+//!
+//! The digest is computed over the fields **sorted by name**
+//! ([`CellKey::canonical`]), so neither insertion order in the engine nor
+//! field reordering in a refactor can silently re-key the cache.
+//!
+//! # Crash safety
+//!
+//! Each cell is persisted the moment it is computed
+//! ([`SweepCache::store`]) via [`write_atomic`]: the entry is written to
+//! a temporary file in the destination directory and `rename`d into
+//! place, so a killed sweep leaves either a complete entry or no entry —
+//! never a truncated one. Re-running the same plan with the cache
+//! enabled resumes: cache-hit cells skip training and evaluation
+//! entirely, and the resumed report is byte-identical to a cold run
+//! (enforced by `tests/cache_resume.rs` and in CI).
+//!
+//! # Trust model
+//!
+//! Keys identify external workloads by [`Scenario`](crate::Scenario)
+//! name, topology and dataset seed/scale. A custom scenario that changes
+//! its data generator while keeping the same name must be paired with a
+//! cache clear (or a new cache directory) — the cache cannot see inside
+//! closures. The built-in benchmarks are pure functions of the keyed
+//! fields.
+
+use crate::plan::{StressAxis, SweepPlan, TrainingMode};
+use crate::report::CellRecord;
+use matic_snnac::ChipConfig;
+use matic_sram::fingerprint::Fingerprint;
+use matic_sram::FaultMap;
+use serde::{Deserialize, Serialize};
+use std::fmt::Display;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Schema identifier of on-disk cache entries. Bumping it (or the crate
+/// version baked into every key) orphans old entries rather than
+/// misreading them.
+pub const CACHE_SCHEMA: &str = "matic.sweep-cache/v1";
+
+/// The grid position of one cell, as the cache key builder consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellCoords {
+    /// Scenario index in [`SweepPlan::scenarios`] order.
+    pub scen_idx: usize,
+    /// Chip index within the population.
+    pub chip_idx: usize,
+    /// Stress-point index in [`StressAxis::points`] order.
+    pub point_idx: usize,
+    /// Training mode of the cell.
+    pub mode: TrainingMode,
+}
+
+/// A canonical, content-addressed cache key for one sweep cell.
+///
+/// Build one with [`CellKey::for_cell`] (the engine's constructor) or
+/// assemble fields manually with [`CellKey::push`] for tests. The digest
+/// is order-free: fields are sorted by name before hashing.
+#[derive(Debug, Clone, Default)]
+pub struct CellKey {
+    entries: Vec<(String, String)>,
+}
+
+impl CellKey {
+    /// An empty key (add fields with [`CellKey::push`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one named field. Field names must be unique; the value's
+    /// `Display` form is what gets hashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was already pushed — a duplicated field means two
+    /// different inputs silently share one slot, which would make the
+    /// key lie about what it covers.
+    pub fn push(&mut self, name: &str, value: impl Display) -> &mut Self {
+        assert!(
+            self.entries.iter().all(|(n, _)| n != name),
+            "duplicate cache-key field `{name}`"
+        );
+        self.entries.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a float field by its exact IEEE-754 bit pattern (plus a
+    /// human-readable rendering), so `0.1 + 0.2`-style near-misses can
+    /// never alias.
+    pub fn push_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.push(name, format_f64(value))
+    }
+
+    /// The canonical text form: fields sorted by name, one `name=value`
+    /// line each. This is what gets hashed, and it is stored verbatim in
+    /// every cache entry so hits can verify they matched on content, not
+    /// merely on digest.
+    pub fn canonical(&self) -> String {
+        let mut sorted: Vec<&(String, String)> = self.entries.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        for (name, value) in sorted {
+            out.push_str(name);
+            out.push('=');
+            out.push_str(value);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The content digest as 32 hex chars (the cache file name).
+    pub fn digest(&self) -> String {
+        let mut f = Fingerprint::new();
+        f.write_str(CACHE_SCHEMA);
+        f.write_str(&self.canonical());
+        f.to_hex()
+    }
+
+    /// Builds the full key of one grid cell. `map` is the cell's profiled
+    /// (voltage axis) or injected (BER axis) fault map — its content
+    /// fingerprint is what makes the key honest about the silicon.
+    ///
+    /// Equivalent to [`UnitKeyPrefix::new`] + [`UnitKeyPrefix::cell`];
+    /// the engine uses the split form so the per-unit fields (topology,
+    /// trainer and chip-config fingerprints, the formatted axis) are
+    /// hashed once per unit instead of once per cell.
+    pub fn for_cell(plan: &SweepPlan, coords: CellCoords, map: &FaultMap) -> CellKey {
+        UnitKeyPrefix::new(plan, coords.scen_idx, coords.chip_idx).cell(
+            plan,
+            coords.point_idx,
+            coords.mode,
+            map.fingerprint(),
+        )
+    }
+}
+
+/// The per-unit half of a [`CellKey`]: every field shared by all cells
+/// of one (scenario, chip) unit — schema/version, benchmark identity
+/// (name, topology, metric, dataset seed/scale), the full
+/// trainer/quantizer recipe, root seed and unit coordinates, the walk
+/// context (axis kind, complete point list, reuse policy), failure
+/// margins, and the silicon identity on the voltage axis. Build once per
+/// unit, then stamp per-cell fields with [`UnitKeyPrefix::cell`].
+#[derive(Debug, Clone)]
+pub struct UnitKeyPrefix {
+    scen_idx: usize,
+    chip_idx: usize,
+    key: CellKey,
+}
+
+impl UnitKeyPrefix {
+    /// Hashes the unit-invariant fields of (`scen_idx`, `chip_idx`).
+    pub fn new(plan: &SweepPlan, scen_idx: usize, chip_idx: usize) -> UnitKeyPrefix {
+        let scen = &*plan.scenarios[scen_idx];
+        let mut key = CellKey::new();
+        key.push(
+            "schema",
+            format!("{CACHE_SCHEMA};pkg={}", env!("CARGO_PKG_VERSION")),
+        );
+        // Benchmark identity: name, topology, metric and the dataset's
+        // exact provenance (seed + scale).
+        key.push("scenario.name", scen.name());
+        key.push(
+            "scenario.topology",
+            format!(
+                "{:032x}",
+                matic_sram::fingerprint::fingerprint_of(&scen.topology())
+            ),
+        );
+        key.push("scenario.classification", scen.is_classification());
+        key.push("data.seed", plan.data_seed(scen_idx));
+        key.push_f64("data.scale", plan.data_scale);
+        // The complete training + quantizer recipe (SGD knobs, weight
+        // Q-format, init/shuffle seeds, restarts, update rule). The
+        // epoch_scale knob is folded into the config's epoch count.
+        key.push(
+            "trainer.config",
+            format!("{:032x}", scen.train_config(plan.epoch_scale).fingerprint()),
+        );
+        // Grid position and root seed: together these pin every derived
+        // seed, including the ones earlier walk points used, which is
+        // what makes model-reuse provenance reproducible.
+        key.push("plan.base_seed", plan.base_seed);
+        key.push("grid.scen_idx", scen_idx);
+        key.push("grid.chip_idx", chip_idx);
+        // Walk context: the stress axis a cell sits on, in full. Model
+        // reuse across points means a cell's record (at minimum its
+        // `reused_model` flag) depends on the points walked before it.
+        key.push("axis.kind", plan.axis.kind());
+        key.push(
+            "axis.points",
+            plan.axis
+                .points()
+                .iter()
+                .map(|&p| format_f64(p))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        key.push("reuse.policy", format!("{:?}", plan.reuse));
+        key.push_f64("fail.margin_percent", plan.fail_margin_percent);
+        key.push_f64("fail.margin_mse", plan.fail_margin_mse);
+        if let StressAxis::Voltage(_) = &plan.axis {
+            key.push("chip.seed", plan.chip_seed(chip_idx));
+            key.push(
+                "chip.config",
+                format!("{:032x}", ChipConfig::snnac().fingerprint()),
+            );
+        }
+        UnitKeyPrefix {
+            scen_idx,
+            chip_idx,
+            key,
+        }
+    }
+
+    /// Completes the prefix with one cell's fields: the stress point,
+    /// the training mode, and the fault map's content fingerprint (pass
+    /// `map.fingerprint()`, computed once per point — it covers every
+    /// mode at that point).
+    pub fn cell(
+        &self,
+        plan: &SweepPlan,
+        point_idx: usize,
+        mode: TrainingMode,
+        map_fingerprint: u128,
+    ) -> CellKey {
+        let mut key = self.key.clone();
+        key.push("grid.point_idx", point_idx);
+        key.push("mode", mode.name());
+        // The faults themselves (and, on the BER axis, how they were
+        // drawn — the unit coordinates are the prefix's, by construction).
+        match &plan.axis {
+            StressAxis::Voltage(points) => {
+                key.push_f64("stress.voltage", points[point_idx]);
+            }
+            StressAxis::BitErrorRate(points) => {
+                key.push(
+                    "map.seed",
+                    plan.cell_map_seed(self.chip_idx, self.scen_idx, point_idx),
+                );
+                key.push_f64("stress.ber", points[point_idx]);
+            }
+        }
+        key.push("map.fingerprint", format!("{map_fingerprint:032x}"));
+        key
+    }
+}
+
+fn format_f64(value: f64) -> String {
+    format!("{value:?}/{:016x}", value.to_bits())
+}
+
+/// One on-disk cache entry: the schema tag, the canonical key text (so a
+/// hit verifies content, not merely a digest), and the cell itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CacheEntry {
+    schema: String,
+    key: String,
+    cell: CellRecord,
+}
+
+/// Aggregate statistics of a cache directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Number of stored cell entries.
+    pub cells: usize,
+    /// Total size of the stored entries, bytes.
+    pub bytes: u64,
+}
+
+/// How a sweep run used the cache (returned by
+/// [`run_sweep_with_cache`](crate::run_sweep_with_cache)).
+///
+/// This is the per-run provenance channel: it says which cells were
+/// replayed from the cache without touching the serialized report —
+/// reports must stay byte-identical between cold and resumed runs, so
+/// `cached` flags can never live inside [`CellRecord`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheUsage {
+    /// Whether a cache was attached to the run at all.
+    pub enabled: bool,
+    /// Cells replayed from the cache.
+    pub hits: usize,
+    /// Cells computed (and, when a cache is attached, stored).
+    pub misses: usize,
+    /// Per-cell hit flags, in the report's grid order
+    /// (`report.cells[i]` was a cache hit iff `per_cell[i]`).
+    pub per_cell: Vec<bool>,
+}
+
+impl CacheUsage {
+    /// Total cells the run produced.
+    pub fn cells(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// `true` when every cell came from the cache (a fully warm resume:
+    /// the run did zero training and zero evaluation work).
+    pub fn all_hits(&self) -> bool {
+        self.enabled && self.misses == 0 && self.hits > 0
+    }
+}
+
+/// A persistent, content-addressed store of sweep-cell results.
+///
+/// Layout: `<root>/cells/<digest>.json`, one file per cell, written
+/// atomically. The store is safe to share between concurrent sweeps —
+/// identical keys hold identical content by construction, and writers
+/// never leave partial files.
+#[derive(Debug, Clone)]
+pub struct SweepCache {
+    root: PathBuf,
+}
+
+impl SweepCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<SweepCache> {
+        let root = dir.as_ref().to_path_buf();
+        fs::create_dir_all(root.join("cells"))?;
+        Ok(SweepCache { root })
+    }
+
+    /// The cache's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn cell_path(&self, digest: &str) -> PathBuf {
+        self.root.join("cells").join(format!("{digest}.json"))
+    }
+
+    /// Looks up a cell. Any defect — missing file, unreadable JSON, a
+    /// schema mismatch, or a digest collision (canonical key text
+    /// differs) — is a miss, never an error: the engine recomputes and
+    /// overwrites.
+    pub fn lookup(&self, key: &CellKey) -> Option<CellRecord> {
+        let text = fs::read_to_string(self.cell_path(&key.digest())).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        if entry.schema != CACHE_SCHEMA || entry.key != key.canonical() {
+            return None;
+        }
+        Some(entry.cell)
+    }
+
+    /// Persists one computed cell (checkpoint-on-write, atomic).
+    pub fn store(&self, key: &CellKey, cell: &CellRecord) -> io::Result<()> {
+        let entry = CacheEntry {
+            schema: CACHE_SCHEMA.to_string(),
+            key: key.canonical(),
+            cell: cell.clone(),
+        };
+        let json =
+            serde_json::to_string_pretty(&entry).expect("cache entry serialization is infallible");
+        write_atomic(&self.cell_path(&key.digest()), &json)
+    }
+
+    /// Counts entries and bytes currently stored. `bytes` covers every
+    /// file in the store — including any temp file a killed writer left
+    /// behind — so the reported footprint matches the disk.
+    pub fn stats(&self) -> io::Result<CacheStats> {
+        let mut stats = CacheStats::default();
+        for entry in fs::read_dir(self.root.join("cells"))? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "json") {
+                stats.cells += 1;
+            }
+            stats.bytes += entry.metadata()?.len();
+        }
+        Ok(stats)
+    }
+
+    /// Removes every stored cell — and any orphaned temp file a killed
+    /// writer left behind — returning how many *entries* were deleted.
+    /// The cache directory itself stays usable.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for entry in fs::read_dir(self.root.join("cells"))? {
+            let path = entry?.path();
+            if path.is_file() {
+                if path.extension().is_some_and(|e| e == "json") {
+                    removed += 1;
+                }
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Process-unique suffix counter for temporary file names (two threads
+/// writing distinct targets never share a temp file; two writing the
+/// same target serialize through `rename`).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` atomically: the bytes land in a temporary
+/// file in the same directory, which is then `rename`d over the target.
+/// Readers (and an interrupted run) see either the old file or the
+/// complete new one — never a truncated mix. Used for cache entries and
+/// for the CLI's report outputs.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if p.as_os_str().is_empty() => Path::new("."),
+        Some(p) => p,
+        None => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        name.to_string_lossy(),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    fs::write(&tmp, contents)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SweepPlanBuilder;
+    use crate::scenario::Scenario;
+    use matic_core::MatConfig;
+    use matic_datasets::Split;
+    use matic_fixed::QFormat;
+    use matic_nn::{NetSpec, SgdConfig};
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "matic-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn base_plan() -> SweepPlanBuilder {
+        SweepPlan::builder()
+            .chips(2)
+            .voltages(&[0.9, 0.5])
+            .benchmark("inversek2j")
+            .expect("builtin benchmark")
+    }
+
+    fn coords() -> CellCoords {
+        CellCoords {
+            scen_idx: 0,
+            chip_idx: 1,
+            point_idx: 1,
+            mode: TrainingMode::Mat,
+        }
+    }
+
+    fn small_map() -> FaultMap {
+        let mut map = FaultMap::clean(0.5, 2, 8, 16);
+        map.bank_mut(0).set_fault(3, 7, true);
+        map
+    }
+
+    #[test]
+    fn digest_is_field_order_invariant() {
+        let mut forward = CellKey::new();
+        forward
+            .push("alpha", 1)
+            .push("beta", 2)
+            .push_f64("gamma", 0.5);
+        let mut backward = CellKey::new();
+        backward
+            .push_f64("gamma", 0.5)
+            .push("beta", 2)
+            .push("alpha", 1);
+        assert_eq!(forward.canonical(), backward.canonical());
+        assert_eq!(forward.digest(), backward.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cache-key field")]
+    fn duplicate_fields_are_rejected() {
+        CellKey::new().push("x", 1).push("x", 2);
+    }
+
+    #[test]
+    fn cell_key_ignores_thread_count() {
+        let one = base_plan().threads(1).build().unwrap();
+        let eight = base_plan().threads(8).build().unwrap();
+        let map = small_map();
+        assert_eq!(
+            CellKey::for_cell(&one, coords(), &map).digest(),
+            CellKey::for_cell(&eight, coords(), &map).digest(),
+            "worker count must not re-key the cache"
+        );
+    }
+
+    #[test]
+    fn cell_key_tracks_every_input() {
+        let plan = base_plan().build().unwrap();
+        let map = small_map();
+        let reference = CellKey::for_cell(&plan, coords(), &map).digest();
+
+        let seed = base_plan().seed(43).build().unwrap();
+        assert_ne!(
+            reference,
+            CellKey::for_cell(&seed, coords(), &map).digest(),
+            "root seed"
+        );
+
+        let voltages = base_plan().voltages(&[0.9, 0.52]).build().unwrap();
+        assert_ne!(
+            reference,
+            CellKey::for_cell(&voltages, coords(), &map).digest(),
+            "stress points"
+        );
+
+        let epochs = base_plan().epoch_scale(0.5).build().unwrap();
+        assert_ne!(
+            reference,
+            CellKey::for_cell(&epochs, coords(), &map).digest(),
+            "trainer config via epoch scale"
+        );
+
+        let scale = base_plan().data_scale(0.25).build().unwrap();
+        assert_ne!(
+            reference,
+            CellKey::for_cell(&scale, coords(), &map).digest(),
+            "dataset scale"
+        );
+
+        let margins = base_plan().fail_margins(5.0, 0.05).build().unwrap();
+        assert_ne!(
+            reference,
+            CellKey::for_cell(&margins, coords(), &map).digest(),
+            "failure margins"
+        );
+
+        let mut other_map = small_map();
+        other_map.bank_mut(1).set_fault(0, 0, false);
+        assert_ne!(
+            reference,
+            CellKey::for_cell(&plan, coords(), &other_map).digest(),
+            "fault-map content"
+        );
+
+        let other_coords = CellCoords {
+            mode: TrainingMode::Naive,
+            ..coords()
+        };
+        assert_ne!(
+            reference,
+            CellKey::for_cell(&plan, other_coords, &map).digest(),
+            "training mode"
+        );
+    }
+
+    /// A scenario identical to inversek2j except for the weight format —
+    /// proves the quantizer configuration reaches the key.
+    struct NarrowWeights(Arc<dyn Scenario>);
+
+    impl Scenario for NarrowWeights {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn topology(&self) -> NetSpec {
+            self.0.topology()
+        }
+        fn is_classification(&self) -> bool {
+            self.0.is_classification()
+        }
+        fn generate(&self, seed: u64, scale: f64) -> Split {
+            self.0.generate(seed, scale)
+        }
+        fn sgd(&self) -> SgdConfig {
+            self.0.sgd()
+        }
+        fn train_config(&self, epoch_scale: f64) -> MatConfig {
+            MatConfig {
+                weight_fmt: QFormat::new(8, 5).expect("valid narrow format"),
+                ..self.0.train_config(epoch_scale)
+            }
+        }
+    }
+
+    #[test]
+    fn cell_key_tracks_quantizer_config() {
+        let stock = base_plan().build().unwrap();
+        let narrow = SweepPlan::builder()
+            .chips(2)
+            .voltages(&[0.9, 0.5])
+            .scenario(Arc::new(NarrowWeights(
+                crate::scenario::scenario_by_name("inversek2j").unwrap(),
+            )))
+            .build()
+            .unwrap();
+        let map = small_map();
+        assert_ne!(
+            CellKey::for_cell(&stock, coords(), &map).digest(),
+            CellKey::for_cell(&narrow, coords(), &map).digest(),
+            "weight Q-format must re-key the cache"
+        );
+    }
+
+    fn sample_cell() -> CellRecord {
+        CellRecord {
+            scenario: "inversek2j".into(),
+            chip_index: 1,
+            chip_seed: 42,
+            mode: "mat".into(),
+            voltage: Some(0.5),
+            ber_target: None,
+            error: 0.0125,
+            nominal_error: 0.01,
+            metric: "mse".into(),
+            energy_pj: Some(321.5),
+            cycles: Some(4096),
+            measured_ber: 0.28,
+            fault_count: 1234,
+            settled_voltage: None,
+            reused_model: true,
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips() {
+        let dir = tmp_dir("roundtrip");
+        let cache = SweepCache::open(&dir).unwrap();
+        let plan = base_plan().build().unwrap();
+        let key = CellKey::for_cell(&plan, coords(), &small_map());
+        assert!(cache.lookup(&key).is_none(), "cold cache misses");
+        cache.store(&key, &sample_cell()).unwrap();
+        assert_eq!(cache.lookup(&key), Some(sample_cell()));
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.cells, 1);
+        assert!(stats.bytes > 0);
+        assert_eq!(cache.clear().unwrap(), 1);
+        assert!(cache.lookup(&key).is_none(), "cleared cache misses");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = tmp_dir("corrupt");
+        let cache = SweepCache::open(&dir).unwrap();
+        let plan = base_plan().build().unwrap();
+        let key = CellKey::for_cell(&plan, coords(), &small_map());
+        cache.store(&key, &sample_cell()).unwrap();
+        // Truncate the entry mid-file: must read as a miss, not an error.
+        let path = dir.join("cells").join(format!("{}.json", key.digest()));
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(cache.lookup(&key).is_none());
+        // A digest collision (same file name, different canonical key)
+        // must also be a miss.
+        fs::write(
+            &path,
+            serde_json::to_string(&CacheEntry {
+                schema: CACHE_SCHEMA.to_string(),
+                key: "not=the same key\n".to_string(),
+                cell: sample_cell(),
+            })
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(cache.lookup(&key).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_files() {
+        let dir = tmp_dir("atomic");
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("report.json");
+        write_atomic(&target, "first").unwrap();
+        assert_eq!(fs::read_to_string(&target).unwrap(), "first");
+        write_atomic(&target, "second, longer contents").unwrap();
+        assert_eq!(
+            fs::read_to_string(&target).unwrap(),
+            "second, longer contents"
+        );
+        // No temp litter left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains(".tmp.")
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

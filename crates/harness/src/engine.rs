@@ -13,13 +13,18 @@
 //!
 //! # Determinism
 //!
-//! Reports are byte-identical for every worker-thread count because:
+//! Reports are byte-identical for every worker-thread count **and every
+//! cache hit/miss mix** because:
 //!
 //! * every random quantity derives its seed from the plan and the cell's
 //!   grid position ([`crate::seeds`]), never from execution order;
 //! * each unit owns its chip instance, so no cross-unit state exists;
 //! * results are reassembled in grid order, not completion order;
-//! * reports carry no timestamps or run-environment details.
+//! * reports carry no timestamps or run-environment details;
+//! * every chip evaluation is a pure function of (model, fault map), and
+//!   every trained model a pure function of (topology, recipe, dataset,
+//!   fault map) — so a cell replayed from the cache holds exactly the
+//!   bytes a recomputation would produce.
 //!
 //! # Model reuse
 //!
@@ -31,13 +36,30 @@
 //! routes around everything present). This skips redundant retraining
 //! across the fault-free top of the voltage range while reproducing the
 //! paper's one-model-per-operating-point flow wherever maps differ.
+//!
+//! # The cache skip path
+//!
+//! With a [`SweepCache`] attached, each cell is looked up by its content
+//! key ([`CellKey`]) right after the point's fault map is known, and
+//! skipped on a hit. Training is **lazy** so skipping stays sound:
+//!
+//! * the naive baseline (and its nominal-voltage error, which every cell
+//!   records) is trained on the first cache miss in the unit — a fully
+//!   cached unit never trains it;
+//! * the adaptive-model slot tracks *which fault map* the cold walk
+//!   would have trained against at every point (reuse decisions replay
+//!   eagerly), but the actual training runs only when a miss needs the
+//!   model. A miss that follows cache-hit points therefore trains
+//!   against the exact map the cold run would have used, reproducing
+//!   both the model bytes and the `reused_model` provenance flag.
 
+use crate::cache::{CacheUsage, CellKey, SweepCache, UnitKeyPrefix};
 use crate::plan::{ReusePolicy, StressAxis, SweepPlan, TrainingMode};
 use crate::report::{CellRecord, PlanSummary, SweepReport, REPORT_SCHEMA};
 use crate::scenario::Scenario;
-use matic_core::{DeploymentFlow, MatTrainer, TrainedModel};
+use matic_core::{DeploymentFlow, MatConfig, MatTrainer, TrainedModel};
 use matic_datasets::Split;
-use matic_nn::{classification_error_percent, mean_squared_error, Mlp, Sample};
+use matic_nn::{classification_error_percent, mean_squared_error, Mlp, NetSpec, Sample};
 use matic_snnac::microcode::Program;
 use matic_snnac::npu::NpuStats;
 use matic_snnac::{Chip, ChipConfig, Snnac};
@@ -46,12 +68,42 @@ use matic_sram::FaultMap;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
+/// The outcome of one sweep run: the deterministic report plus the
+/// run's cache provenance. The provenance lives here — not inside the
+/// serialized report — precisely so that cold and resumed runs emit
+/// byte-identical bytes.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// The aggregated report (serializes identically for every thread
+    /// count and cache state).
+    pub report: SweepReport,
+    /// How the attached cache was used (all-miss when none was).
+    pub cache: CacheUsage,
+}
+
 /// Runs the full sweep described by `plan` and aggregates the report.
 ///
 /// Uses every worker rayon gives the process unless the plan pins
-/// [`threads`](SweepPlan::threads). The returned report serializes
-/// byte-identically for any thread count.
+/// [`threads`](SweepPlan::threads), and attaches the persistent cell
+/// cache when the plan names a [`cache_dir`](SweepPlan::cache_dir). The
+/// returned report serializes byte-identically for any thread count and
+/// any cache hit/miss mix.
+///
+/// # Panics
+///
+/// Panics if the plan's cache directory cannot be created or opened;
+/// use [`run_sweep_with_cache`] to handle cache I/O errors yourself.
 pub fn run_sweep(plan: &SweepPlan) -> SweepReport {
+    let cache = plan.cache_dir.as_ref().map(|dir| {
+        SweepCache::open(dir)
+            .unwrap_or_else(|e| panic!("opening sweep cache at {}: {e}", dir.display()))
+    });
+    run_sweep_with_cache(plan, cache.as_ref()).report
+}
+
+/// Runs the sweep with an explicitly managed cache (or none), returning
+/// the report together with per-cell cache provenance.
+pub fn run_sweep_with_cache(plan: &SweepPlan, cache: Option<&SweepCache>) -> SweepRun {
     // Datasets are shared per scenario (population statistics vary the
     // silicon, not the data) and generated up front, deterministically.
     let splits: Vec<Split> = plan
@@ -71,33 +123,50 @@ pub fn run_sweep(plan: &SweepPlan) -> SweepReport {
         .num_threads(plan.threads.unwrap_or(0))
         .build()
         .expect("thread pool construction is infallible");
-    let per_unit: Vec<Vec<CellRecord>> = pool.install(|| {
+    let per_unit: Vec<Vec<(CellRecord, bool)>> = pool.install(|| {
         units
             .par_iter()
-            .map(|&(scen_idx, chip_idx)| run_unit(plan, scen_idx, chip_idx, &splits[scen_idx]))
+            .map(|&(scen_idx, chip_idx)| {
+                run_unit(plan, scen_idx, chip_idx, &splits[scen_idx], cache)
+            })
             .collect()
     });
 
-    let cells: Vec<CellRecord> = per_unit.into_iter().flatten().collect();
+    let mut cells = Vec::with_capacity(plan.cell_count());
+    let mut per_cell = Vec::with_capacity(plan.cell_count());
+    for (cell, hit) in per_unit.into_iter().flatten() {
+        per_cell.push(hit);
+        cells.push(cell);
+    }
+    let hits = per_cell.iter().filter(|&&h| h).count();
+    let usage = CacheUsage {
+        enabled: cache.is_some(),
+        hits,
+        misses: per_cell.len() - hits,
+        per_cell,
+    };
     let points = SweepReport::summarize(&cells);
-    SweepReport {
-        schema: REPORT_SCHEMA.to_string(),
-        plan: PlanSummary {
-            chips: plan.chips,
-            stress_kind: plan.axis.kind().to_string(),
-            stress_points: plan.axis.points().to_vec(),
-            scenarios: plan
-                .scenarios
-                .iter()
-                .map(|s| s.name().to_string())
-                .collect(),
-            modes: plan.modes.iter().map(|m| m.name().to_string()).collect(),
-            data_scale: plan.data_scale,
-            epoch_scale: plan.epoch_scale,
-            base_seed: plan.base_seed,
+    SweepRun {
+        report: SweepReport {
+            schema: REPORT_SCHEMA.to_string(),
+            plan: PlanSummary {
+                chips: plan.chips,
+                stress_kind: plan.axis.kind().to_string(),
+                stress_points: plan.axis.points().to_vec(),
+                scenarios: plan
+                    .scenarios
+                    .iter()
+                    .map(|s| s.name().to_string())
+                    .collect(),
+                modes: plan.modes.iter().map(|m| m.name().to_string()).collect(),
+                data_scale: plan.data_scale,
+                epoch_scale: plan.epoch_scale,
+                base_seed: plan.base_seed,
+            },
+            cells,
+            points,
         },
-        cells,
-        points,
+        cache: usage,
     }
 }
 
@@ -185,23 +254,115 @@ fn inference_energy_pj(chip: &Chip, cycles: u64) -> f64 {
     per_cycle * cycles as f64
 }
 
-/// The sequential evaluation of one (scenario, chip) unit.
-fn run_unit(plan: &SweepPlan, scen_idx: usize, chip_idx: usize, split: &Split) -> Vec<CellRecord> {
+/// The sequential evaluation of one (scenario, chip) unit. Each element
+/// of the returned vector is (cell, replayed-from-cache).
+fn run_unit(
+    plan: &SweepPlan,
+    scen_idx: usize,
+    chip_idx: usize,
+    split: &Split,
+    cache: Option<&SweepCache>,
+) -> Vec<(CellRecord, bool)> {
     let scen = &*plan.scenarios[scen_idx];
     match &plan.axis {
         StressAxis::Voltage(points) => {
-            run_voltage_unit(plan, scen, scen_idx, chip_idx, split, points)
+            run_voltage_unit(plan, scen, scen_idx, chip_idx, split, points, cache)
         }
         StressAxis::BitErrorRate(points) => {
-            run_ber_unit(plan, scen, scen_idx, chip_idx, split, points)
+            run_ber_unit(plan, scen, scen_idx, chip_idx, split, points, cache)
         }
     }
 }
 
-/// Cached adaptive model plus the fault map it was trained against.
-struct TrainedAt {
-    map: FaultMap,
+/// The unit's fault-oblivious baseline (quantization-aware, trained
+/// against a clean map — the paper disables only the memory-adaptive
+/// modifications) plus its error at the 0.9 V nominal point, which every
+/// cell of the unit records. Materialized on the first cache miss; a
+/// fully cached unit never trains it.
+struct NaiveBaseline {
     model: TrainedModel,
+    nominal: f64,
+}
+
+/// Trains the baseline (if not yet trained) and evaluates nominal error
+/// **on the chip** at 0.9 V — the voltage-axis flavour.
+fn ensure_naive_on_chip<'a>(
+    slot: &'a mut Option<NaiveBaseline>,
+    spec: &NetSpec,
+    cfg: &MatConfig,
+    is_classification: bool,
+    split: &Split,
+    chip: &mut Chip,
+) -> &'a NaiveBaseline {
+    if slot.is_none() {
+        let geom = chip.config().array.clone();
+        let clean = FaultMap::clean(0.9, geom.banks, geom.bank.words, geom.bank.word_bits);
+        let model = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &clean);
+        let (nominal, _) = eval_on_chip(chip, &model, is_classification, &split.test, 0.9);
+        *slot = Some(NaiveBaseline { model, nominal });
+    }
+    slot.as_ref().expect("filled above")
+}
+
+/// Baseline flavour for the BER axis: nominal error is the quantized
+/// model through the masked float view (no silicon on this axis).
+fn ensure_naive_float<'a>(
+    slot: &'a mut Option<NaiveBaseline>,
+    spec: &NetSpec,
+    cfg: &MatConfig,
+    is_classification: bool,
+    split: &Split,
+    geometry: (usize, usize, u8),
+) -> &'a NaiveBaseline {
+    if slot.is_none() {
+        let (banks, words, bits) = geometry;
+        let clean = FaultMap::clean(0.9, banks, words, bits);
+        let model = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &clean);
+        let nominal = float_view_error(&model.quantized(), is_classification, &split.test);
+        *slot = Some(NaiveBaseline { model, nominal });
+    }
+    slot.as_ref().expect("filled above")
+}
+
+/// The unit's adaptive-model slot. `map` is the fault map the cold walk
+/// would have trained against at the current point — advanced eagerly at
+/// **every** point so reuse decisions (and the `reused_model` provenance
+/// flag) replay the cold run exactly even when earlier points were
+/// cache hits. `model` is materialized only when a miss needs it, and is
+/// always trained against `map`, reproducing the cold run's model bytes.
+struct AdaptiveModel {
+    map: FaultMap,
+    model: Option<TrainedModel>,
+}
+
+/// Advances the adaptive slot for a point whose profiled/injected map is
+/// `map`. Returns `true` when the cold walk would have reused the
+/// previously trained model (the slot keeps its training-time map),
+/// `false` when it would retrain (the slot re-targets `map`, lazily).
+fn advance_adaptive(plan: &SweepPlan, slot: &mut Option<AdaptiveModel>, map: &FaultMap) -> bool {
+    let reuse = plan.reuse == ReusePolicy::SupersetMap
+        && slot.as_ref().is_some_and(|a| map.is_subset_of(&a.map));
+    if !reuse {
+        *slot = Some(AdaptiveModel {
+            map: map.clone(),
+            model: None,
+        });
+    }
+    reuse
+}
+
+/// Trains the slot's model against its recorded map, if a previous miss
+/// has not already done so.
+fn materialize_adaptive<'a>(
+    slot: &'a mut AdaptiveModel,
+    spec: &NetSpec,
+    cfg: &MatConfig,
+    train: &[Sample],
+) -> &'a TrainedModel {
+    if slot.model.is_none() {
+        slot.model = Some(MatTrainer::new(spec.clone(), cfg.clone()).train(train, &slot.map));
+    }
+    slot.model.as_ref().expect("filled above")
 }
 
 /// Chip-evaluation results cached across voltage points whose profiled
@@ -216,55 +377,30 @@ struct EvalCache {
     mat: Option<(f64, NpuStats)>,
 }
 
-/// Ensures `cache` holds an adaptive model valid for `map`, training one
-/// with `train` if the reuse policy does not permit keeping the cached
-/// model (valid = its training-time map is a superset of `map`). Returns
-/// `true` when the cached model was reused rather than freshly trained.
-/// Shared by the voltage and BER axes so their reuse semantics can never
-/// drift apart.
-fn ensure_adaptive_model(
-    plan: &SweepPlan,
-    cache: &mut Option<TrainedAt>,
-    map: &FaultMap,
-    train: impl FnOnce() -> TrainedModel,
-) -> bool {
-    let can_reuse = plan.reuse == ReusePolicy::SupersetMap
-        && cache.as_ref().is_some_and(|t| map.is_subset_of(&t.map));
-    if !can_reuse {
-        *cache = Some(TrainedAt {
-            map: map.clone(),
-            model: train(),
-        });
-    }
-    can_reuse
-}
-
 fn run_voltage_unit(
     plan: &SweepPlan,
     scen: &dyn Scenario,
-    _scen_idx: usize,
+    scen_idx: usize,
     chip_idx: usize,
     split: &Split,
     points: &[f64],
-) -> Vec<CellRecord> {
+    cache: Option<&SweepCache>,
+) -> Vec<(CellRecord, bool)> {
     let spec = scen.topology();
     let cfg = scen.train_config(plan.epoch_scale);
     let is_class = scen.is_classification();
     let mut chip = Chip::synthesize(ChipConfig::snnac(), plan.chip_seed(chip_idx));
-    let geom = chip.config().array.clone();
+    // The unit-invariant half of every cell key, hashed once.
+    let prefix = cache.map(|_| UnitKeyPrefix::new(plan, scen_idx, chip_idx));
 
-    // The fault-oblivious baseline: quantization-aware, trained once per
-    // unit against a clean map (the paper disables only the
-    // memory-adaptive modifications).
-    let clean = FaultMap::clean(0.9, geom.banks, geom.bank.words, geom.bank.word_bits);
-    let naive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &clean);
-    let (nominal, _) = eval_on_chip(&mut chip, &naive, is_class, &split.test, 0.9);
-
-    let mut cells = Vec::with_capacity(points.len() * plan.modes.len());
-    let mut cache: Option<TrainedAt> = None;
+    let mut naive: Option<NaiveBaseline> = None;
+    let mut adaptive: Option<AdaptiveModel> = None;
     let mut evals: Option<EvalCache> = None;
-    for &voltage in points {
+    let mut cells = Vec::with_capacity(points.len() * plan.modes.len());
+    for (point_idx, &voltage) in points.iter().enumerate() {
         let map = chip.profile(voltage);
+        // One fault-content digest per point, shared by all modes.
+        let map_fp = prefix.as_ref().map(|_| map.fingerprint());
         // A voltage step that adds no new faults recomputes nothing: the
         // trained model is reused below (superset-map policy) and the
         // chip evaluations are replayed from the cache (valid because the
@@ -278,23 +414,47 @@ fn run_voltage_unit(
                 mat: None,
             });
         }
-        // Adaptive model for this operating point (shared by Mat cells;
-        // MatCanary trains its own because canary pins change the map).
-        let reused = plan.modes.contains(&TrainingMode::Mat)
-            && ensure_adaptive_model(plan, &mut cache, &map, || {
-                MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &map)
-            });
+        // Adaptive-model provenance for this operating point (shared by
+        // Mat cells; MatCanary trains its own because canary pins change
+        // the map). Advanced even when every cell here turns out cached,
+        // so later misses see the cold walk's training-time map.
+        let reused =
+            plan.modes.contains(&TrainingMode::Mat) && advance_adaptive(plan, &mut adaptive, &map);
         for &mode in &plan.modes {
+            let key = prefix
+                .as_ref()
+                .map(|p| p.cell(plan, point_idx, mode, map_fp.expect("set with prefix")));
+            if let Some(hit) = lookup(cache, key.as_ref()) {
+                cells.push((hit, true));
+                continue;
+            }
             let cell = match mode {
                 TrainingMode::Naive => {
+                    let baseline =
+                        ensure_naive_on_chip(&mut naive, &spec, &cfg, is_class, split, &mut chip);
+                    let nominal = baseline.nominal;
                     let slot = &mut evals.as_mut().expect("initialized above").naive;
-                    let (error, stats) =
-                        cached_eval(slot, &mut chip, &naive, is_class, &split.test, voltage);
+                    let (error, stats) = cached_eval(
+                        slot,
+                        &mut chip,
+                        &baseline.model,
+                        is_class,
+                        &split.test,
+                        voltage,
+                    );
                     base_cell(plan, scen, chip_idx, mode, voltage, error, nominal, &map)
                         .with_energy(inference_energy_pj(&chip, stats.cycles), stats.cycles)
                 }
                 TrainingMode::Mat => {
-                    let model = &cache.as_ref().expect("Mat model trained above").model;
+                    let nominal =
+                        ensure_naive_on_chip(&mut naive, &spec, &cfg, is_class, split, &mut chip)
+                            .nominal;
+                    let model = materialize_adaptive(
+                        adaptive.as_mut().expect("advanced above"),
+                        &spec,
+                        &cfg,
+                        &split.train,
+                    );
                     let slot = &mut evals.as_mut().expect("initialized above").mat;
                     let (error, stats) =
                         cached_eval(slot, &mut chip, model, is_class, &split.test, voltage);
@@ -304,14 +464,45 @@ fn run_voltage_unit(
                     cell.reused_model = reused;
                     cell
                 }
-                TrainingMode::MatCanary => run_canary_cell(
-                    plan, scen, chip_idx, &mut chip, &spec, split, voltage, nominal,
-                ),
+                TrainingMode::MatCanary => {
+                    let nominal =
+                        ensure_naive_on_chip(&mut naive, &spec, &cfg, is_class, split, &mut chip)
+                            .nominal;
+                    run_canary_cell(
+                        plan, scen, chip_idx, &mut chip, &spec, split, voltage, nominal,
+                    )
+                }
             };
-            cells.push(cell);
+            store(cache, key.as_ref(), &cell);
+            cells.push((cell, false));
         }
     }
     cells
+}
+
+/// Cache lookup wrapper (no cache or no key means a miss).
+fn lookup(cache: Option<&SweepCache>, key: Option<&CellKey>) -> Option<CellRecord> {
+    cache?.lookup(key?)
+}
+
+/// Checkpoint-on-write: persists a freshly computed cell. Best-effort —
+/// a full disk degrades the run to uncached, it does not kill the sweep.
+/// Warns once per process (a dead disk would otherwise print one line
+/// per remaining cell of a large grid, burying the sweep's own output).
+fn store(cache: Option<&SweepCache>, key: Option<&CellKey>, cell: &CellRecord) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static STORE_FAILURE_WARNED: AtomicBool = AtomicBool::new(false);
+    if let (Some(cache), Some(key)) = (cache, key) {
+        if let Err(e) = cache.store(key, cell) {
+            if !STORE_FAILURE_WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: sweep cache store failed under {} ({e}); \
+                     further store failures will be silent",
+                    cache.root().display()
+                );
+            }
+        }
+    }
 }
 
 /// Replays a cached chip evaluation, or runs [`eval_on_chip`] and fills
@@ -408,41 +599,69 @@ fn run_ber_unit(
     chip_idx: usize,
     split: &Split,
     points: &[f64],
-) -> Vec<CellRecord> {
+    cache: Option<&SweepCache>,
+) -> Vec<(CellRecord, bool)> {
     let spec = scen.topology();
     let cfg = scen.train_config(plan.epoch_scale);
     let is_class = scen.is_classification();
     // The BER axis uses the SNNAC weight-memory geometry without
     // synthesizing silicon: faults are injected, not profiled.
     let geom = matic_sram::ArrayConfig::snnac();
-    let (banks, words, bits) = (geom.banks, geom.bank.words, geom.bank.word_bits);
+    let geometry = (geom.banks, geom.bank.words, geom.bank.word_bits);
 
-    let clean = FaultMap::clean(0.9, banks, words, bits);
-    let naive = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &clean);
-    let nominal = float_view_error(&naive.quantized(), is_class, &split.test);
-
+    // The unit-invariant half of every cell key, hashed once.
+    let prefix = cache.map(|_| UnitKeyPrefix::new(plan, scen_idx, chip_idx));
+    let mut naive: Option<NaiveBaseline> = None;
+    let mut adaptive: Option<AdaptiveModel> = None;
     let mut cells = Vec::with_capacity(points.len() * plan.modes.len());
-    let mut cache: Option<TrainedAt> = None;
-    for (p_idx, &ber) in points.iter().enumerate() {
+    for (point_idx, &ber) in points.iter().enumerate() {
+        let (banks, words, bits) = geometry;
         let map = bernoulli_fault_map(
             banks,
             words,
             bits,
             ber,
-            plan.cell_map_seed(chip_idx, scen_idx, p_idx),
+            plan.cell_map_seed(chip_idx, scen_idx, point_idx),
         );
-        let reused = plan.modes.contains(&TrainingMode::Mat)
-            && ensure_adaptive_model(plan, &mut cache, &map, || {
-                MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &map)
-            });
+        // One fault-content digest per point, shared by all modes.
+        let map_fp = prefix.as_ref().map(|_| map.fingerprint());
+        let reused =
+            plan.modes.contains(&TrainingMode::Mat) && advance_adaptive(plan, &mut adaptive, &map);
         for &mode in &plan.modes {
+            let key = prefix
+                .as_ref()
+                .map(|p| p.cell(plan, point_idx, mode, map_fp.expect("set with prefix")));
+            if let Some(hit) = lookup(cache, key.as_ref()) {
+                cells.push((hit, true));
+                continue;
+            }
             let cell = match mode {
                 TrainingMode::Naive => {
-                    let error = float_view_error(&naive.deploy(&map), is_class, &split.test);
-                    base_ber_cell(plan, scen, chip_idx, mode, ber, error, nominal, &map)
+                    let baseline =
+                        ensure_naive_float(&mut naive, &spec, &cfg, is_class, split, geometry);
+                    let error =
+                        float_view_error(&baseline.model.deploy(&map), is_class, &split.test);
+                    base_ber_cell(
+                        plan,
+                        scen,
+                        chip_idx,
+                        mode,
+                        ber,
+                        error,
+                        baseline.nominal,
+                        &map,
+                    )
                 }
                 TrainingMode::Mat => {
-                    let model = &cache.as_ref().expect("Mat model trained above").model;
+                    let nominal =
+                        ensure_naive_float(&mut naive, &spec, &cfg, is_class, split, geometry)
+                            .nominal;
+                    let model = materialize_adaptive(
+                        adaptive.as_mut().expect("advanced above"),
+                        &spec,
+                        &cfg,
+                        &split.train,
+                    );
                     let error = float_view_error(&model.deploy(&map), is_class, &split.test);
                     let mut cell =
                         base_ber_cell(plan, scen, chip_idx, mode, ber, error, nominal, &map);
@@ -453,7 +672,8 @@ fn run_ber_unit(
                     unreachable!("plan validation rejects mat-canary on the BER axis")
                 }
             };
-            cells.push(cell);
+            store(cache, key.as_ref(), &cell);
+            cells.push((cell, false));
         }
     }
     cells

@@ -21,6 +21,13 @@
 //! random quantity is seeded from the plan and the cell's grid position
 //! (see [`seeds`]), never from scheduling.
 //!
+//! Sweeps are **resumable**: attach a persistent content-addressed cell
+//! cache ([`cache`], [`SweepPlanBuilder::cache_dir`]) and every
+//! completed cell is checkpointed atomically the moment it finishes; a
+//! re-run (after a crash, a kill, or on a grown grid) replays cache-hit
+//! cells without training or evaluating anything, and still emits
+//! byte-identical reports (enforced by `tests/cache_resume.rs`).
+//!
 //! The `matic` CLI binary (`cargo run --release -- sweep ...`) is a thin
 //! wrapper over this API.
 //!
@@ -58,13 +65,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod engine;
 mod plan;
 mod report;
 pub mod scenario;
 pub mod seeds;
 
-pub use engine::{eval_on_chip, run_sweep};
+pub use cache::{
+    write_atomic, CacheStats, CacheUsage, CellCoords, CellKey, SweepCache, UnitKeyPrefix,
+};
+pub use engine::{eval_on_chip, run_sweep, run_sweep_with_cache, SweepRun};
 pub use plan::{
     linspace, PlanError, ReusePolicy, StressAxis, SweepPlan, SweepPlanBuilder, TrainingMode,
 };

@@ -2,6 +2,7 @@
 
 use crate::scenario::{builtin_scenarios, scenario_by_name, Scenario};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// How the deployed model was trained for a sweep cell.
@@ -155,6 +156,13 @@ pub struct SweepPlan {
     /// A regression cell counts as failed when its MSE exceeds nominal by
     /// this much.
     pub fail_margin_mse: f64,
+    /// Directory of the persistent sweep cache, if one is attached:
+    /// [`run_sweep`](crate::run_sweep) replays cache-hit cells and
+    /// checkpoints fresh ones here. `None` disables caching. Like
+    /// [`threads`](SweepPlan::threads), this is an execution detail — it
+    /// never affects the report's bytes and is excluded from
+    /// [`SweepPlan::fingerprint`].
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl fmt::Debug for SweepPlan {
@@ -176,6 +184,7 @@ impl fmt::Debug for SweepPlan {
             .field("base_seed", &self.base_seed)
             .field("threads", &self.threads)
             .field("reuse", &self.reuse)
+            .field("cache_dir", &self.cache_dir)
             .finish_non_exhaustive()
     }
 }
@@ -214,6 +223,49 @@ impl SweepPlan {
     pub fn cell_count(&self) -> usize {
         self.chips * self.axis.points().len() * self.scenarios.len() * self.modes.len()
     }
+
+    /// Stable 128-bit fingerprint (32 hex chars) of everything that
+    /// determines the sweep's *results*: the grid, the scenarios (name,
+    /// topology, metric), the training recipes, the seeds, the reuse
+    /// policy and the failure margins. Execution details — worker-thread
+    /// count, cache directory, output paths — are excluded, so two plans
+    /// share a fingerprint exactly when their reports are byte-identical.
+    ///
+    /// The CLI prints this next to every sweep, and the cache's
+    /// per-cell keys cover the same inputs cell-by-cell; the plan-level
+    /// digest is the cheap way to answer "is this the same experiment?".
+    pub fn fingerprint(&self) -> String {
+        let mut f = matic_sram::fingerprint::Fingerprint::new();
+        f.write_str("matic.sweep-plan/v1");
+        f.write_str(env!("CARGO_PKG_VERSION"));
+        f.write_u64(self.chips as u64);
+        f.write_str(self.axis.kind());
+        f.write_u64(self.axis.points().len() as u64);
+        for &p in self.axis.points() {
+            f.write_u64(p.to_bits());
+        }
+        f.write_u64(self.scenarios.len() as u64);
+        for s in &self.scenarios {
+            f.write_str(s.name());
+            f.write_u128(matic_sram::fingerprint::fingerprint_of(&s.topology()));
+            f.write(if s.is_classification() { b"C" } else { b"R" });
+            f.write_u128(s.train_config(self.epoch_scale).fingerprint());
+        }
+        f.write_u64(self.modes.len() as u64);
+        for m in &self.modes {
+            f.write_str(m.name());
+        }
+        f.write_u64(self.data_scale.to_bits());
+        f.write_u64(self.epoch_scale.to_bits());
+        f.write_u64(self.base_seed);
+        f.write_str(match self.reuse {
+            ReusePolicy::PerPoint => "per-point",
+            ReusePolicy::SupersetMap => "superset-map",
+        });
+        f.write_u64(self.fail_margin_percent.to_bits());
+        f.write_u64(self.fail_margin_mse.to_bits());
+        f.to_hex()
+    }
 }
 
 /// Builder for [`SweepPlan`]; see [`SweepPlan::builder`].
@@ -230,6 +282,7 @@ pub struct SweepPlanBuilder {
     reuse: ReusePolicy,
     fail_margin_percent: f64,
     fail_margin_mse: f64,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Default for SweepPlanBuilder {
@@ -246,6 +299,7 @@ impl Default for SweepPlanBuilder {
             reuse: ReusePolicy::SupersetMap,
             fail_margin_percent: 10.0,
             fail_margin_mse: 0.05,
+            cache_dir: None,
         }
     }
 }
@@ -354,6 +408,17 @@ impl SweepPlanBuilder {
         self
     }
 
+    /// Attaches a persistent sweep cache rooted at `dir` (default:
+    /// no cache). [`run_sweep`](crate::run_sweep) will replay every
+    /// cache-hit cell without training or evaluating, and checkpoint
+    /// every freshly computed cell the moment it completes — which is
+    /// what makes interrupted sweeps resumable. The report's bytes are
+    /// unaffected.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Failure margins for the fail-rate statistic (percentage points for
     /// classification, absolute MSE for regression).
     pub fn fail_margins(mut self, percent: f64, mse: f64) -> Self {
@@ -426,6 +491,7 @@ impl SweepPlanBuilder {
             reuse: self.reuse,
             fail_margin_percent: self.fail_margin_percent,
             fail_margin_mse: self.fail_margin_mse,
+            cache_dir: self.cache_dir,
         })
     }
 }
@@ -479,6 +545,47 @@ mod tests {
         assert_eq!(v.len(), 5);
         assert!((v[0] - 0.46).abs() < 1e-12);
         assert!((v[4] - 0.90).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_covers_results_not_execution() {
+        let base = || {
+            SweepPlan::builder()
+                .chips(2)
+                .voltages(&[0.9, 0.5])
+                .benchmark("inversek2j")
+                .expect("builtin benchmark")
+        };
+        let reference = base().build().unwrap().fingerprint();
+        assert_eq!(
+            reference,
+            base()
+                .threads(7)
+                .cache_dir("/tmp/somewhere")
+                .build()
+                .unwrap()
+                .fingerprint(),
+            "threads and cache dir are execution details"
+        );
+        assert_ne!(
+            reference,
+            base().seed(43).build().unwrap().fingerprint(),
+            "seed is a result input"
+        );
+        assert_ne!(
+            reference,
+            base().epoch_scale(0.5).build().unwrap().fingerprint(),
+            "epoch scale is a result input"
+        );
+        assert_ne!(
+            reference,
+            base()
+                .reuse(ReusePolicy::PerPoint)
+                .build()
+                .unwrap()
+                .fingerprint(),
+            "reuse policy is a result input"
+        );
     }
 
     #[test]

@@ -5,6 +5,14 @@
 //! run-environment detail — serialized output is a pure function of the
 //! [`SweepPlan`](crate::SweepPlan), which is what makes the
 //! byte-identical-across-thread-counts guarantee checkable.
+//!
+//! For the same reason, *cache provenance* (which cells were replayed
+//! from the persistent sweep cache rather than recomputed) is
+//! deliberately **not** part of [`CellRecord`]: a resumed run must emit
+//! exactly the bytes of a cold run. Per-cell `cached` flags and hit/miss
+//! totals travel in [`CacheUsage`](crate::CacheUsage) on the
+//! [`SweepRun`](crate::SweepRun) outcome instead, aligned with
+//! [`SweepReport::cells`] by index.
 
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;

@@ -1,0 +1,213 @@
+//! Resume correctness: a sweep replayed from the persistent cell cache —
+//! fully or partially warm, on any thread count — must emit a report
+//! byte-identical to the cold run, while doing none of the cached work.
+
+use matic_harness::{run_sweep_with_cache, SweepCache, SweepPlan, SweepReport, TrainingMode};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch cache directory per test (std-only tempdir).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "matic-resume-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small but representative plan: two chips, a fault-free and a faulty
+/// voltage point, and all three training modes (mat-canary exercises the
+/// full deployment flow through the cache skip path).
+fn plan(threads: usize) -> SweepPlan {
+    SweepPlan::builder()
+        .chips(2)
+        .voltages(&[0.9, 0.52])
+        .benchmark("inversek2j")
+        .expect("builtin benchmark")
+        .modes(&[
+            TrainingMode::Naive,
+            TrainingMode::Mat,
+            TrainingMode::MatCanary,
+        ])
+        .data_scale(0.1)
+        .epoch_scale(0.2)
+        .seed(11)
+        .threads(threads)
+        .build()
+        .expect("plan is valid")
+}
+
+fn report_bytes(r: &SweepReport) -> (String, String) {
+    (r.to_json_pretty(), r.to_csv())
+}
+
+#[test]
+fn warm_resume_is_byte_identical_and_does_zero_work() {
+    let dir = scratch_dir("warm");
+    let cache = SweepCache::open(&dir).expect("cache opens");
+
+    let cold = run_sweep_with_cache(&plan(2), Some(&cache));
+    assert!(cold.cache.enabled);
+    assert_eq!(cold.cache.hits, 0, "first run must be all misses");
+    assert_eq!(cold.cache.misses, plan(2).cell_count());
+
+    // Every cell was checkpointed as it completed.
+    assert_eq!(
+        cache.stats().expect("stats").cells,
+        plan(2).cell_count(),
+        "checkpoint-on-write must persist every cell"
+    );
+
+    // Warm resume on a *different* thread count: all hits, same bytes.
+    let warm = run_sweep_with_cache(&plan(4), Some(&cache));
+    assert!(
+        warm.cache.all_hits(),
+        "a fully cached grid must do zero training/evaluation work: {:?} hits / {:?} misses",
+        warm.cache.hits,
+        warm.cache.misses
+    );
+    assert!(warm.cache.per_cell.iter().all(|&h| h));
+    assert_eq!(report_bytes(&cold.report), report_bytes(&warm.report));
+
+    // And an uncached run of the same plan agrees too (the cache layer
+    // never changes results, only work).
+    let uncached = run_sweep_with_cache(&plan(1), None);
+    assert!(!uncached.cache.enabled);
+    assert_eq!(report_bytes(&cold.report), report_bytes(&uncached.report));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn partial_resume_is_byte_identical() {
+    let dir = scratch_dir("partial");
+    let cache = SweepCache::open(&dir).expect("cache opens");
+    let cold = run_sweep_with_cache(&plan(2), Some(&cache));
+
+    // Simulate an interrupted run: keep every other checkpoint file.
+    let cells_dir = dir.join("cells");
+    let mut entries: Vec<PathBuf> = fs::read_dir(&cells_dir)
+        .expect("cache dir listable")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    entries.sort();
+    for path in entries.iter().step_by(2) {
+        fs::remove_file(path).expect("delete cached cell");
+    }
+    let kept = entries.len() - entries.len().div_ceil(2);
+
+    let resumed = run_sweep_with_cache(&plan(2), Some(&cache));
+    assert_eq!(resumed.cache.hits, kept, "kept checkpoints must replay");
+    assert_eq!(resumed.cache.misses, entries.len() - kept);
+    assert_eq!(
+        report_bytes(&cold.report),
+        report_bytes(&resumed.report),
+        "a partially cached resume must reproduce the cold bytes"
+    );
+    // The resume also re-checkpointed what it recomputed.
+    assert_eq!(cache.stats().expect("stats").cells, entries.len());
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ber_axis_resumes_byte_identical() {
+    let plan = |threads: usize| {
+        SweepPlan::builder()
+            .chips(2)
+            .bit_error_rates(&[0.0, 0.05])
+            .benchmark("bscholes")
+            .expect("builtin benchmark")
+            .data_scale(0.1)
+            .epoch_scale(0.2)
+            .threads(threads)
+            .build()
+            .expect("plan is valid")
+    };
+    let dir = scratch_dir("ber");
+    let cache = SweepCache::open(&dir).expect("cache opens");
+    let cold = run_sweep_with_cache(&plan(1), Some(&cache));
+    let warm = run_sweep_with_cache(&plan(3), Some(&cache));
+    assert!(warm.cache.all_hits());
+    assert_eq!(cold.report.to_json(), warm.report.to_json());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_inputs_do_not_hit_a_stale_cache() {
+    let dir = scratch_dir("invalidate");
+    let cache = SweepCache::open(&dir).expect("cache opens");
+    run_sweep_with_cache(&plan(2), Some(&cache));
+
+    // Same grid, different seed: different silicon, zero hits.
+    let other_seed = SweepPlan::builder()
+        .chips(2)
+        .voltages(&[0.9, 0.52])
+        .benchmark("inversek2j")
+        .expect("builtin benchmark")
+        .modes(&[
+            TrainingMode::Naive,
+            TrainingMode::Mat,
+            TrainingMode::MatCanary,
+        ])
+        .data_scale(0.1)
+        .epoch_scale(0.2)
+        .seed(12)
+        .threads(2)
+        .build()
+        .expect("plan is valid");
+    let rerun = run_sweep_with_cache(&other_seed, Some(&cache));
+    assert_eq!(
+        rerun.cache.hits, 0,
+        "a different root seed must never replay old silicon"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn growing_the_population_reuses_existing_chips() {
+    // The scaling story: adding chips to a cached sweep only computes the
+    // new silicon — existing (scenario, chip) cells replay.
+    let base = |chips: usize| {
+        SweepPlan::builder()
+            .chips(chips)
+            .voltages(&[0.9, 0.52])
+            .benchmark("inversek2j")
+            .expect("builtin benchmark")
+            .data_scale(0.1)
+            .epoch_scale(0.2)
+            .seed(11)
+            .threads(2)
+            .build()
+            .expect("plan is valid")
+    };
+    let dir = scratch_dir("grow");
+    let cache = SweepCache::open(&dir).expect("cache opens");
+    let two = run_sweep_with_cache(&base(2), Some(&cache));
+    let three = run_sweep_with_cache(&base(3), Some(&cache));
+    assert_eq!(
+        three.cache.hits,
+        base(2).cell_count(),
+        "the first two chips' cells must replay"
+    );
+    assert_eq!(
+        three.cache.misses,
+        base(3).cell_count() - base(2).cell_count()
+    );
+    // The shared prefix of the reports is identical cell-for-cell.
+    for (a, b) in two.report.cells.iter().zip(&three.report.cells) {
+        let same_coords = a.chip_index == b.chip_index
+            && a.voltage == b.voltage
+            && a.mode == b.mode
+            && a.scenario == b.scenario;
+        if same_coords {
+            assert_eq!(a, b, "grown sweep must not disturb existing cells");
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

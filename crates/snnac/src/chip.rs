@@ -35,6 +35,18 @@ impl ChipConfig {
             f_max: 250.0e6,
         }
     }
+
+    /// Stable 128-bit content fingerprint of the configuration: array
+    /// geometry, the `Vmin` distribution the silicon is synthesized from,
+    /// weight format and rails. Together with a synthesis seed this
+    /// identifies a die exactly, which is how the sweep cache knows a
+    /// cached cell was measured on the same (virtual) silicon.
+    pub fn fingerprint(&self) -> u128 {
+        let mut f = matic_sram::fingerprint::Fingerprint::new();
+        f.write_str("matic.chip-config/v1");
+        f.write_u128(matic_sram::fingerprint::fingerprint_of(self));
+        f.finish()
+    }
 }
 
 impl Default for ChipConfig {

@@ -275,6 +275,28 @@ impl FaultMap {
             .collect()
     }
 
+    /// Stable 128-bit content fingerprint of the map: the profiled
+    /// operating point plus every bank's OR/AND masks. Two maps share a
+    /// fingerprint exactly when they would inject identical faults, which
+    /// is what lets the sweep cache address results by fault content
+    /// rather than by how the map was produced.
+    pub fn fingerprint(&self) -> u128 {
+        let mut f = crate::fingerprint::Fingerprint::new();
+        f.write_str("matic.fault-map/v1");
+        f.write_u64(self.voltage.to_bits());
+        f.write_u64(self.temp_c.to_bits());
+        f.write_u64(self.banks.len() as u64);
+        for bank in &self.banks {
+            f.write_u64(bank.word_bits() as u64);
+            f.write_u64(bank.words() as u64);
+            for w in 0..bank.words() {
+                f.write_u64(bank.or_mask(w) as u64);
+                f.write_u64(bank.and_mask(w) as u64);
+            }
+        }
+        f.finish()
+    }
+
     /// Voltage-monotonicity relation over whole arrays.
     pub fn is_subset_of(&self, other: &FaultMap) -> bool {
         self.banks.len() == other.banks.len()
@@ -392,6 +414,24 @@ mod tests {
         assert_eq!(words, expect);
         assert_eq!(map.or_masks().len(), 8);
         assert_eq!(map.and_masks()[5] & (1 << 11), 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let mut a = FaultMap::clean(0.5, 2, 4, 16);
+        let clean = a.fingerprint();
+        assert_eq!(clean, a.clone().fingerprint(), "stable across clones");
+        a.bank_mut(0).set_fault(1, 2, true);
+        let one_fault = a.fingerprint();
+        assert_ne!(clean, one_fault, "a new fault must change the digest");
+        a.bank_mut(0).set_fault(1, 2, false);
+        assert_ne!(one_fault, a.fingerprint(), "polarity is content");
+        let other_voltage = FaultMap::clean(0.6, 2, 4, 16);
+        assert_ne!(
+            clean,
+            other_voltage.fingerprint(),
+            "the profiled operating point is content"
+        );
     }
 
     #[test]

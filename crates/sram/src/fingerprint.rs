@@ -1,0 +1,160 @@
+//! Stable 128-bit content fingerprints.
+//!
+//! The sweep cache (`matic-harness::cache`) addresses grid-cell results
+//! by the *content* of everything that determined them: fault maps, chip
+//! configurations, trainer configurations. Those fingerprints must be
+//! stable across processes, platforms and compiler versions — which rules
+//! out [`std::hash::Hasher`] implementations (`DefaultHasher` is
+//! explicitly unstable across releases). This module provides the one
+//! hash everybody agrees on: FNV-1a widened to 128 bits, fed through the
+//! serde shim's deterministic [`Value`] tree so any `Serialize` type can
+//! be fingerprinted without bespoke byte layouts.
+//!
+//! Collision stance: 128 bits of FNV-1a over structured, length-tagged
+//! input is far beyond what a result cache needs (a collision would
+//! require ~2^64 distinct cells before a birthday pairing is likely);
+//! the cache layer additionally namespaces keys by schema version.
+
+use serde::{Serialize, Value};
+
+/// FNV-1a offset basis, widened to 128 bits (per the official FNV spec).
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime (2^88 + 2^8 + 0x3b).
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// An incremental FNV-1a/128 hasher with a stable, documented algorithm.
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u128);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint(FNV128_OFFSET)
+    }
+}
+
+impl Fingerprint {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(FNV128_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` (big-endian, so the encoding is unambiguous).
+    pub fn write_u64(&mut self, x: u64) -> &mut Self {
+        self.write(&x.to_be_bytes())
+    }
+
+    /// Absorbs a `u128` (big-endian) — e.g. a nested fingerprint.
+    pub fn write_u128(&mut self, x: u128) -> &mut Self {
+        self.write(&x.to_be_bytes())
+    }
+
+    /// Absorbs a length-prefixed string (prefixing prevents
+    /// concatenation ambiguity between adjacent fields).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64).write(s.as_bytes())
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        self.0
+    }
+
+    /// The digest as a fixed-width lowercase hex string (32 chars) —
+    /// the form used for cache file names.
+    pub fn to_hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+/// Fingerprints any `Serialize` type by walking its deterministic
+/// [`Value`] tree. Every node is type-tagged and length-prefixed, so
+/// distinct trees cannot collide by concatenation, and floats hash by
+/// their IEEE-754 bit pattern (no formatting involved).
+pub fn fingerprint_of<T: Serialize>(value: &T) -> u128 {
+    let mut f = Fingerprint::new();
+    absorb_value(&mut f, &value.to_value());
+    f.finish()
+}
+
+fn absorb_value(f: &mut Fingerprint, v: &Value) {
+    match v {
+        Value::Null => {
+            f.write(b"n");
+        }
+        Value::Bool(b) => {
+            f.write(if *b { b"T" } else { b"F" });
+        }
+        Value::I64(n) => {
+            f.write(b"i").write_u64(*n as u64);
+        }
+        Value::U64(n) => {
+            f.write(b"u").write_u64(*n);
+        }
+        Value::F64(x) => {
+            f.write(b"f").write_u64(x.to_bits());
+        }
+        Value::Str(s) => {
+            f.write(b"s").write_str(s);
+        }
+        Value::Seq(items) => {
+            f.write(b"[").write_u64(items.len() as u64);
+            for item in items {
+                absorb_value(f, item);
+            }
+        }
+        Value::Map(entries) => {
+            f.write(b"{").write_u64(entries.len() as u64);
+            for (k, val) in entries {
+                f.write_str(k);
+                absorb_value(f, val);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // FNV-1a/128 of the empty input is the offset basis.
+        assert_eq!(Fingerprint::new().finish(), FNV128_OFFSET);
+        // Distinct short inputs separate.
+        let a = Fingerprint::new().write(b"a").finish();
+        let b = Fingerprint::new().write(b"b").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_collisions() {
+        let ab_c = Fingerprint::new().write_str("ab").write_str("c").finish();
+        let a_bc = Fingerprint::new().write_str("a").write_str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn value_fingerprints_are_type_tagged() {
+        assert_ne!(
+            fingerprint_of(&1u64),
+            fingerprint_of(&1.0f64),
+            "integer 1 and float 1.0 must not collide"
+        );
+        assert_ne!(fingerprint_of(&String::from("1")), fingerprint_of(&1u64));
+    }
+
+    #[test]
+    fn fingerprints_are_reproducible() {
+        let v = vec![0.5f64, 0.9];
+        assert_eq!(fingerprint_of(&v), fingerprint_of(&v));
+    }
+}

@@ -31,7 +31,10 @@
 //! * [`FaultMap`] — per-word OR/AND injection masks, the exact object the
 //!   memory-adaptive training loop consumes;
 //! * [`inject`] — synthetic Bernoulli fault maps for the paper's Fig. 5
-//!   feasibility study.
+//!   feasibility study;
+//! * [`fingerprint`] — stable 128-bit content hashes (FNV-1a/128 over the
+//!   serde value tree) used by the sweep cache to address results by
+//!   fault-map/configuration content.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +44,7 @@ mod bank;
 mod config;
 mod dist;
 mod fault_map;
+pub mod fingerprint;
 pub mod hybrid;
 pub mod inject;
 mod profile;

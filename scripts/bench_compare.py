@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate kernel-bench results against the committed baseline.
+
+Usage: bench_compare.py BASELINE.json FRESH.json [TOLERANCE]
+
+Compares per-bench medians from a fresh `cargo bench -p matic-bench
+--bench kernels` run (schema `matic-bench-kernel/1`) against the
+committed `BENCH_kernel.json` baseline.
+
+The baseline was recorded on whatever machine last regenerated it, so
+absolute nanoseconds are not comparable across hardware. The gate
+therefore normalizes: it computes each bench's fresh/baseline ratio,
+takes the **median ratio** as the machine-speed factor between the two
+environments, and fails a bench only when its own ratio exceeds
+TOLERANCE x that factor (default 2.0). A uniformly slower (or faster)
+runner shifts every ratio equally and cancels out; a single kernel
+regressing — the composed path falling back to per-MAC work, a blocked
+loop deoptimizing — sticks out of the normalized field and trips the
+gate. The trade-off is explicit: a regression hitting *every* kernel
+equally is absorbed (it is indistinguishable from slower hardware
+without a runner-native baseline); the uploaded artifact keeps the raw
+numbers for trend inspection.
+
+Benches present in the fresh run but absent from the baseline are
+reported informationally (a new kernel has no history yet). Benches in
+the baseline but missing from the fresh run fail: that means a bench was
+deleted or the harness silently stopped measuring something we gate on.
+"""
+
+import json
+import statistics
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "matic-bench-kernel/1":
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return {b["name"]: b for b in data["benches"]}
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(__doc__)
+    baseline = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+    tolerance = float(sys.argv[3]) if len(sys.argv) == 4 else 2.0
+
+    failures = []
+    ratios = {}
+    for name, ref in baseline.items():
+        cur = fresh.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from fresh results")
+        elif ref["median_ns"] <= 0:
+            # A zero/negative baseline median would silently exempt the
+            # bench from the gate forever — that's a broken baseline.
+            failures.append(f"{name}: baseline median_ns {ref['median_ns']} is not gateable")
+        else:
+            ratios[name] = cur["median_ns"] / ref["median_ns"]
+    if not ratios:
+        sys.exit("no common benches between baseline and fresh results")
+    speed = statistics.median(ratios.values())
+    print(
+        f"machine-speed factor (median fresh/baseline ratio over "
+        f"{len(ratios)} benches): {speed:.2f}x"
+    )
+
+    print(f"\n{'bench':<36} {'baseline':>12} {'fresh':>12} {'ratio':>7} {'norm':>6}  verdict")
+    for name, ref in sorted(baseline.items()):
+        cur = fresh.get(name)
+        if cur is None:
+            print(f"{name:<36} {ref['median_ns']:>10}ns {'-':>12} {'-':>7} {'-':>6}  MISSING")
+            continue
+        if name not in ratios:
+            print(
+                f"{name:<36} {ref['median_ns']:>10}ns {cur['median_ns']:>10}ns "
+                f"{'-':>7} {'-':>6}  BAD BASELINE"
+            )
+            continue
+        ratio = ratios[name]
+        norm = ratio / speed
+        verdict = "ok" if norm <= tolerance else f"REGRESSION (> {tolerance:g}x normalized)"
+        if norm > tolerance:
+            failures.append(
+                f"{name}: median {cur['median_ns']}ns vs baseline {ref['median_ns']}ns "
+                f"({ratio:.2f}x raw, {norm:.2f}x normalized > {tolerance:g}x)"
+            )
+        print(
+            f"{name:<36} {ref['median_ns']:>10}ns {cur['median_ns']:>10}ns "
+            f"{ratio:>6.2f}x {norm:>5.2f}x  {verdict}"
+        )
+    for name in sorted(set(fresh) - set(baseline)):
+        print(
+            f"{name:<36} {'-':>12} {fresh[name]['median_ns']:>10}ns "
+            f"{'-':>7} {'-':>6}  new (no baseline)"
+        )
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"\nbench regression gate passed "
+        f"({len(baseline)} benches, tolerance {tolerance:g}x normalized)"
+    )
+
+
+if __name__ == "__main__":
+    main()

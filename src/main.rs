@@ -2,17 +2,24 @@
 //!
 //! `matic sweep` runs a parallel chip-population sweep through
 //! [`matic_harness`] and writes a deterministic JSON report (plus an
-//! optional per-cell CSV). `matic list` shows the available benchmarks
-//! and training modes.
+//! optional per-cell CSV). `matic cache` inspects or clears the
+//! persistent sweep cache that makes interrupted sweeps resumable.
+//! `matic list` shows the available benchmarks and training modes.
 
-use matic_harness::{ReusePolicy, SweepPlan, SweepReport, TrainingMode};
+use matic_harness::{ReusePolicy, SweepCache, SweepPlan, SweepReport, TrainingMode};
+use std::path::Path;
 use std::process::ExitCode;
+
+/// Cache directory used when `--resume` is given without `--cache-dir`.
+const DEFAULT_CACHE_DIR: &str = ".matic-cache";
 
 const USAGE: &str = "\
 matic — MATIC (DATE 2018) reproduction toolkit
 
 USAGE:
     matic sweep [OPTIONS]    run a chip-population sweep
+    matic cache stats        show persistent sweep-cache contents
+    matic cache clear        delete every cached cell result
     matic list               list built-in benchmarks and training modes
     matic help               show this message
 
@@ -30,18 +37,34 @@ SWEEP OPTIONS:
     --seed N            root seed                           [default: 42]
     --threads N         worker threads                      [default: all cores]
     --no-reuse          strict one-model-per-point (disable superset reuse)
+    --cache-dir PATH    persist per-cell results under PATH and replay any
+                        cell whose content key already matches (resume)
+    --resume            shorthand for --cache-dir .matic-cache
+    --no-cache          disable the cache even if --cache-dir/--resume given
     --out PATH          JSON report path                    [default: matic-sweep.json]
     --csv PATH          also write the per-cell table as CSV
     --quiet             suppress the summary table
 
-The JSON report is byte-identical for every --threads value and contains
-no timestamps or host details: identical plans give identical bytes.
+CACHE OPTIONS (matic cache stats|clear):
+    --cache-dir PATH    cache location                      [default: .matic-cache]
+
+The JSON report is byte-identical for every --threads value and for every
+cache hit/miss mix, and contains no timestamps or host details: identical
+plans give identical bytes. Cells are checkpointed atomically as they
+complete, so a killed sweep re-run with --resume picks up where it died.
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("sweep") => match run_sweep_command(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("cache") => match run_cache_command(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("error: {msg}");
@@ -91,6 +114,9 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
     let mut seed = 42u64;
     let mut threads: Option<usize> = None;
     let mut reuse = ReusePolicy::SupersetMap;
+    let mut cache_dir: Option<String> = None;
+    let mut resume = false;
+    let mut no_cache = false;
     let mut out = "matic-sweep.json".to_string();
     let mut csv: Option<String> = None;
     let mut quiet = false;
@@ -121,6 +147,9 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
             "--seed" => seed = parse(&value("--seed")?, "--seed")?,
             "--threads" => threads = Some(parse(&value("--threads")?, "--threads")?),
             "--no-reuse" => reuse = ReusePolicy::PerPoint,
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")?),
+            "--resume" => resume = true,
+            "--no-cache" => no_cache = true,
             "--out" => out = value("--out")?,
             "--csv" => csv = Some(value("--csv")?),
             "--quiet" => quiet = true,
@@ -151,9 +180,23 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
     }
     let plan = builder.build().map_err(|e| e.to_string())?;
 
+    // The cache is enabled by --cache-dir or --resume (which defaults the
+    // location); --no-cache wins over both so scripts can force a cold
+    // recompute without unwinding their flags.
+    let cache_path = match (&cache_dir, resume) {
+        _ if no_cache => None,
+        (Some(dir), _) => Some(dir.clone()),
+        (None, true) => Some(DEFAULT_CACHE_DIR.to_string()),
+        (None, false) => None,
+    };
+    let cache = cache_path
+        .as_ref()
+        .map(|dir| SweepCache::open(dir).map_err(|e| format!("opening sweep cache {dir}: {e}")))
+        .transpose()?;
+
     let workers = plan.threads.unwrap_or_else(rayon::current_num_threads);
     eprintln!(
-        "sweep: {} cells ({} chips x {} {} points x {} benchmarks x {} modes) on {} threads",
+        "sweep: {} cells ({} chips x {} {} points x {} benchmarks x {} modes) on {} threads, plan {}",
         plan.cell_count(),
         plan.chips,
         plan.axis.points().len(),
@@ -161,17 +204,27 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
         plan.scenarios.len(),
         plan.modes.len(),
         workers,
+        plan.fingerprint(),
     );
     let start = std::time::Instant::now();
-    let report = matic_harness::run_sweep(&plan);
+    let run = matic_harness::run_sweep_with_cache(&plan, cache.as_ref());
     let elapsed = start.elapsed();
+    let report = run.report;
 
-    std::fs::write(&out, report.to_json_pretty()).map_err(|e| format!("writing {out}: {e}"))?;
+    matic_harness::write_atomic(Path::new(&out), &report.to_json_pretty())
+        .map_err(|e| format!("writing {out}: {e}"))?;
     if let Some(path) = &csv {
-        std::fs::write(path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        matic_harness::write_atomic(Path::new(path), &report.to_csv())
+            .map_err(|e| format!("writing {path}: {e}"))?;
     }
     if !quiet {
         print_summary(&report);
+    }
+    if let Some(dir) = &cache_path {
+        eprintln!(
+            "cache: {} hits, {} misses -> {dir}",
+            run.cache.hits, run.cache.misses
+        );
     }
     eprintln!(
         "sweep: {} cells in {:.1}s -> {out}{}",
@@ -180,6 +233,56 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
         csv.map(|p| format!(" + {p}")).unwrap_or_default(),
     );
     Ok(())
+}
+
+/// `matic cache stats|clear [--cache-dir PATH]`.
+fn run_cache_command(args: &[String]) -> Result<(), String> {
+    let action = args
+        .first()
+        .map(String::as_str)
+        .ok_or("cache needs an action: stats or clear")?;
+    let mut dir = DEFAULT_CACHE_DIR.to_string();
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                dir = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--cache-dir needs a value".to_string())?;
+            }
+            other => return Err(format!("unknown option `{other}` (see `matic help`)")),
+        }
+    }
+    // Inspection/maintenance must not conjure a cache out of a typo'd
+    // path (or mutate anything on a typo'd action): validate everything
+    // before SweepCache::open, which mkdir-s. Only `sweep` creates.
+    if !matches!(action, "stats" | "clear") {
+        return Err(format!("unknown cache action `{action}` (stats or clear)"));
+    }
+    if !Path::new(&dir).join("cells").is_dir() {
+        return Err(format!(
+            "no sweep cache at {dir} (a sweep with --cache-dir/--resume creates one)"
+        ));
+    }
+    let cache = SweepCache::open(&dir).map_err(|e| format!("opening sweep cache {dir}: {e}"))?;
+    match action {
+        "stats" => {
+            let stats = cache
+                .stats()
+                .map_err(|e| format!("reading cache {dir}: {e}"))?;
+            println!("cache {dir}: {} cells, {} bytes", stats.cells, stats.bytes);
+            Ok(())
+        }
+        "clear" => {
+            let removed = cache
+                .clear()
+                .map_err(|e| format!("clearing cache {dir}: {e}"))?;
+            println!("cache {dir}: removed {removed} cells");
+            Ok(())
+        }
+        _ => unreachable!("action validated above"),
+    }
 }
 
 fn print_summary(report: &SweepReport) {
