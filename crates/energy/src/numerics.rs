@@ -137,6 +137,69 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "degenerate interval")]
+    fn bisect_rejects_degenerate_interval() {
+        bisect(|x| x, 1.0, 1.0, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate interval")]
+    fn bisect_rejects_reversed_interval() {
+        bisect(|x| x, 2.0, -2.0, 1e-9);
+    }
+
+    #[test]
+    fn bisect_converges_to_requested_tolerance() {
+        // The returned midpoint is within tol/2 of the true root for
+        // every tolerance, not just the tight default.
+        for tol in [1e-2, 1e-6, 1e-12] {
+            let root = bisect(|x| x * x * x - 8.0, 0.0, 10.0, tol);
+            assert!(
+                (root - 2.0).abs() <= tol,
+                "tol {tol}: root {root} off by {}",
+                (root - 2.0).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn bisect_accepts_root_at_bracket_edge_sign_change() {
+        // A bracket whose signs differ only barely still converges.
+        let root = bisect(|x| x - 1.0, 1.0 - 1e-9, 1.0 + 1e-9, 1e-12);
+        assert!((root - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate interval")]
+    fn golden_min_rejects_degenerate_interval() {
+        golden_min(|x| x * x, 0.5, 0.5, 1e-9);
+    }
+
+    #[test]
+    fn golden_min_converges_to_requested_tolerance() {
+        for tol in [1e-2, 1e-4, 1e-8] {
+            let (x, _) = golden_min(|x| (x - 1.5) * (x - 1.5), 0.0, 4.0, tol);
+            // The bracket shrinks below tol, so the midpoint is within
+            // tol of the vertex (plus float noise near the minimum).
+            assert!(
+                (x - 1.5).abs() <= tol + 1e-6,
+                "tol {tol}: argmin {x} off by {}",
+                (x - 1.5).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn golden_min_handles_boundary_minima() {
+        // Monotone functions have their minimum at an endpoint; the
+        // search must converge to it, not stall mid-interval.
+        let (x_lo, _) = golden_min(|x| x, 0.0, 1.0, 1e-9);
+        assert!(x_lo < 1e-6, "increasing f: argmin {x_lo}");
+        let (x_hi, _) = golden_min(|x| -x, 0.0, 1.0, 1e-9);
+        assert!(x_hi > 1.0 - 1e-6, "decreasing f: argmin {x_hi}");
+    }
+
+    #[test]
     fn golden_min_finds_parabola_vertex() {
         let (x, y) = golden_min(|x| (x - 0.3) * (x - 0.3) + 1.0, -2.0, 2.0, 1e-10);
         // Near the minimum, f differences fall below f64 resolution, so

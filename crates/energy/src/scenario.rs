@@ -64,6 +64,60 @@ impl Scenario {
         }
     }
 
+    /// The lowest SRAM voltage the scenario can physically use,
+    /// independent of accuracy. At 250 MHz the SRAM periphery stops
+    /// meeting timing below 0.65 V (the paper's HighPerf limit); the
+    /// slow-clock scenarios are accuracy-limited instead, so their floor
+    /// is the regulator's.
+    pub fn sram_floor(self) -> f64 {
+        match self {
+            Scenario::HighPerf => 0.65,
+            Scenario::EnOptSplit | Scenario::EnOptJoint => 0.2,
+        }
+    }
+
+    /// Maps a swept weight-SRAM voltage to the scenario's full operating
+    /// point — the bridge from the sweep harness's one-dimensional
+    /// voltage axis to this crate's two-rail accounting:
+    ///
+    /// * `HighPerf` keeps logic at 0.9 V / 250 MHz and runs the SRAM at
+    ///   `v_sram`;
+    /// * `EnOptSplit` keeps logic at its 0.55 V MEP / 17.8 MHz (rails are
+    ///   disjoint) and runs the SRAM at `v_sram`;
+    /// * `EnOptJoint` shares one rail: both domains sit at `v_sram` and
+    ///   the clock tracks `model`'s delay curve (capped at 250 MHz).
+    pub fn point_at_sram(self, model: &EnergyModel, v_sram: f64) -> OperatingPoint {
+        match self {
+            Scenario::HighPerf | Scenario::EnOptSplit => {
+                let mut op = self.operating_point();
+                op.v_sram = v_sram;
+                op
+            }
+            Scenario::EnOptJoint => OperatingPoint {
+                v_logic: v_sram,
+                v_sram,
+                freq_hz: model.delay().frequency(v_sram).min(250.0e6),
+            },
+        }
+    }
+
+    /// Evaluates the scenario with its SRAM (and, for `EnOptJoint`, the
+    /// shared rail) at an arbitrary swept voltage instead of the paper's
+    /// canonical Table II point. `evaluate` is `evaluate_at` with the
+    /// canonical SRAM voltage.
+    pub fn evaluate_at(self, model: &EnergyModel, v_sram: f64) -> ScenarioResult {
+        let op = self.point_at_sram(model, v_sram);
+        let base = self.baseline_point();
+        ScenarioResult {
+            scenario: self,
+            op,
+            logic_pj: model.logic_breakdown(op).total_pj(),
+            sram_pj: model.sram_breakdown(op).total_pj(),
+            baseline_logic_pj: model.logic_breakdown(base).total_pj(),
+            baseline_sram_pj: model.sram_breakdown(base).total_pj(),
+        }
+    }
+
     /// The scenario's baseline operating point (SRAM at nominal).
     pub fn baseline_point(self) -> OperatingPoint {
         let mut op = self.operating_point();
@@ -78,18 +132,10 @@ impl Scenario {
         op
     }
 
-    /// Evaluates the scenario against a model.
+    /// Evaluates the scenario against a model at its canonical Table II
+    /// operating point.
     pub fn evaluate(self, model: &EnergyModel) -> ScenarioResult {
-        let op = self.operating_point();
-        let base = self.baseline_point();
-        ScenarioResult {
-            scenario: self,
-            op,
-            logic_pj: model.logic_breakdown(op).total_pj(),
-            sram_pj: model.sram_breakdown(op).total_pj(),
-            baseline_logic_pj: model.logic_breakdown(base).total_pj(),
-            baseline_sram_pj: model.sram_breakdown(base).total_pj(),
-        }
+        self.evaluate_at(model, self.operating_point().v_sram)
     }
 }
 
@@ -194,6 +240,62 @@ mod tests {
         let joint = Scenario::EnOptJoint.evaluate(&m);
         assert!(split.total_pj() < joint.total_pj());
         assert!(joint.reduction() > split.reduction());
+    }
+
+    #[test]
+    fn point_at_sram_reproduces_canonical_points() {
+        let m = EnergyModel::snnac();
+        for s in Scenario::ALL {
+            let canonical = s.operating_point();
+            let mapped = s.point_at_sram(&m, canonical.v_sram);
+            assert!((mapped.v_logic - canonical.v_logic).abs() < 1e-9, "{s}");
+            assert!((mapped.v_sram - canonical.v_sram).abs() < 1e-9, "{s}");
+            assert!(
+                (mapped.freq_hz - canonical.freq_hz).abs() / canonical.freq_hz < 1e-6,
+                "{s}: {} vs {}",
+                mapped.freq_hz,
+                canonical.freq_hz
+            );
+        }
+    }
+
+    #[test]
+    fn joint_rail_tracks_the_delay_curve() {
+        let m = EnergyModel::snnac();
+        let op = Scenario::EnOptJoint.point_at_sram(&m, 0.7);
+        assert_eq!(op.v_logic, 0.7);
+        assert!((op.freq_hz - m.delay().frequency(0.7)).abs() < 1e-3);
+        // The shared rail never clocks past the design ceiling.
+        let nominal = Scenario::EnOptJoint.point_at_sram(&m, 1.1);
+        assert!(nominal.freq_hz <= 250.0e6 + 1e-3);
+    }
+
+    #[test]
+    fn evaluate_at_canonical_voltage_pins_table_two() {
+        // `evaluate` delegates to `evaluate_at`, so pin the latter
+        // against the published numbers directly — comparing the two
+        // calls to each other would be tautological.
+        let m = EnergyModel::snnac();
+        let expect = [
+            (Scenario::HighPerf, 0.65, 48.96),
+            (Scenario::EnOptSplit, 0.50, 19.98),
+            (Scenario::EnOptJoint, 0.55, 20.60),
+        ];
+        for (s, v_sram, total) in expect {
+            let r = s.evaluate_at(&m, v_sram);
+            assert!(
+                (r.total_pj() - total).abs() < 0.05,
+                "{s} at {v_sram} V: {} vs Table II {total}",
+                r.total_pj()
+            );
+        }
+    }
+
+    #[test]
+    fn highperf_floor_is_the_periphery_timing_limit() {
+        assert_eq!(Scenario::HighPerf.sram_floor(), 0.65);
+        assert!(Scenario::EnOptSplit.sram_floor() < 0.46);
+        assert!(Scenario::EnOptJoint.sram_floor() < 0.46);
     }
 
     #[test]

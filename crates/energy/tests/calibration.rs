@@ -1,0 +1,96 @@
+//! Regression pins for the model calibration: every Table II
+//! pJ/cycle anchor must be reproduced within a stated tolerance, and the
+//! derived quantities (MEP location, reduction factors) must stay inside
+//! the paper's envelope. These tolerances are deliberately explicit — a
+//! refactor of the calibration path that drifts any anchor fails here
+//! with the measured-vs-model pair in the message.
+
+use matic_energy::{EnergyModel, OperatingPoint, Scenario};
+
+/// Absolute tolerance on a reproduced Table II anchor, pJ/cycle. The
+/// anchors are reproduced *by construction*, so this is a pure
+/// regression guard — tight, but not at float-noise level.
+const ANCHOR_TOL_PJ: f64 = 1e-6;
+
+fn op(v_logic: f64, v_sram: f64, freq_hz: f64) -> OperatingPoint {
+    OperatingPoint {
+        v_logic,
+        v_sram,
+        freq_hz,
+    }
+}
+
+/// Every measured (domain, voltage, clock, pJ/cycle) anchor from
+/// Table II, as (operating point, logic?, measured).
+fn table2_anchors() -> Vec<(OperatingPoint, bool, f64)> {
+    vec![
+        // Logic domain: nominal and the 0.55 V MEP.
+        (op(0.9, 0.9, 250.0e6), true, 30.58),
+        (op(0.55, 0.50, 17.8e6), true, 12.73),
+        // Weight-SRAM domain: nominal, HighPerf, EnOpt_split, EnOpt 0.55 V.
+        (op(0.9, 0.9, 250.0e6), false, 36.50),
+        (op(0.9, 0.65, 250.0e6), false, 18.37),
+        (op(0.55, 0.55, 17.8e6), false, 7.86),
+        (op(0.55, 0.50, 17.8e6), false, 7.24),
+    ]
+}
+
+#[test]
+fn every_table2_anchor_is_reproduced() {
+    let m = EnergyModel::snnac();
+    for (point, is_logic, measured) in table2_anchors() {
+        let modelled = if is_logic {
+            m.logic_breakdown(point).total_pj()
+        } else {
+            m.sram_breakdown(point).total_pj()
+        };
+        assert!(
+            (modelled - measured).abs() < ANCHOR_TOL_PJ,
+            "{} anchor at v_logic={} v_sram={} f={}: model {modelled} vs measured {measured}",
+            if is_logic { "logic" } else { "sram" },
+            point.v_logic,
+            point.v_sram,
+            point.freq_hz,
+        );
+    }
+}
+
+#[test]
+fn table2_totals_and_reductions_within_tolerance() {
+    let m = EnergyModel::snnac();
+    // (scenario, optimized total pJ/cycle, reduction) from Table II.
+    let expect = [
+        (Scenario::HighPerf, 48.96, 1.4),
+        (Scenario::EnOptSplit, 19.98, 2.5),
+        (Scenario::EnOptJoint, 20.60, 3.3),
+    ];
+    for (scenario, total, reduction) in expect {
+        let r = scenario.evaluate(&m);
+        assert!(
+            (r.total_pj() - total).abs() < 0.05,
+            "{scenario}: total {} vs Table II {total}",
+            r.total_pj()
+        );
+        assert!(
+            (r.reduction() - reduction).abs() < 0.05,
+            "{scenario}: reduction {} vs Table II {reduction}",
+            r.reduction()
+        );
+    }
+}
+
+#[test]
+fn delay_anchors_within_tolerance() {
+    let m = EnergyModel::snnac();
+    let f_nom = m.delay().frequency(0.9);
+    let f_mep = m.delay().frequency(0.55);
+    assert!((f_nom - 250.0e6).abs() / 250.0e6 < 1e-9, "nominal {f_nom}");
+    assert!((f_mep - 17.8e6).abs() / 17.8e6 < 1e-9, "MEP {f_mep}");
+}
+
+#[test]
+fn nominal_baseline_is_67_pj() {
+    let m = EnergyModel::snnac();
+    let nominal = op(0.9, 0.9, 250.0e6);
+    assert!((m.total_pj(nominal) - 67.08).abs() < ANCHOR_TOL_PJ);
+}

@@ -55,7 +55,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Schema identifier of on-disk cache entries. Bumping it (or the crate
 /// version baked into every key) orphans old entries rather than
 /// misreading them.
-pub const CACHE_SCHEMA: &str = "matic.sweep-cache/v1";
+///
+/// v2: cached [`CellRecord`]s carry the structured
+/// [`CellEnergy`](crate::report::CellEnergy) record instead of scalar
+/// `energy_pj`/`cycles` fields — v1 entries are unreadable and must be
+/// orphaned, not partially deserialized.
+pub const CACHE_SCHEMA: &str = "matic.sweep-cache/v2";
 
 /// The grid position of one cell, as the cache key builder consumes it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -637,8 +642,16 @@ mod tests {
             error: 0.0125,
             nominal_error: 0.01,
             metric: "mse".into(),
-            energy_pj: Some(321.5),
-            cycles: Some(4096),
+            energy: Some(crate::report::CellEnergy {
+                v_logic: 0.9,
+                v_sram: 0.5,
+                freq_hz: 250.0e6,
+                logic_pj_per_cycle: 30.58,
+                sram_pj_per_cycle: 7.24,
+                cycles: 4096,
+                energy_pj: 321.5,
+                power_watts: 9.4e-3,
+            }),
             measured_ber: 0.28,
             fault_count: 1234,
             settled_voltage: None,

@@ -55,7 +55,7 @@
 
 use crate::cache::{CacheUsage, CellKey, SweepCache, UnitKeyPrefix};
 use crate::plan::{ReusePolicy, StressAxis, SweepPlan, TrainingMode};
-use crate::report::{CellRecord, PlanSummary, SweepReport, REPORT_SCHEMA};
+use crate::report::{CellEnergy, CellRecord, PlanSummary, SweepReport, REPORT_SCHEMA};
 use crate::scenario::Scenario;
 use matic_core::{DeploymentFlow, MatConfig, MatTrainer, TrainedModel};
 use matic_datasets::Split;
@@ -245,13 +245,25 @@ fn float_view_error(net: &Mlp, is_classification: bool, test: &[Sample]) -> f64 
     }
 }
 
-/// Per-inference energy (pJ) at the chip's current operating point for an
-/// inference of `cycles` NPU cycles.
-fn inference_energy_pj(chip: &Chip, cycles: u64) -> f64 {
+/// The full per-cell energy record at the chip's **current** operating
+/// point for an inference whose NPU counters are `npu`: the point itself,
+/// the calibrated per-domain pJ/cycle there, energy/inference and power
+/// at the point's clock. The caller must have programmed the rail to the
+/// cell's voltage first (both `eval_on_chip` and `cached_eval` do).
+fn cell_energy(chip: &Chip, npu: NpuStats) -> CellEnergy {
     let op = chip.operating_point();
-    let per_cycle = chip.energy_model().logic_breakdown(op).total_pj()
-        + chip.energy_model().sram_breakdown(op).total_pj();
-    per_cycle * cycles as f64
+    let (logic_pj_per_cycle, sram_pj_per_cycle) = chip.energy_per_cycle();
+    let per_cycle = logic_pj_per_cycle + sram_pj_per_cycle;
+    CellEnergy {
+        v_logic: op.v_logic,
+        v_sram: op.v_sram,
+        freq_hz: op.freq_hz,
+        logic_pj_per_cycle,
+        sram_pj_per_cycle,
+        cycles: npu.cycles,
+        energy_pj: per_cycle * npu.cycles as f64,
+        power_watts: per_cycle * 1e-12 * op.freq_hz,
+    }
 }
 
 /// The sequential evaluation of one (scenario, chip) unit. Each element
@@ -404,9 +416,12 @@ fn run_voltage_unit(
         // A voltage step that adds no new faults recomputes nothing: the
         // trained model is reused below (superset-map policy) and the
         // chip evaluations are replayed from the cache (valid because the
-        // models are unchanged whenever the map is).
-        let keep_evals =
-            plan.reuse == ReusePolicy::SupersetMap && evals.as_ref().is_some_and(|e| e.map == map);
+        // models are unchanged whenever the map is). Compare fault
+        // *content* (the bank masks), not `FaultMap` equality — the map
+        // carries the profiled voltage, which differs at every step and
+        // would make this replay unreachable.
+        let keep_evals = plan.reuse == ReusePolicy::SupersetMap
+            && evals.as_ref().is_some_and(|e| e.map.banks() == map.banks());
         if !keep_evals {
             evals = Some(EvalCache {
                 map: map.clone(),
@@ -443,7 +458,7 @@ fn run_voltage_unit(
                         voltage,
                     );
                     base_cell(plan, scen, chip_idx, mode, voltage, error, nominal, &map)
-                        .with_energy(inference_energy_pj(&chip, stats.cycles), stats.cycles)
+                        .with_energy(cell_energy(&chip, stats))
                 }
                 TrainingMode::Mat => {
                     let nominal =
@@ -460,7 +475,7 @@ fn run_voltage_unit(
                         cached_eval(slot, &mut chip, model, is_class, &split.test, voltage);
                     let mut cell =
                         base_cell(plan, scen, chip_idx, mode, voltage, error, nominal, &map)
-                            .with_energy(inference_energy_pj(&chip, stats.cycles), stats.cycles);
+                            .with_energy(cell_energy(&chip, stats));
                     cell.reused_model = reused;
                     cell
                 }
@@ -550,14 +565,10 @@ fn run_canary_cell(
     let settled = chip.poll_canaries(&mut net);
     let mut wrong = 0usize;
     let mut sq_err = 0.0f64;
-    let mut cycles = 0u64;
-    let mut energy_pj = 0.0f64;
+    let mut first_npu: Option<NpuStats> = None;
     for s in &split.test {
         let (out, stats) = chip.infer(&net, &s.input);
-        if cycles == 0 {
-            cycles = stats.npu.cycles;
-            energy_pj = stats.energy_pj;
-        }
+        first_npu.get_or_insert(stats.npu);
         if is_class {
             if !classified_correctly(&out, &s.target) {
                 wrong += 1;
@@ -587,7 +598,7 @@ fn run_canary_cell(
         nominal,
         &map,
     )
-    .with_energy(energy_pj, cycles);
+    .with_energy(cell_energy(chip, first_npu.unwrap_or_default()));
     cell.settled_voltage = Some(settled);
     cell
 }
@@ -740,8 +751,7 @@ fn new_cell(
         } else {
             "mse".to_string()
         },
-        energy_pj: None,
-        cycles: None,
+        energy: None,
         measured_ber: map.ber(),
         fault_count: map.fault_count(),
         settled_voltage: None,
@@ -751,13 +761,12 @@ fn new_cell(
 }
 
 trait WithEnergy {
-    fn with_energy(self, energy_pj: f64, cycles: u64) -> Self;
+    fn with_energy(self, energy: CellEnergy) -> Self;
 }
 
 impl WithEnergy for CellRecord {
-    fn with_energy(mut self, energy_pj: f64, cycles: u64) -> Self {
-        self.energy_pj = Some(energy_pj);
-        self.cycles = Some(cycles);
+    fn with_energy(mut self, energy: CellEnergy) -> Self {
+        self.energy = Some(energy);
         self
     }
 }

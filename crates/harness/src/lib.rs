@@ -13,7 +13,11 @@
 //!    silicon, and reuses trained models across voltage points whose
 //!    fault maps add nothing new ([`ReusePolicy::SupersetMap`]);
 //! 3. the [`SweepReport`] aggregates per-point accuracy, energy and
-//!    fail-rate statistics and serializes to JSON or CSV.
+//!    fail-rate statistics and serializes to JSON or CSV;
+//! 4. [`pareto::energy_report`] derives the accuracy–energy analysis —
+//!    trade-off curves, Pareto frontiers, and the Table II
+//!    minimum-energy operating-point selections under an accuracy
+//!    budget (the `matic energy` CLI).
 //!
 //! Workloads plug in through the [`Scenario`] trait; the paper's four
 //! benchmarks are pre-wired ([`builtin_scenarios`]). Reports are
@@ -67,6 +71,7 @@
 
 pub mod cache;
 mod engine;
+pub mod pareto;
 mod plan;
 mod report;
 pub mod scenario;
@@ -76,8 +81,14 @@ pub use cache::{
     write_atomic, CacheStats, CacheUsage, CellCoords, CellKey, SweepCache, UnitKeyPrefix,
 };
 pub use engine::{eval_on_chip, run_sweep, run_sweep_with_cache, SweepRun};
+pub use pareto::{
+    energy_report, AccuracyBudget, BenchmarkEnergy, EnergyReport, EnergyReportError,
+    ScenarioOutcome, ScenarioSelection, TradeoffPoint, ENERGY_SCHEMA,
+};
 pub use plan::{
     linspace, PlanError, ReusePolicy, StressAxis, SweepPlan, SweepPlanBuilder, TrainingMode,
 };
-pub use report::{CellRecord, PlanSummary, PointSummary, Stats, SweepReport, REPORT_SCHEMA};
+pub use report::{
+    CellEnergy, CellRecord, PlanSummary, PointSummary, Stats, SweepReport, REPORT_SCHEMA,
+};
 pub use scenario::{builtin_scenarios, scenario_by_name, BenchmarkScenario, Scenario};

@@ -312,9 +312,12 @@ impl SweepPlanBuilder {
     }
 
     /// Sweeps the given SRAM voltages (sorted descending, deduplicated).
+    /// Non-finite values are tolerated here and rejected with a
+    /// [`PlanError`] by [`build`](SweepPlanBuilder::build) — builder
+    /// methods never panic on bad input.
     pub fn voltages(mut self, volts: &[f64]) -> Self {
         let mut v: Vec<f64> = volts.to_vec();
-        v.sort_by(|a, b| b.partial_cmp(a).expect("voltage must not be NaN"));
+        v.sort_by(|a, b| b.total_cmp(a));
         v.dedup();
         self.axis = Some(StressAxis::Voltage(v));
         self
@@ -325,10 +328,12 @@ impl SweepPlanBuilder {
         self.voltages(&linspace(lo, hi, steps))
     }
 
-    /// Sweeps synthetic Bernoulli bit-error rates (ascending, deduplicated).
+    /// Sweeps synthetic Bernoulli bit-error rates (ascending,
+    /// deduplicated). Like [`voltages`](SweepPlanBuilder::voltages),
+    /// non-finite values surface as a [`PlanError`] at build time.
     pub fn bit_error_rates(mut self, rates: &[f64]) -> Self {
         let mut r: Vec<f64> = rates.to_vec();
-        r.sort_by(|a, b| a.partial_cmp(b).expect("BER must not be NaN"));
+        r.sort_by(|a, b| a.total_cmp(b));
         r.dedup();
         self.axis = Some(StressAxis::BitErrorRate(r));
         self
@@ -435,6 +440,11 @@ impl SweepPlanBuilder {
         if axis.points().is_empty() {
             return Err(PlanError("the stress axis has no points".into()));
         }
+        if let Some(bad) = axis.points().iter().find(|p| !p.is_finite()) {
+            return Err(PlanError(format!(
+                "stress points must be finite numbers, got `{bad}`"
+            )));
+        }
         match &axis {
             StressAxis::Voltage(v) => {
                 if v.iter().any(|&x| !(0.2..=1.2).contains(&x)) {
@@ -526,6 +536,30 @@ mod tests {
             .unwrap();
         assert_eq!(plan.axis.points(), [0.9, 0.5], "sorted descending, deduped");
         assert_eq!(plan.cell_count(), 2 * 2 * 4 * 2);
+    }
+
+    #[test]
+    fn non_finite_stress_points_error_instead_of_panicking() {
+        // Regression: `--voltages nan,0.5` used to panic in the builder's
+        // descending sort before build() could reject it.
+        let err = SweepPlan::builder()
+            .voltages(&[f64::NAN, 0.5])
+            .all_benchmarks()
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+        let err = SweepPlan::builder()
+            .voltages(&[f64::INFINITY])
+            .all_benchmarks()
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+        let err = SweepPlan::builder()
+            .bit_error_rates(&[0.01, f64::NAN])
+            .all_benchmarks()
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
     }
 
     #[test]

@@ -18,7 +18,35 @@ use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// Schema identifier embedded in every JSON report.
-pub const REPORT_SCHEMA: &str = "matic.sweep-report/v1";
+///
+/// v2: the scalar `energy_pj`/`cycles` cell fields became the structured
+/// [`CellEnergy`] record (operating point, per-domain pJ/cycle, power),
+/// and point summaries gained `mean_power_watts`.
+pub const REPORT_SCHEMA: &str = "matic.sweep-report/v2";
+
+/// The energy accounting of one cell's inference: the cell's operating
+/// point, the calibrated per-cycle costs there, and the resulting
+/// energy/power of one inference. Only voltage-axis cells carry one —
+/// the BER axis is synthetic (no silicon, no rails, no clock).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellEnergy {
+    /// Logic-rail voltage of the operating point, volts.
+    pub v_logic: f64,
+    /// Weight-SRAM rail voltage of the operating point, volts.
+    pub v_sram: f64,
+    /// Clock frequency at the operating point, Hz.
+    pub freq_hz: f64,
+    /// Calibrated logic-domain cost at the point, pJ/cycle.
+    pub logic_pj_per_cycle: f64,
+    /// Calibrated weight-SRAM cost at the point, pJ/cycle.
+    pub sram_pj_per_cycle: f64,
+    /// NPU cycles of one inference (measured, voltage-independent).
+    pub cycles: u64,
+    /// Energy of one inference: (logic + sram) pJ/cycle × cycles.
+    pub energy_pj: f64,
+    /// Power while inferring: (logic + sram) pJ/cycle × clock, watts.
+    pub power_watts: f64,
+}
 
 /// The plan echo embedded in a report (everything that determined the
 /// numbers; no execution detail).
@@ -63,11 +91,9 @@ pub struct CellRecord {
     pub nominal_error: f64,
     /// `"classification_error_percent"` or `"mse"`.
     pub metric: String,
-    /// Energy of one inference at the cell's operating point, pJ
-    /// (`None` on the BER axis).
-    pub energy_pj: Option<f64>,
-    /// NPU cycles of one inference (`None` on the BER axis).
-    pub cycles: Option<u64>,
+    /// Energy accounting of one inference at the cell's operating point
+    /// (`None` on the BER axis, which has no silicon to meter).
+    pub energy: Option<CellEnergy>,
     /// Measured bit-error rate of the cell's fault map.
     pub measured_ber: f64,
     /// Faulty bit-cells in the cell's fault map.
@@ -127,6 +153,8 @@ pub struct PointSummary {
     pub error: Stats,
     /// Mean per-inference energy, pJ (`None` on the BER axis).
     pub mean_energy_pj: Option<f64>,
+    /// Mean power while inferring, watts (`None` on the BER axis).
+    pub mean_power_watts: Option<f64>,
     /// Mean measured bit-error rate across the population.
     pub mean_ber: f64,
     /// Fraction of chips whose error exceeded the failure margin.
@@ -158,17 +186,21 @@ impl SweepReport {
         serde_json::to_string_pretty(self).expect("report serialization is infallible")
     }
 
-    /// The per-cell table as CSV (header + one row per cell).
+    /// The per-cell table as CSV (header + one row per cell). The
+    /// [`CellEnergy`] record flattens into the `v_logic` … `power_watts`
+    /// columns, which are empty on the BER axis.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "scenario,chip_index,chip_seed,mode,voltage,ber_target,error,nominal_error,\
-             metric,energy_pj,cycles,measured_ber,fault_count,settled_voltage,\
+             metric,v_logic,v_sram,freq_hz,logic_pj_per_cycle,sram_pj_per_cycle,cycles,\
+             energy_pj,power_watts,measured_ber,fault_count,settled_voltage,\
              reused_model,failed\n",
         );
         for c in &self.cells {
+            let e = c.energy.as_ref();
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 c.scenario,
                 c.chip_index,
                 c.chip_seed,
@@ -178,8 +210,14 @@ impl SweepReport {
                 c.error,
                 c.nominal_error,
                 c.metric,
-                opt(c.energy_pj),
-                c.cycles.map(|x| x.to_string()).unwrap_or_default(),
+                opt(e.map(|e| e.v_logic)),
+                opt(e.map(|e| e.v_sram)),
+                opt(e.map(|e| e.freq_hz)),
+                opt(e.map(|e| e.logic_pj_per_cycle)),
+                opt(e.map(|e| e.sram_pj_per_cycle)),
+                e.map(|e| e.cycles.to_string()).unwrap_or_default(),
+                opt(e.map(|e| e.energy_pj)),
+                opt(e.map(|e| e.power_watts)),
                 c.measured_ber,
                 c.fault_count,
                 opt(c.settled_voltage),
@@ -211,12 +249,19 @@ impl SweepReport {
                     .filter(|c| c.scenario == scenario && c.mode == mode && stress_bits(c) == bits)
                     .collect();
                 let errors: Vec<f64> = group.iter().map(|c| c.error).collect();
-                let energies: Vec<f64> = group.iter().filter_map(|c| c.energy_pj).collect();
-                let mean_energy_pj = if energies.is_empty() {
-                    None
-                } else {
-                    Some(energies.iter().sum::<f64>() / energies.len() as f64)
+                let mean_of = |f: fn(&CellEnergy) -> f64| {
+                    let values: Vec<f64> = group
+                        .iter()
+                        .filter_map(|c| c.energy.as_ref().map(f))
+                        .collect();
+                    if values.is_empty() {
+                        None
+                    } else {
+                        Some(values.iter().sum::<f64>() / values.len() as f64)
+                    }
                 };
+                let mean_energy_pj = mean_of(|e| e.energy_pj);
+                let mean_power_watts = mean_of(|e| e.power_watts);
                 let mean_ber =
                     group.iter().map(|c| c.measured_ber).sum::<f64>() / group.len() as f64;
                 let fail_rate =
@@ -228,6 +273,7 @@ impl SweepReport {
                     chips: group.len(),
                     error: Stats::from_values(&errors),
                     mean_energy_pj,
+                    mean_power_watts,
                     mean_ber,
                     fail_rate,
                 }
@@ -255,8 +301,16 @@ mod tests {
             error: err,
             nominal_error: 1.0,
             metric: "classification_error_percent".into(),
-            energy_pj: Some(100.0),
-            cycles: Some(1000),
+            energy: Some(CellEnergy {
+                v_logic: 0.9,
+                v_sram: v,
+                freq_hz: 250.0e6,
+                logic_pj_per_cycle: 0.06,
+                sram_pj_per_cycle: 0.04,
+                cycles: 1000,
+                energy_pj: 100.0,
+                power_watts: 25.0e-3,
+            }),
             measured_ber: 0.1,
             fault_count: 42,
             settled_voltage: None,
@@ -288,6 +342,8 @@ mod tests {
         assert_eq!(mat.chips, 2);
         assert!((mat.error.mean - 6.0).abs() < 1e-12);
         assert!((mat.fail_rate - 0.5).abs() < 1e-12);
+        assert!((mat.mean_energy_pj.unwrap() - 100.0).abs() < 1e-12);
+        assert!((mat.mean_power_watts.unwrap() - 25.0e-3).abs() < 1e-12);
         assert_eq!(points[1].mode, "naive");
         assert!((points[1].fail_rate - 1.0).abs() < 1e-12);
     }

@@ -9,12 +9,17 @@
 //! To regenerate after an *intentional* schema change:
 //! `MATIC_UPDATE_GOLDEN=1 cargo test -p matic-harness --test golden_schema`
 
-use matic_harness::{run_sweep, SweepPlan, TrainingMode};
+use matic_harness::{energy_report, run_sweep, AccuracyBudget, SweepPlan, TrainingMode};
 use serde_json::Value;
 
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/report_schema.json"
+);
+
+const ENERGY_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/energy_report_schema.json"
 );
 
 /// Replaces every leaf with its JSON type name; arrays collapse to their
@@ -42,6 +47,20 @@ fn canonicalize(v: &Value) -> Value {
     }
 }
 
+fn check_golden(schema: &str, path: &str, what: &str) {
+    if std::env::var("MATIC_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, schema).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file exists (regenerate with MATIC_UPDATE_GOLDEN=1)");
+    assert_eq!(
+        schema, &golden,
+        "JSON {what} schema drifted from {path}; \
+         if intentional, regenerate with MATIC_UPDATE_GOLDEN=1"
+    );
+}
+
 #[test]
 fn report_schema_matches_golden_file() {
     // A minimal plan that populates every report field: two modes plus
@@ -64,18 +83,29 @@ fn report_schema_matches_golden_file() {
     let report = run_sweep(&plan);
     let schema = serde_json::to_string_pretty(&canonicalize(&serde_json::to_value(&report)))
         .expect("canonical schema serializes");
+    check_golden(&schema, GOLDEN_PATH, "sweep report");
 
-    if std::env::var("MATIC_UPDATE_GOLDEN").is_ok() {
-        std::fs::write(GOLDEN_PATH, &schema).expect("write golden file");
-        return;
-    }
-    let golden = std::fs::read_to_string(GOLDEN_PATH)
-        .expect("golden file exists (regenerate with MATIC_UPDATE_GOLDEN=1)");
-    assert_eq!(
-        schema, golden,
-        "JSON report schema drifted from tests/golden/report_schema.json; \
-         if intentional, regenerate with MATIC_UPDATE_GOLDEN=1"
+    // The derived accuracy–energy report gets the same golden treatment.
+    // A generous budget keeps at least one scenario selection populated
+    // so the ScenarioSelection leaves stay covered.
+    let energy = energy_report(
+        &report,
+        AccuracyBudget {
+            percent: 100.0,
+            mse: 100.0,
+        },
+    )
+    .expect("voltage axis yields an energy report");
+    assert!(
+        energy.benchmarks.iter().any(|b| b
+            .scenarios
+            .iter()
+            .any(|outcome| outcome.selection.is_some())),
+        "golden energy report must exercise the selection schema"
     );
+    let schema = serde_json::to_string_pretty(&canonicalize(&serde_json::to_value(&energy)))
+        .expect("canonical schema serializes");
+    check_golden(&schema, ENERGY_GOLDEN_PATH, "energy report");
 }
 
 #[test]
@@ -92,5 +122,5 @@ fn schema_constant_is_embedded() {
     let report = run_sweep(&plan);
     assert_eq!(report.schema, matic_harness::REPORT_SCHEMA);
     let json = report.to_json();
-    assert!(json.starts_with("{\"schema\":\"matic.sweep-report/v1\""));
+    assert!(json.starts_with("{\"schema\":\"matic.sweep-report/v2\""));
 }

@@ -224,6 +224,38 @@ impl Chip {
         }
     }
 
+    /// The calibrated per-cycle energy costs at the chip's **current**
+    /// operating point: `(logic, weight-SRAM)` pJ/cycle. The single
+    /// source of energy truth on the chip — [`Chip::infer`],
+    /// [`Chip::account_inference`] and the sweep harness's per-cell
+    /// energy records all book through this.
+    pub fn energy_per_cycle(&self) -> (f64, f64) {
+        let op = self.operating_point();
+        (
+            self.energy.logic_breakdown(op).total_pj(),
+            self.energy.sram_breakdown(op).total_pj(),
+        )
+    }
+
+    /// Books the energy of an inference whose NPU counters are `npu`,
+    /// at the chip's **current** operating point:
+    /// [`energy_per_cycle`](Chip::energy_per_cycle) times the measured
+    /// cycles. Pure accounting — nothing on the chip runs or changes.
+    /// This is how the sweep harness converts cycle statistics gathered
+    /// at one rail setting into pJ/inference records.
+    pub fn account_inference(&self, npu: NpuStats) -> InferenceStats {
+        let (logic_cy, sram_cy) = self.energy_per_cycle();
+        let logic = logic_cy * npu.cycles as f64;
+        let sram = sram_cy * npu.cycles as f64;
+        InferenceStats {
+            npu,
+            freq_hz: self.frequency(),
+            logic_pj: logic,
+            sram_pj: sram,
+            energy_pj: logic + sram,
+        }
+    }
+
     /// Runs one inference on the NPU at the chip's current operating
     /// point, with full energy accounting.
     pub fn infer(&mut self, net: &DeployedNetwork, input: &[f64]) -> (Vec<f64>, InferenceStats) {
@@ -233,19 +265,7 @@ impl Chip {
             &mut self.array,
             input,
         );
-        let op = self.operating_point();
-        let logic = self.energy.logic_breakdown(op).total_pj() * npu_stats.cycles as f64;
-        let sram = self.energy.sram_breakdown(op).total_pj() * npu_stats.cycles as f64;
-        (
-            output,
-            InferenceStats {
-                npu: npu_stats,
-                freq_hz: op.freq_hz,
-                logic_pj: logic,
-                sram_pj: sram,
-                energy_pj: logic + sram,
-            },
-        )
+        (output, self.account_inference(npu_stats))
     }
 
     /// Polls the in-situ canaries with the pure-Rust controller
@@ -371,6 +391,22 @@ mod tests {
         assert!(stats.npu.cycles > 0);
         assert!(stats.energy_pj > 0.0);
         assert!((stats.energy_pj - (stats.logic_pj + stats.sram_pj)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn account_inference_matches_infer_and_scales_with_voltage() {
+        let mut chip = small_chip(1);
+        let spec = NetSpec::regressor(&[1, 4, 1]);
+        let net = chip.deploy(&quick_flow(0.52), &spec, &toy_data());
+        chip.set_sram_voltage(0.52);
+        let (_, stats) = chip.infer(&net, &[0.5]);
+        let booked = chip.account_inference(stats.npu);
+        assert_eq!(booked, stats, "accounting must match the live path");
+        // Re-booking the same cycles at a higher SRAM rail costs more.
+        chip.set_sram_voltage(0.9);
+        let at_nominal = chip.account_inference(stats.npu);
+        assert!(at_nominal.sram_pj > booked.sram_pj);
+        assert_eq!(at_nominal.npu, stats.npu);
     }
 
     #[test]

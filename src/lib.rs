@@ -52,14 +52,25 @@ pub use matic_snnac as snnac;
 pub use matic_sram as sram;
 
 /// Convenience re-exports of the most commonly used types.
+///
+/// Two unrelated `Scenario` types exist in the workspace, so the prelude
+/// renames both to keep itself unambiguous:
+///
+/// * [`EnergyScenario`](matic_energy::Scenario) — a Table II operating
+///   scenario (`HighPerf` / `EnOpt_split` / `EnOpt_joint`);
+/// * [`SweepScenario`](matic_harness::Scenario) — a benchmark workload
+///   pluggable into the sweep harness.
 pub mod prelude {
     pub use matic_core::{
         CanaryController, CanarySet, DeployedModel, MatConfig, MatTrainer, TrainedModel,
     };
     pub use matic_datasets::{Dataset, Split};
-    pub use matic_energy::{EnergyModel, OperatingPoint, Scenario};
+    pub use matic_energy::{EnergyModel, OperatingPoint, Scenario as EnergyScenario};
     pub use matic_fixed::{Accumulator, Fx, QFormat};
-    pub use matic_harness::{Scenario as SweepScenario, SweepPlan, SweepReport, TrainingMode};
+    pub use matic_harness::{
+        AccuracyBudget, EnergyReport, Scenario as SweepScenario, SweepPlan, SweepReport,
+        TrainingMode,
+    };
     pub use matic_nn::{Activation, Loss, Mlp, NetSpec, SgdConfig};
     pub use matic_snnac::{Chip, ChipConfig, Snnac};
     pub use matic_sram::{FaultMap, SramArray, SramConfig};

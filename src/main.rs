@@ -2,11 +2,18 @@
 //!
 //! `matic sweep` runs a parallel chip-population sweep through
 //! [`matic_harness`] and writes a deterministic JSON report (plus an
-//! optional per-cell CSV). `matic cache` inspects or clears the
-//! persistent sweep cache that makes interrupted sweeps resumable.
-//! `matic list` shows the available benchmarks and training modes.
+//! optional per-cell CSV). `matic energy` runs the same sweep (or reads
+//! a previously written sweep report) and derives the accuracy–energy
+//! analysis: Pareto frontiers per benchmark/mode and the Table II
+//! minimum-energy operating-point selections under an accuracy budget.
+//! `matic cache` inspects or clears the persistent sweep cache that
+//! makes interrupted sweeps resumable. `matic list` shows the available
+//! benchmarks and training modes.
 
-use matic_harness::{ReusePolicy, SweepCache, SweepPlan, SweepReport, TrainingMode};
+use matic_harness::{
+    AccuracyBudget, EnergyReport, ReusePolicy, SweepCache, SweepPlan, SweepReport, SweepRun,
+    TrainingMode,
+};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -18,17 +25,20 @@ matic — MATIC (DATE 2018) reproduction toolkit
 
 USAGE:
     matic sweep [OPTIONS]    run a chip-population sweep
+    matic energy [OPTIONS]   sweep (or load a sweep report) and derive the
+                             accuracy–energy analysis (Table II / Fig. 10–11)
     matic cache stats        show persistent sweep-cache contents
     matic cache clear        delete every cached cell result
     matic list               list built-in benchmarks and training modes
     matic help               show this message
 
-SWEEP OPTIONS:
+SWEEP OPTIONS (matic sweep; also accepted by matic energy):
     --chips N           chip instances to synthesize        [default: 4]
     --voltages SPEC     SRAM voltages: lo:hi:steps grid or comma list
                         (e.g. 0.46:0.90:5 or 0.53,0.50,0.46) [default: 0.46:0.90:5]
     --bers SPEC         sweep synthetic bit-error rates instead of voltages
-                        (the Fig. 5 axis; evaluated on the masked float view)
+                        (the Fig. 5 axis; evaluated on the masked float view;
+                        not accepted by matic energy — no silicon, no energy)
     --benchmarks LIST   all | comma list of mnist,facedet,inversek2j,bscholes
                                                             [default: all]
     --modes LIST        comma list of naive,mat,mat-canary  [default: naive,mat]
@@ -41,36 +51,44 @@ SWEEP OPTIONS:
                         cell whose content key already matches (resume)
     --resume            shorthand for --cache-dir .matic-cache
     --no-cache          disable the cache even if --cache-dir/--resume given
-    --out PATH          JSON report path                    [default: matic-sweep.json]
-    --csv PATH          also write the per-cell table as CSV
+    --out PATH          JSON report path     [default: matic-sweep.json, or
+                                              matic-energy.json for energy]
+    --csv PATH          also write the per-cell (sweep) or per-scenario
+                        (energy) table as CSV
     --quiet             suppress the summary table
+
+ENERGY OPTIONS (matic energy only):
+    --report PATH       analyze an existing sweep report instead of
+                        sweeping (mutually exclusive with sweep options)
+    --budget-percent X  accuracy-loss budget for classification
+                        benchmarks, percentage points       [default: 2]
+    --budget-mse X      accuracy-loss budget for regression
+                        benchmarks, absolute MSE            [default: 0.02]
 
 CACHE OPTIONS (matic cache stats|clear):
     --cache-dir PATH    cache location                      [default: .matic-cache]
 
-The JSON report is byte-identical for every --threads value and for every
-cache hit/miss mix, and contains no timestamps or host details: identical
-plans give identical bytes. Cells are checkpointed atomically as they
-complete, so a killed sweep re-run with --resume picks up where it died.
+Reports are byte-identical for every --threads value and for every cache
+hit/miss mix, and contain no timestamps or host details: identical plans
+give identical bytes — `matic energy` inherits the same guarantee because
+its analysis is a pure function of the sweep report. Cells are
+checkpointed atomically as they complete, so a killed sweep re-run with
+--resume picks up where it died.
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let run = |result: Result<(), String>| match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    };
     match args.first().map(String::as_str) {
-        Some("sweep") => match run_sweep_command(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                ExitCode::FAILURE
-            }
-        },
-        Some("cache") => match run_cache_command(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                ExitCode::FAILURE
-            }
-        },
+        Some("sweep") => run(run_sweep_command(&args[1..])),
+        Some("energy") => run(run_energy_command(&args[1..])),
+        Some("cache") => run(run_cache_command(&args[1..])),
         Some("list") => {
             list();
             ExitCode::SUCCESS
@@ -103,24 +121,227 @@ fn list() {
     println!("  mat-canary   MAT + in-situ canaries and runtime controller (§III-C)");
 }
 
-fn run_sweep_command(args: &[String]) -> Result<(), String> {
-    let mut chips = 4usize;
-    let mut voltages: Option<Vec<f64>> = None;
-    let mut bers: Option<Vec<f64>> = None;
-    let mut benchmarks = "all".to_string();
-    let mut modes = vec![TrainingMode::Naive, TrainingMode::Mat];
-    let mut scale = 0.5f64;
-    let mut epochs = 0.5f64;
-    let mut seed = 42u64;
-    let mut threads: Option<usize> = None;
-    let mut reuse = ReusePolicy::SupersetMap;
-    let mut cache_dir: Option<String> = None;
-    let mut resume = false;
-    let mut no_cache = false;
-    let mut out = "matic-sweep.json".to_string();
-    let mut csv: Option<String> = None;
-    let mut quiet = false;
+/// The options shared by `matic sweep` and `matic energy`: everything
+/// that shapes the sweep itself plus the output knobs.
+struct SweepArgs {
+    chips: usize,
+    voltages: Option<Vec<f64>>,
+    bers: Option<Vec<f64>>,
+    benchmarks: String,
+    modes: Vec<TrainingMode>,
+    scale: f64,
+    epochs: f64,
+    seed: u64,
+    threads: Option<usize>,
+    reuse: ReusePolicy,
+    cache_dir: Option<String>,
+    resume: bool,
+    no_cache: bool,
+    out: Option<String>,
+    csv: Option<String>,
+    quiet: bool,
+    /// Whether any sweep-shaping option was explicitly given (used by
+    /// `matic energy` to reject a conflicting `--report`).
+    sweep_shaped: bool,
+}
 
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            chips: 4,
+            voltages: None,
+            bers: None,
+            benchmarks: "all".to_string(),
+            modes: vec![TrainingMode::Naive, TrainingMode::Mat],
+            scale: 0.5,
+            epochs: 0.5,
+            seed: 42,
+            threads: None,
+            reuse: ReusePolicy::SupersetMap,
+            cache_dir: None,
+            resume: false,
+            no_cache: false,
+            out: None,
+            csv: None,
+            quiet: false,
+            sweep_shaped: false,
+        }
+    }
+}
+
+impl SweepArgs {
+    /// Tries to consume `arg` (pulling values from `it`); returns
+    /// `Ok(false)` when the flag is not a sweep option.
+    fn try_parse(
+        &mut self,
+        arg: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        // Everything that only matters when a sweep actually runs —
+        // grid shape *and* execution knobs (threads, cache). `matic
+        // energy --report` rejects all of these rather than silently
+        // ignoring them; only the output knobs (--out/--csv/--quiet)
+        // compose with --report.
+        let shaped = matches!(
+            arg,
+            "--chips"
+                | "--voltages"
+                | "--bers"
+                | "--benchmarks"
+                | "--modes"
+                | "--scale"
+                | "--epochs"
+                | "--seed"
+                | "--no-reuse"
+                | "--threads"
+                | "--cache-dir"
+                | "--resume"
+                | "--no-cache"
+        );
+        match arg {
+            "--chips" => self.chips = parse(&value("--chips")?, "--chips")?,
+            "--voltages" => self.voltages = Some(parse_grid(&value("--voltages")?)?),
+            "--bers" => self.bers = Some(parse_grid(&value("--bers")?)?),
+            "--benchmarks" => self.benchmarks = value("--benchmarks")?,
+            "--modes" => {
+                self.modes = value("--modes")?
+                    .split(',')
+                    .map(|m| {
+                        TrainingMode::from_name(m.trim())
+                            .ok_or_else(|| format!("unknown mode `{m}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--scale" => self.scale = parse(&value("--scale")?, "--scale")?,
+            "--epochs" => self.epochs = parse(&value("--epochs")?, "--epochs")?,
+            "--seed" => self.seed = parse(&value("--seed")?, "--seed")?,
+            "--threads" => self.threads = Some(parse(&value("--threads")?, "--threads")?),
+            "--no-reuse" => self.reuse = ReusePolicy::PerPoint,
+            "--cache-dir" => self.cache_dir = Some(value("--cache-dir")?),
+            "--resume" => self.resume = true,
+            "--no-cache" => self.no_cache = true,
+            "--out" => self.out = Some(value("--out")?),
+            "--csv" => self.csv = Some(value("--csv")?),
+            "--quiet" => self.quiet = true,
+            _ => return Ok(false),
+        }
+        self.sweep_shaped |= shaped;
+        Ok(true)
+    }
+
+    fn build_plan(&self) -> Result<SweepPlan, String> {
+        if self.voltages.is_some() && self.bers.is_some() {
+            return Err("--voltages and --bers are mutually exclusive".into());
+        }
+        let mut builder = SweepPlan::builder()
+            .chips(self.chips)
+            .data_scale(self.scale)
+            .epoch_scale(self.epochs)
+            .seed(self.seed)
+            .modes(&self.modes)
+            .reuse(self.reuse);
+        builder = match (&self.voltages, &self.bers) {
+            (_, Some(r)) => builder.bit_error_rates(r),
+            (Some(v), None) => builder.voltages(v),
+            (None, None) => builder.voltage_grid(0.46, 0.90, 5),
+        };
+        for name in self.benchmarks.split(',') {
+            builder = builder.benchmark(name.trim()).map_err(|e| e.to_string())?;
+        }
+        if let Some(n) = self.threads {
+            builder = builder.threads(n);
+        }
+        builder.build().map_err(|e| e.to_string())
+    }
+
+    /// The cache directory the flags select, if any. The cache is
+    /// enabled by --cache-dir or --resume (which defaults the location);
+    /// --no-cache wins over both so scripts can force a cold recompute
+    /// without unwinding their flags.
+    fn cache_path(&self) -> Option<String> {
+        match (&self.cache_dir, self.resume) {
+            _ if self.no_cache => None,
+            (Some(dir), _) => Some(dir.clone()),
+            (None, true) => Some(DEFAULT_CACHE_DIR.to_string()),
+            (None, false) => None,
+        }
+    }
+
+    /// Builds the plan, runs the sweep (with the selected cache), and
+    /// narrates progress on stderr. Returns the run and its wall time.
+    fn run(&self) -> Result<(SweepRun, std::time::Duration), String> {
+        let plan = self.build_plan()?;
+        let cache_path = self.cache_path();
+        let cache = cache_path
+            .as_ref()
+            .map(|dir| SweepCache::open(dir).map_err(|e| format!("opening sweep cache {dir}: {e}")))
+            .transpose()?;
+        let workers = plan.threads.unwrap_or_else(rayon::current_num_threads);
+        eprintln!(
+            "sweep: {} cells ({} chips x {} {} points x {} benchmarks x {} modes) on {} threads, plan {}",
+            plan.cell_count(),
+            plan.chips,
+            plan.axis.points().len(),
+            plan.axis.kind(),
+            plan.scenarios.len(),
+            plan.modes.len(),
+            workers,
+            plan.fingerprint(),
+        );
+        let start = std::time::Instant::now();
+        let run = matic_harness::run_sweep_with_cache(&plan, cache.as_ref());
+        let elapsed = start.elapsed();
+        if let Some(dir) = &cache_path {
+            eprintln!(
+                "cache: {} hits, {} misses -> {dir}",
+                run.cache.hits, run.cache.misses
+            );
+        }
+        Ok((run, elapsed))
+    }
+}
+
+fn run_sweep_command(args: &[String]) -> Result<(), String> {
+    let mut sweep = SweepArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if !sweep.try_parse(arg, &mut it)? {
+            return Err(format!("unknown option `{arg}` (see `matic help`)"));
+        }
+    }
+    let (run, elapsed) = sweep.run()?;
+    let report = run.report;
+    let out = sweep.out.unwrap_or_else(|| "matic-sweep.json".to_string());
+
+    matic_harness::write_atomic(Path::new(&out), &report.to_json_pretty())
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    if let Some(path) = &sweep.csv {
+        matic_harness::write_atomic(Path::new(path), &report.to_csv())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if !sweep.quiet {
+        print_summary(&report);
+    }
+    eprintln!(
+        "sweep: {} cells in {:.1}s -> {out}{}",
+        report.cells.len(),
+        elapsed.as_secs_f64(),
+        sweep.csv.map(|p| format!(" + {p}")).unwrap_or_default(),
+    );
+    Ok(())
+}
+
+/// `matic energy`: sweep (or load a report) and derive the
+/// accuracy–energy analysis.
+fn run_energy_command(args: &[String]) -> Result<(), String> {
+    let mut sweep = SweepArgs::default();
+    let mut source: Option<String> = None;
+    let mut budget = AccuracyBudget::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -129,108 +350,70 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--chips" => chips = parse(&value("--chips")?, "--chips")?,
-            "--voltages" => voltages = Some(parse_grid(&value("--voltages")?)?),
-            "--bers" => bers = Some(parse_grid(&value("--bers")?)?),
-            "--benchmarks" => benchmarks = value("--benchmarks")?,
-            "--modes" => {
-                modes = value("--modes")?
-                    .split(',')
-                    .map(|m| {
-                        TrainingMode::from_name(m.trim())
-                            .ok_or_else(|| format!("unknown mode `{m}`"))
-                    })
-                    .collect::<Result<_, _>>()?;
+            "--report" => source = Some(value("--report")?),
+            "--budget-percent" => {
+                budget.percent = parse(&value("--budget-percent")?, "--budget-percent")?;
             }
-            "--scale" => scale = parse(&value("--scale")?, "--scale")?,
-            "--epochs" => epochs = parse(&value("--epochs")?, "--epochs")?,
-            "--seed" => seed = parse(&value("--seed")?, "--seed")?,
-            "--threads" => threads = Some(parse(&value("--threads")?, "--threads")?),
-            "--no-reuse" => reuse = ReusePolicy::PerPoint,
-            "--cache-dir" => cache_dir = Some(value("--cache-dir")?),
-            "--resume" => resume = true,
-            "--no-cache" => no_cache = true,
-            "--out" => out = value("--out")?,
-            "--csv" => csv = Some(value("--csv")?),
-            "--quiet" => quiet = true,
-            other => return Err(format!("unknown option `{other}` (see `matic help`)")),
+            "--budget-mse" => budget.mse = parse(&value("--budget-mse")?, "--budget-mse")?,
+            other => {
+                if !sweep.try_parse(other, &mut it)? {
+                    return Err(format!("unknown option `{other}` (see `matic help`)"));
+                }
+            }
         }
     }
-    if voltages.is_some() && bers.is_some() {
-        return Err("--voltages and --bers are mutually exclusive".into());
+    if !budget.percent.is_finite() || !budget.mse.is_finite() {
+        return Err("accuracy budgets must be finite numbers".into());
     }
-
-    let mut builder = SweepPlan::builder()
-        .chips(chips)
-        .data_scale(scale)
-        .epoch_scale(epochs)
-        .seed(seed)
-        .modes(&modes)
-        .reuse(reuse);
-    builder = match (voltages, bers) {
-        (_, Some(r)) => builder.bit_error_rates(&r),
-        (Some(v), None) => builder.voltages(&v),
-        (None, None) => builder.voltage_grid(0.46, 0.90, 5),
-    };
-    for name in benchmarks.split(',') {
-        builder = builder.benchmark(name.trim()).map_err(|e| e.to_string())?;
-    }
-    if let Some(n) = threads {
-        builder = builder.threads(n);
-    }
-    let plan = builder.build().map_err(|e| e.to_string())?;
-
-    // The cache is enabled by --cache-dir or --resume (which defaults the
-    // location); --no-cache wins over both so scripts can force a cold
-    // recompute without unwinding their flags.
-    let cache_path = match (&cache_dir, resume) {
-        _ if no_cache => None,
-        (Some(dir), _) => Some(dir.clone()),
-        (None, true) => Some(DEFAULT_CACHE_DIR.to_string()),
-        (None, false) => None,
-    };
-    let cache = cache_path
-        .as_ref()
-        .map(|dir| SweepCache::open(dir).map_err(|e| format!("opening sweep cache {dir}: {e}")))
-        .transpose()?;
-
-    let workers = plan.threads.unwrap_or_else(rayon::current_num_threads);
-    eprintln!(
-        "sweep: {} cells ({} chips x {} {} points x {} benchmarks x {} modes) on {} threads, plan {}",
-        plan.cell_count(),
-        plan.chips,
-        plan.axis.points().len(),
-        plan.axis.kind(),
-        plan.scenarios.len(),
-        plan.modes.len(),
-        workers,
-        plan.fingerprint(),
-    );
-    let start = std::time::Instant::now();
-    let run = matic_harness::run_sweep_with_cache(&plan, cache.as_ref());
-    let elapsed = start.elapsed();
-    let report = run.report;
-
-    matic_harness::write_atomic(Path::new(&out), &report.to_json_pretty())
-        .map_err(|e| format!("writing {out}: {e}"))?;
-    if let Some(path) = &csv {
-        matic_harness::write_atomic(Path::new(path), &report.to_csv())
-            .map_err(|e| format!("writing {path}: {e}"))?;
-    }
-    if !quiet {
-        print_summary(&report);
-    }
-    if let Some(dir) = &cache_path {
-        eprintln!(
-            "cache: {} hits, {} misses -> {dir}",
-            run.cache.hits, run.cache.misses
+    if sweep.bers.is_some() {
+        return Err(
+            "matic energy needs a voltage-axis sweep; the synthetic BER axis \
+             has no silicon to meter (drop --bers)"
+                .into(),
         );
     }
+
+    let report: SweepReport = match &source {
+        Some(path) => {
+            if sweep.sweep_shaped {
+                return Err(
+                    "--report analyzes an existing sweep, so sweep options have no effect; \
+                     drop them (--chips/--voltages/--benchmarks/--threads/--cache-dir/...) \
+                     or drop --report to sweep here"
+                        .into(),
+                );
+            }
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let report: SweepReport = serde_json::from_str(&text)
+                .map_err(|e| format!("parsing sweep report {path}: {e}"))?;
+            if report.schema != matic_harness::REPORT_SCHEMA {
+                return Err(format!(
+                    "sweep report {path} has schema `{}`, this binary expects `{}` \
+                     (re-run the sweep with this version)",
+                    report.schema,
+                    matic_harness::REPORT_SCHEMA
+                ));
+            }
+            report
+        }
+        None => sweep.run()?.0.report,
+    };
+
+    let energy = matic_harness::energy_report(&report, budget).map_err(|e| e.to_string())?;
+    let out = sweep.out.unwrap_or_else(|| "matic-energy.json".to_string());
+    matic_harness::write_atomic(Path::new(&out), &energy.to_json_pretty())
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    if let Some(path) = &sweep.csv {
+        matic_harness::write_atomic(Path::new(path), &energy.to_csv())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if !sweep.quiet {
+        print_energy_summary(&energy);
+    }
     eprintln!(
-        "sweep: {} cells in {:.1}s -> {out}{}",
-        report.cells.len(),
-        elapsed.as_secs_f64(),
-        csv.map(|p| format!(" + {p}")).unwrap_or_default(),
+        "energy: {} benchmark/mode analyses -> {out}{}",
+        energy.benchmarks.len(),
+        sweep.csv.map(|p| format!(" + {p}")).unwrap_or_default(),
     );
     Ok(())
 }
@@ -313,28 +496,233 @@ fn print_summary(report: &SweepReport) {
     }
 }
 
+fn print_energy_summary(energy: &EnergyReport) {
+    println!(
+        "{:>11} | {:>10} | {:>11} | {:>6} | {:>9} | {:>11} | {:>9} | {:>11}",
+        "benchmark", "mode", "scenario", "Vsram", "pJ/cycle", "base pJ/cy", "reduction", "mean err"
+    );
+    println!("{:-<98}", "");
+    for b in &energy.benchmarks {
+        for outcome in &b.scenarios {
+            match &outcome.selection {
+                Some(s) => println!(
+                    "{:>11} | {:>10} | {:>11} | {:>6.2} | {:>9.2} | {:>11.2} | {:>8.2}x | {:>11.4}",
+                    b.benchmark,
+                    b.mode,
+                    outcome.scenario,
+                    s.v_sram,
+                    s.logic_pj_per_cycle + s.sram_pj_per_cycle,
+                    s.baseline_pj_per_cycle,
+                    s.reduction,
+                    s.mean_error,
+                ),
+                None => println!(
+                    "{:>11} | {:>10} | {:>11} | {:>6} | {:>9} | {:>11} | {:>9} | {:>11}",
+                    b.benchmark,
+                    b.mode,
+                    outcome.scenario,
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    no_selection_reason(&outcome.scenario, &b.tradeoff),
+                ),
+            }
+        }
+    }
+}
+
+/// Why a Table II scenario selected nothing: every swept point below its
+/// SRAM floor, points above the floor all over the accuracy budget, or —
+/// the EnOpt_joint corner — feasible points whose shared rail sits below
+/// the delay model's threshold and cannot clock. The JSON report carries
+/// the per-point flags; this is just the summary-table hint.
+fn no_selection_reason(scenario: &str, tradeoff: &[matic_harness::TradeoffPoint]) -> &'static str {
+    let floor = matic_energy::Scenario::ALL
+        .iter()
+        .find(|s| s.name() == scenario)
+        .map(|s| s.sram_floor())
+        .unwrap_or(0.0);
+    if tradeoff.iter().all(|p| p.v_sram < floor) {
+        "below floor"
+    } else if tradeoff.iter().any(|p| p.feasible && p.v_sram >= floor) {
+        // A feasible, above-floor point existed yet nothing was selected:
+        // the only remaining filter is the scenario's clock.
+        "unclockable"
+    } else {
+        "over budget"
+    }
+}
+
 fn parse<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
     s.parse()
         .map_err(|_| format!("invalid value `{s}` for {name}"))
 }
 
-/// Parses `lo:hi:steps` (inclusive linear grid) or a comma-separated list.
+/// Parses `lo:hi:steps` (inclusive linear grid) or a comma-separated
+/// list. Every value must be finite (`f64::from_str` happily accepts
+/// `nan`/`inf`, which would otherwise reach the plan builder), a grid
+/// must have `lo <= hi`, and a single-step grid can only cover a
+/// degenerate `lo == hi` range.
 fn parse_grid(spec: &str) -> Result<Vec<f64>, String> {
+    let finite = |v: f64, what: &str| {
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(format!("{what} in `{spec}` must be a finite number"))
+        }
+    };
     if spec.contains(':') {
         let parts: Vec<&str> = spec.split(':').collect();
         if parts.len() != 3 {
             return Err(format!("grid `{spec}` must be lo:hi:steps"));
         }
-        let lo: f64 = parse(parts[0], "grid lo")?;
-        let hi: f64 = parse(parts[1], "grid hi")?;
+        let lo = finite(parse(parts[0], "grid lo")?, "grid lo")?;
+        let hi = finite(parse(parts[1], "grid hi")?, "grid hi")?;
         let steps: usize = parse(parts[2], "grid steps")?;
         if steps == 0 {
             return Err("grid needs at least one step".into());
         }
+        if lo > hi {
+            return Err(format!(
+                "grid `{spec}` is reversed (lo > hi); write lo:hi:steps with lo <= hi"
+            ));
+        }
+        if steps == 1 && lo != hi {
+            return Err(format!(
+                "grid `{spec}` has one step but lo != hi, which would silently drop hi; \
+                 use steps >= 2 (or lo == hi for a single point)"
+            ));
+        }
         Ok(matic_harness::linspace(lo, hi, steps))
     } else {
         spec.split(',')
-            .map(|v| parse(v.trim(), "grid value"))
+            .map(|v| finite(parse(v.trim(), "grid value")?, "grid value"))
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_grid_accepts_lists_and_grids() {
+        assert_eq!(parse_grid("0.5,0.9").unwrap(), vec![0.5, 0.9]);
+        assert_eq!(parse_grid(" 0.5 , 0.9 ").unwrap(), vec![0.5, 0.9]);
+        let grid = parse_grid("0.5:0.9:3").unwrap();
+        assert_eq!(grid, vec![0.5, 0.7, 0.9]);
+        // A degenerate single-point grid is fine when lo == hi.
+        assert_eq!(parse_grid("0.5:0.5:1").unwrap(), vec![0.5]);
+    }
+
+    #[test]
+    fn parse_grid_rejects_non_finite_values() {
+        // `f64::from_str` accepts all of these spellings.
+        for spec in ["nan,0.5", "0.5,NaN", "inf,0.5", "0.5,-inf", "infinity"] {
+            let err = parse_grid(spec).unwrap_err();
+            assert!(err.contains("finite"), "`{spec}`: {err}");
+        }
+        for spec in ["nan:0.9:5", "0.5:inf:5"] {
+            let err = parse_grid(spec).unwrap_err();
+            assert!(err.contains("finite"), "`{spec}`: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_grid_rejects_degenerate_grids() {
+        // Regression: `0.5:0.9:1` used to silently return [0.5].
+        let err = parse_grid("0.5:0.9:1").unwrap_err();
+        assert!(err.contains("one step"), "{err}");
+        // Regression: reversed bounds were accepted without complaint.
+        let err = parse_grid("0.9:0.5:3").unwrap_err();
+        assert!(err.contains("reversed"), "{err}");
+        assert!(parse_grid("0.5:0.9:0").is_err(), "zero steps");
+        assert!(parse_grid("0.5:0.9").is_err(), "two fields");
+        assert!(parse_grid("0.5:0.9:3:4").is_err(), "four fields");
+        assert!(parse_grid("0.5:x:3").is_err(), "non-numeric bound");
+    }
+
+    #[test]
+    fn energy_rejects_report_plus_sweep_shaping() {
+        let args: Vec<String> = ["--report", "r.json", "--chips", "8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run_energy_command(&args).unwrap_err();
+        assert!(err.contains("--report"), "{err}");
+    }
+
+    #[test]
+    fn energy_rejects_the_ber_axis() {
+        let args: Vec<String> = ["--bers", "0.01,0.05"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run_energy_command(&args).unwrap_err();
+        assert!(err.contains("voltage-axis"), "{err}");
+    }
+
+    #[test]
+    fn output_knobs_do_not_count_as_sweep_shaping() {
+        let mut sweep = SweepArgs::default();
+        let args: Vec<String> = ["--out", "x.json", "--csv", "x.csv", "--quiet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            assert!(sweep.try_parse(arg, &mut it).unwrap());
+        }
+        assert!(!sweep.sweep_shaped);
+    }
+
+    #[test]
+    fn no_selection_reason_names_the_real_constraint() {
+        let point = |v_sram: f64| matic_harness::TradeoffPoint {
+            v_sram,
+            mean_error: 1.0,
+            mean_energy_pj: 1.0,
+            mean_power_watts: 1.0,
+            feasible: false,
+            on_frontier: false,
+        };
+        // Every swept point below HighPerf's 0.65 V periphery floor: the
+        // budget is irrelevant, and saying "over budget" would send the
+        // user to the wrong knob.
+        let low = [point(0.55), point(0.50)];
+        assert_eq!(no_selection_reason("HighPerf", &low), "below floor");
+        assert_eq!(no_selection_reason("EnOpt_split", &low), "over budget");
+        let mixed = [point(0.65), point(0.50)];
+        assert_eq!(no_selection_reason("HighPerf", &mixed), "over budget");
+        // A feasible above-floor point that still produced no selection
+        // can only have been dropped by the clock filter (EnOpt_joint
+        // with the shared rail below the delay threshold).
+        let feasible_low = [matic_harness::TradeoffPoint {
+            feasible: true,
+            ..point(0.40)
+        }];
+        assert_eq!(
+            no_selection_reason("EnOpt_joint", &feasible_low),
+            "unclockable"
+        );
+    }
+
+    #[test]
+    fn energy_rejects_report_plus_execution_flags() {
+        // --threads/--cache-dir/--resume/--no-cache do nothing under
+        // --report; silently ignoring them would let a user believe the
+        // cache was consulted.
+        for extra in [
+            vec!["--threads", "2"],
+            vec!["--cache-dir", "c"],
+            vec!["--resume"],
+            vec!["--no-cache"],
+        ] {
+            let mut args = vec!["--report".to_string(), "r.json".to_string()];
+            args.extend(extra.iter().map(|s| s.to_string()));
+            let err = run_energy_command(&args).unwrap_err();
+            assert!(err.contains("--report"), "{extra:?}: {err}");
+        }
     }
 }
