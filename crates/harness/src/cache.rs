@@ -305,6 +305,9 @@ pub struct CacheUsage {
     pub enabled: bool,
     /// Cells replayed from the cache.
     pub hits: usize,
+    /// Cells replayed from a concurrent job's in-flight computation
+    /// (the scheduler's exactly-once dedup; always 0 for batch runs).
+    pub deduped: usize,
     /// Cells computed (and, when a cache is attached, stored).
     pub misses: usize,
     /// Per-cell hit flags, in the report's grid order
@@ -315,13 +318,19 @@ pub struct CacheUsage {
 impl CacheUsage {
     /// Total cells the run produced.
     pub fn cells(&self) -> usize {
-        self.hits + self.misses
+        self.hits + self.deduped + self.misses
     }
 
     /// `true` when every cell came from the cache (a fully warm resume:
     /// the run did zero training and zero evaluation work).
     pub fn all_hits(&self) -> bool {
         self.enabled && self.misses == 0 && self.hits > 0
+    }
+
+    /// Total cells replayed rather than computed (cache hits plus
+    /// in-flight dedup).
+    pub fn replayed(&self) -> usize {
+        self.hits + self.deduped
     }
 }
 

@@ -57,6 +57,9 @@ use crate::cache::{CacheUsage, CellKey, SweepCache, UnitKeyPrefix};
 use crate::plan::{ReusePolicy, StressAxis, SweepPlan, TrainingMode};
 use crate::report::{CellEnergy, CellRecord, PlanSummary, SweepReport, REPORT_SCHEMA};
 use crate::scenario::Scenario;
+use crate::sched::{
+    CancelledSweep, CellOrigin, ExecContext, Resolution, SweepOutcome, UnitOutcome,
+};
 use matic_core::{DeploymentFlow, MatConfig, MatTrainer, TrainedModel};
 use matic_datasets::Split;
 use matic_nn::{classification_error_percent, mean_squared_error, Mlp, NetSpec, Sample};
@@ -104,49 +107,97 @@ pub fn run_sweep(plan: &SweepPlan) -> SweepReport {
 /// Runs the sweep with an explicitly managed cache (or none), returning
 /// the report together with per-cell cache provenance.
 pub fn run_sweep_with_cache(plan: &SweepPlan, cache: Option<&SweepCache>) -> SweepRun {
-    // Datasets are shared per scenario (population statistics vary the
-    // silicon, not the data) and generated up front, deterministically.
-    let splits: Vec<Split> = plan
-        .scenarios
+    match run_sweep_observed(plan, &ExecContext::batch(cache)) {
+        SweepOutcome::Complete(run) => run,
+        SweepOutcome::Cancelled(_) => {
+            unreachable!("a batch context carries no cancel token")
+        }
+    }
+}
+
+/// The deterministic per-scenario datasets of a plan, generated up
+/// front. Datasets are shared per scenario (population statistics vary
+/// the silicon, not the data); index the result by scenario index.
+pub fn sweep_splits(plan: &SweepPlan) -> Vec<Split> {
+    plan.scenarios
         .iter()
         .enumerate()
         .map(|(i, s)| s.generate(plan.data_seed(i), plan.data_scale))
-        .collect();
+        .collect()
+}
 
-    // One work item per (scenario, chip): scenario-major so the flattened
-    // cell list lands in documented grid order.
-    let units: Vec<(usize, usize)> = (0..plan.scenarios.len())
+/// The plan's work units — one `(scenario index, chip index)` pair per
+/// unit, scenario-major — in the exact order whose flattened cells form
+/// the documented grid order. External schedulers (the serve daemon's
+/// shared worker pool) distribute these units however they like, run
+/// each through [`run_unit_observed`], and hand the outcomes **in this
+/// order** to [`assemble_sweep`]; the report bytes are then independent
+/// of completion order by construction.
+pub fn sweep_units(plan: &SweepPlan) -> Vec<(usize, usize)> {
+    (0..plan.scenarios.len())
         .flat_map(|s| (0..plan.chips).map(move |c| (s, c)))
-        .collect();
+        .collect()
+}
 
+/// Runs the full sweep through an [`ExecContext`]: the incremental,
+/// cancellable entry point. With a default (batch) context this is
+/// exactly [`run_sweep_with_cache`]; with a cancel token it stops at the
+/// next cell boundary of every unit once the token flips; with an
+/// in-flight table it deduplicates cell computations against concurrent
+/// sweeps sharing the same table and cache.
+pub fn run_sweep_observed(plan: &SweepPlan, ctx: &ExecContext<'_>) -> SweepOutcome {
+    let splits = sweep_splits(plan);
+    let units = sweep_units(plan);
     let pool = ThreadPoolBuilder::new()
         .num_threads(plan.threads.unwrap_or(0))
         .build()
         .expect("thread pool construction is infallible");
-    let per_unit: Vec<Vec<(CellRecord, bool)>> = pool.install(|| {
+    let per_unit: Vec<UnitOutcome> = pool.install(|| {
         units
             .par_iter()
             .map(|&(scen_idx, chip_idx)| {
-                run_unit(plan, scen_idx, chip_idx, &splits[scen_idx], cache)
+                run_unit_observed(plan, scen_idx, chip_idx, &splits[scen_idx], ctx)
             })
             .collect()
     });
+    assemble_sweep(plan, per_unit, ctx.cache.is_some())
+}
 
+/// Reassembles per-unit outcomes (in [`sweep_units`] order) into the
+/// sweep outcome. Grid order — not completion order — determines the
+/// report, which is what keeps service-scheduled sweeps byte-identical
+/// to batch runs.
+pub fn assemble_sweep(
+    plan: &SweepPlan,
+    per_unit: Vec<UnitOutcome>,
+    cache_enabled: bool,
+) -> SweepOutcome {
+    let cancelled = per_unit.iter().any(|u| u.cancelled);
     let mut cells = Vec::with_capacity(plan.cell_count());
     let mut per_cell = Vec::with_capacity(plan.cell_count());
-    for (cell, hit) in per_unit.into_iter().flatten() {
-        per_cell.push(hit);
+    let (mut hits, mut deduped) = (0usize, 0usize);
+    for (cell, origin) in per_unit.into_iter().flat_map(|u| u.cells) {
+        per_cell.push(origin.is_replay());
+        hits += (origin == CellOrigin::CacheHit) as usize;
+        deduped += (origin == CellOrigin::Deduped) as usize;
         cells.push(cell);
     }
-    let hits = per_cell.iter().filter(|&&h| h).count();
     let usage = CacheUsage {
-        enabled: cache.is_some(),
+        enabled: cache_enabled,
         hits,
-        misses: per_cell.len() - hits,
+        deduped,
+        misses: per_cell.len() - hits - deduped,
         per_cell,
     };
+    if cancelled {
+        return SweepOutcome::Cancelled(CancelledSweep {
+            cells_done: cells.len(),
+            cells_total: plan.cell_count(),
+            cache: usage,
+        });
+    }
     let points = SweepReport::summarize(&cells);
-    SweepRun {
+    SweepOutcome::Complete(SweepRun {
         report: SweepReport {
             schema: REPORT_SCHEMA.to_string(),
             plan: PlanSummary {
@@ -167,7 +218,7 @@ pub fn run_sweep_with_cache(plan: &SweepPlan, cache: Option<&SweepCache>) -> Swe
             points,
         },
         cache: usage,
-    }
+    })
 }
 
 /// Evaluates a trained model **on the chip**: uploads the quantized
@@ -266,22 +317,26 @@ fn cell_energy(chip: &Chip, npu: NpuStats) -> CellEnergy {
     }
 }
 
-/// The sequential evaluation of one (scenario, chip) unit. Each element
-/// of the returned vector is (cell, replayed-from-cache).
-fn run_unit(
+/// The sequential evaluation of one (scenario, chip) unit through an
+/// [`ExecContext`]: cells replay, dedup or compute per the context, the
+/// cancel token is polled **before every cell**, and a cancelled walk
+/// returns the prefix finished so far (all of it already checkpointed
+/// when a cache is attached). `split` must be the scenario's entry from
+/// [`sweep_splits`].
+pub fn run_unit_observed(
     plan: &SweepPlan,
     scen_idx: usize,
     chip_idx: usize,
     split: &Split,
-    cache: Option<&SweepCache>,
-) -> Vec<(CellRecord, bool)> {
+    ctx: &ExecContext<'_>,
+) -> UnitOutcome {
     let scen = &*plan.scenarios[scen_idx];
     match &plan.axis {
         StressAxis::Voltage(points) => {
-            run_voltage_unit(plan, scen, scen_idx, chip_idx, split, points, cache)
+            run_voltage_unit(plan, scen, scen_idx, chip_idx, split, points, ctx)
         }
         StressAxis::BitErrorRate(points) => {
-            run_ber_unit(plan, scen, scen_idx, chip_idx, split, points, cache)
+            run_ber_unit(plan, scen, scen_idx, chip_idx, split, points, ctx)
         }
     }
 }
@@ -389,6 +444,7 @@ struct EvalCache {
     mat: Option<(f64, NpuStats)>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_voltage_unit(
     plan: &SweepPlan,
     scen: &dyn Scenario,
@@ -396,14 +452,16 @@ fn run_voltage_unit(
     chip_idx: usize,
     split: &Split,
     points: &[f64],
-    cache: Option<&SweepCache>,
-) -> Vec<(CellRecord, bool)> {
+    ctx: &ExecContext<'_>,
+) -> UnitOutcome {
     let spec = scen.topology();
     let cfg = scen.train_config(plan.epoch_scale);
     let is_class = scen.is_classification();
     let mut chip = Chip::synthesize(ChipConfig::snnac(), plan.chip_seed(chip_idx));
     // The unit-invariant half of every cell key, hashed once.
-    let prefix = cache.map(|_| UnitKeyPrefix::new(plan, scen_idx, chip_idx));
+    let prefix = ctx
+        .cache
+        .map(|_| UnitKeyPrefix::new(plan, scen_idx, chip_idx));
 
     let mut naive: Option<NaiveBaseline> = None;
     let mut adaptive: Option<AdaptiveModel> = None;
@@ -436,13 +494,25 @@ fn run_voltage_unit(
         let reused =
             plan.modes.contains(&TrainingMode::Mat) && advance_adaptive(plan, &mut adaptive, &map);
         for &mode in &plan.modes {
+            // The cooperative cancellation point: a cancelled sweep stops
+            // before starting the next cell, with everything finished so
+            // far already checkpointed.
+            if ctx.is_cancelled() {
+                return UnitOutcome {
+                    cells,
+                    cancelled: true,
+                };
+            }
             let key = prefix
                 .as_ref()
                 .map(|p| p.cell(plan, point_idx, mode, map_fp.expect("set with prefix")));
-            if let Some(hit) = lookup(cache, key.as_ref()) {
-                cells.push((hit, true));
-                continue;
-            }
+            let claim = match ctx.resolve(key.as_ref()) {
+                Resolution::Replay(hit, origin) => {
+                    cells.push((*hit, origin));
+                    continue;
+                }
+                Resolution::Compute(claim) => claim,
+            };
             let cell = match mode {
                 TrainingMode::Naive => {
                     let baseline =
@@ -488,23 +558,25 @@ fn run_voltage_unit(
                     )
                 }
             };
-            store(cache, key.as_ref(), &cell);
-            cells.push((cell, false));
+            ctx.finish(claim, key.as_ref(), &cell);
+            cells.push((cell, CellOrigin::Computed));
         }
     }
-    cells
-}
-
-/// Cache lookup wrapper (no cache or no key means a miss).
-fn lookup(cache: Option<&SweepCache>, key: Option<&CellKey>) -> Option<CellRecord> {
-    cache?.lookup(key?)
+    UnitOutcome {
+        cells,
+        cancelled: false,
+    }
 }
 
 /// Checkpoint-on-write: persists a freshly computed cell. Best-effort —
 /// a full disk degrades the run to uncached, it does not kill the sweep.
 /// Warns once per process (a dead disk would otherwise print one line
 /// per remaining cell of a large grid, burying the sweep's own output).
-fn store(cache: Option<&SweepCache>, key: Option<&CellKey>, cell: &CellRecord) {
+pub(crate) fn store_checkpoint(
+    cache: Option<&SweepCache>,
+    key: Option<&CellKey>,
+    cell: &CellRecord,
+) {
     use std::sync::atomic::{AtomicBool, Ordering};
     static STORE_FAILURE_WARNED: AtomicBool = AtomicBool::new(false);
     if let (Some(cache), Some(key)) = (cache, key) {
@@ -603,6 +675,7 @@ fn run_canary_cell(
     cell
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_ber_unit(
     plan: &SweepPlan,
     scen: &dyn Scenario,
@@ -610,8 +683,8 @@ fn run_ber_unit(
     chip_idx: usize,
     split: &Split,
     points: &[f64],
-    cache: Option<&SweepCache>,
-) -> Vec<(CellRecord, bool)> {
+    ctx: &ExecContext<'_>,
+) -> UnitOutcome {
     let spec = scen.topology();
     let cfg = scen.train_config(plan.epoch_scale);
     let is_class = scen.is_classification();
@@ -621,7 +694,9 @@ fn run_ber_unit(
     let geometry = (geom.banks, geom.bank.words, geom.bank.word_bits);
 
     // The unit-invariant half of every cell key, hashed once.
-    let prefix = cache.map(|_| UnitKeyPrefix::new(plan, scen_idx, chip_idx));
+    let prefix = ctx
+        .cache
+        .map(|_| UnitKeyPrefix::new(plan, scen_idx, chip_idx));
     let mut naive: Option<NaiveBaseline> = None;
     let mut adaptive: Option<AdaptiveModel> = None;
     let mut cells = Vec::with_capacity(points.len() * plan.modes.len());
@@ -639,13 +714,22 @@ fn run_ber_unit(
         let reused =
             plan.modes.contains(&TrainingMode::Mat) && advance_adaptive(plan, &mut adaptive, &map);
         for &mode in &plan.modes {
+            if ctx.is_cancelled() {
+                return UnitOutcome {
+                    cells,
+                    cancelled: true,
+                };
+            }
             let key = prefix
                 .as_ref()
                 .map(|p| p.cell(plan, point_idx, mode, map_fp.expect("set with prefix")));
-            if let Some(hit) = lookup(cache, key.as_ref()) {
-                cells.push((hit, true));
-                continue;
-            }
+            let claim = match ctx.resolve(key.as_ref()) {
+                Resolution::Replay(hit, origin) => {
+                    cells.push((*hit, origin));
+                    continue;
+                }
+                Resolution::Compute(claim) => claim,
+            };
             let cell = match mode {
                 TrainingMode::Naive => {
                     let baseline =
@@ -683,11 +767,14 @@ fn run_ber_unit(
                     unreachable!("plan validation rejects mat-canary on the BER axis")
                 }
             };
-            store(cache, key.as_ref(), &cell);
-            cells.push((cell, false));
+            ctx.finish(claim, key.as_ref(), &cell);
+            cells.push((cell, CellOrigin::Computed));
         }
     }
-    cells
+    UnitOutcome {
+        cells,
+        cancelled: false,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

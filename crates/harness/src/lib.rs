@@ -75,12 +75,16 @@ pub mod pareto;
 mod plan;
 mod report;
 pub mod scenario;
+pub mod sched;
 pub mod seeds;
 
 pub use cache::{
     write_atomic, CacheStats, CacheUsage, CellCoords, CellKey, SweepCache, UnitKeyPrefix,
 };
-pub use engine::{eval_on_chip, run_sweep, run_sweep_with_cache, SweepRun};
+pub use engine::{
+    assemble_sweep, eval_on_chip, run_sweep, run_sweep_observed, run_sweep_with_cache,
+    run_unit_observed, sweep_splits, sweep_units, SweepRun,
+};
 pub use pareto::{
     energy_report, AccuracyBudget, BenchmarkEnergy, EnergyReport, EnergyReportError,
     ScenarioOutcome, ScenarioSelection, TradeoffPoint, ENERGY_SCHEMA,
@@ -92,3 +96,7 @@ pub use report::{
     CellEnergy, CellRecord, PlanSummary, PointSummary, Stats, SweepReport, REPORT_SCHEMA,
 };
 pub use scenario::{builtin_scenarios, scenario_by_name, BenchmarkScenario, Scenario};
+pub use sched::{
+    CancelToken, CancelledSweep, CellOrigin, ExecContext, Inflight, ProgressSink, Resolution,
+    SweepOutcome, UnitOutcome,
+};

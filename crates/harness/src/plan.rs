@@ -489,6 +489,11 @@ impl SweepPlanBuilder {
         if !positive(self.data_scale) || !positive(self.epoch_scale) {
             return Err(PlanError("scales must be positive".into()));
         }
+        if self.threads == Some(0) {
+            return Err(PlanError(
+                "threads must be at least 1 (omit the option for automatic)".into(),
+            ));
+        }
         Ok(SweepPlan {
             chips: self.chips,
             axis,

@@ -1,0 +1,402 @@
+//! The `matic serve` daemon: accept loop, per-connection dispatch, job
+//! registry, and graceful drain.
+//!
+//! # Job lifecycle
+//!
+//! ```text
+//! Submit ──admit──▶ queued ──first unit──▶ running ──last unit──▶ done
+//!     │                 │                     │
+//!     │ (bad spec /     │◀────── Cancel ─────▶│  stops at the next
+//!     ▼  draining)      ▼                     ▼  cell boundary
+//! rejected          cancelled             cancelled | failed
+//! ```
+//!
+//! # Shutdown drain
+//!
+//! `Shutdown` flips the daemon into *draining*: new submissions are
+//! answered with a structured `Rejected` event, every live job's cancel
+//! token is flipped, and the handler waits for all jobs to reach a
+//! terminal phase. Workers finish (and checkpoint, through the cache's
+//! atomic writer) the cell they are on — nothing computed is lost — then
+//! the queue closes, the workers join, and the socket file is removed.
+
+use crate::job::Job;
+use crate::pool::{spawn_workers, SharedExec, WorkQueue};
+use crate::protocol::{read_message, write_message, Event, JobStatusInfo, Request};
+use matic_harness::SweepCache;
+use std::collections::BTreeMap;
+use std::io::{BufReader, ErrorKind};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Progress ticks are coalesced to this cadence per connection: a slow
+/// client throttles only its own stream, never the workers.
+const PROGRESS_TICK: Duration = Duration::from_millis(100);
+
+/// How often the accept loop polls for shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Everything `matic serve` needs to start.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix-domain socket path to listen on.
+    pub socket: PathBuf,
+    /// Worker threads in the shared pool (>= 1).
+    pub workers: usize,
+    /// Persistent cell cache shared by every job, if any.
+    pub cache_dir: Option<PathBuf>,
+    /// Bounded unit-queue depth (the backpressure knob).
+    pub queue_depth: usize,
+    /// Suppress the daemon's stderr narration.
+    pub quiet: bool,
+}
+
+impl ServeConfig {
+    /// A config with the given socket and sensible defaults: one worker
+    /// per core, a queue depth of twice the worker count, no cache.
+    pub fn new(socket: impl Into<PathBuf>, workers: usize) -> Self {
+        ServeConfig {
+            socket: socket.into(),
+            workers,
+            cache_dir: None,
+            queue_depth: workers.max(1) * 2,
+            quiet: false,
+        }
+    }
+}
+
+struct Daemon {
+    cfg: ServeConfig,
+    exec: Arc<SharedExec>,
+    queue: Arc<WorkQueue>,
+    jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    draining: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl Daemon {
+    fn note(&self, msg: std::fmt::Arguments<'_>) {
+        if !self.cfg.quiet {
+            eprintln!("serve: {msg}");
+        }
+    }
+
+    fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("job registry poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    fn job_snapshot(&self) -> Vec<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("job registry poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+}
+
+/// Runs the daemon until a `Shutdown` request drains it. Returns only
+/// after workers joined and the socket file was removed.
+pub fn serve(cfg: ServeConfig) -> Result<(), String> {
+    if cfg.workers == 0 {
+        return Err("the worker pool needs at least one thread".into());
+    }
+    let cache = cfg
+        .cache_dir
+        .as_ref()
+        .map(|dir| {
+            SweepCache::open(dir).map_err(|e| format!("opening sweep cache {}: {e}", dir.display()))
+        })
+        .transpose()?;
+    let listener = bind_socket(&cfg.socket)?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("configuring listener: {e}"))?;
+
+    let exec = Arc::new(SharedExec {
+        cache,
+        inflight: Default::default(),
+    });
+    let queue = Arc::new(WorkQueue::new(cfg.queue_depth));
+    let workers = spawn_workers(cfg.workers, &queue, &exec);
+    let daemon = Arc::new(Daemon {
+        cfg,
+        exec,
+        queue: Arc::clone(&queue),
+        jobs: Mutex::new(BTreeMap::new()),
+        next_id: AtomicU64::new(1),
+        draining: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+    });
+    daemon.note(format_args!(
+        "listening on {} ({} workers, queue depth {}, cache {})",
+        daemon.cfg.socket.display(),
+        daemon.cfg.workers,
+        daemon.cfg.queue_depth,
+        daemon
+            .cfg
+            .cache_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "off".into()),
+    ));
+
+    let mut connections = Vec::new();
+    while !daemon.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = Arc::clone(&daemon);
+                connections.push(
+                    std::thread::Builder::new()
+                        .name("matic-serve-conn".into())
+                        .spawn(move || handle_connection(&daemon, stream))
+                        .map_err(|e| format!("spawning connection thread: {e}"))?,
+                );
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) => return Err(format!("accepting on the serve socket: {e}")),
+        }
+    }
+
+    // Drain: the shutdown handler already waited for every job, so the
+    // queue is dead work at most; close it and let the workers exit.
+    queue.close();
+    for w in workers {
+        let _ = w.join();
+    }
+    for c in connections {
+        let _ = c.join();
+    }
+    let _ = std::fs::remove_file(&daemon.cfg.socket);
+    daemon.note(format_args!("shut down cleanly"));
+    Ok(())
+}
+
+/// Binds the socket, recovering a stale file from a dead daemon (a
+/// leftover path nobody answers on) but refusing to evict a live one.
+fn bind_socket(path: &std::path::Path) -> Result<UnixListener, String> {
+    if path.exists() {
+        match UnixStream::connect(path) {
+            Ok(_) => {
+                return Err(format!(
+                    "{} is already served by a running daemon",
+                    path.display()
+                ))
+            }
+            Err(_) => {
+                // Nobody home: a previous daemon died without cleanup.
+                std::fs::remove_file(path)
+                    .map_err(|e| format!("removing stale socket {}: {e}", path.display()))?;
+            }
+        }
+    }
+    UnixListener::bind(path).map_err(|e| format!("binding {}: {e}", path.display()))
+}
+
+fn handle_connection(daemon: &Arc<Daemon>, stream: UnixStream) {
+    stream
+        .set_nonblocking(false)
+        .expect("connection sockets are blocking");
+    let mut reader = BufReader::new(stream.try_clone().expect("cloning connection stream"));
+    let mut writer = stream;
+    let request: Request = match read_message(&mut reader) {
+        Ok(Some(req)) => req,
+        Ok(None) => return, // client connected and hung up
+        Err(e) => {
+            let _ = write_message(
+                &mut writer,
+                &Event::Error {
+                    reason: format!("unreadable request: {e}"),
+                },
+            );
+            return;
+        }
+    };
+    match request {
+        Request::Submit(spec) => handle_submit(daemon, &mut writer, spec),
+        Request::Status => {
+            let jobs: Vec<JobStatusInfo> =
+                daemon.job_snapshot().iter().map(|j| j.status()).collect();
+            let _ = write_message(&mut writer, &Event::Status { jobs });
+        }
+        Request::Cancel(id) => {
+            let event = match daemon.job(id) {
+                Some(job) => {
+                    job.cancel.cancel();
+                    daemon.note(format_args!("job {id} cancel requested"));
+                    Event::CancelOk {
+                        id,
+                        phase: job.phase().name().to_string(),
+                    }
+                }
+                None => Event::Error {
+                    reason: format!("no job with id {id}"),
+                },
+            };
+            let _ = write_message(&mut writer, &event);
+        }
+        Request::Shutdown => handle_shutdown(daemon, &mut writer),
+    }
+}
+
+fn handle_submit(daemon: &Arc<Daemon>, writer: &mut UnixStream, spec: crate::protocol::JobSpec) {
+    if daemon.draining.load(Ordering::Acquire) {
+        let _ = write_message(
+            writer,
+            &Event::Rejected {
+                reason: "draining: the daemon is shutting down and accepts no new jobs".into(),
+            },
+        );
+        return;
+    }
+    let id = daemon.next_id.fetch_add(1, Ordering::Relaxed);
+    let job = match Job::admit(id, spec, daemon.exec.cache.is_some()) {
+        Ok(job) => Arc::new(job),
+        Err(reason) => {
+            let _ = write_message(writer, &Event::Rejected { reason });
+            return;
+        }
+    };
+    daemon
+        .jobs
+        .lock()
+        .expect("job registry poisoned")
+        .insert(id, Arc::clone(&job));
+    daemon.note(format_args!(
+        "job {id} accepted ({} cells, {} units)",
+        job.cells_total(),
+        job.units.len()
+    ));
+    if write_message(
+        writer,
+        &Event::Accepted {
+            id,
+            cells_total: job.cells_total(),
+        },
+    )
+    .is_err()
+    {
+        // Client vanished before we queued anything: nobody wants this.
+        job.cancel.cancel();
+    }
+
+    // Enqueue every unit (blocking on the bounded queue = backpressure).
+    for unit_idx in 0..job.units.len() {
+        if job.cancel.is_cancelled() || !daemon.queue.push((Arc::clone(&job), unit_idx)) {
+            // Cancelled mid-enqueue, or the queue closed under us:
+            // account the unit as cancelled so the job still terminates.
+            job.complete_unit(
+                unit_idx,
+                matic_harness::UnitOutcome {
+                    cells: Vec::new(),
+                    cancelled: true,
+                },
+            );
+        }
+    }
+
+    stream_progress(daemon, writer, &job);
+}
+
+/// Streams coalesced progress ticks until the job settles, then the
+/// terminal event. A dead client cancels its own job (the cache keeps
+/// everything already computed).
+fn stream_progress(daemon: &Arc<Daemon>, writer: &mut UnixStream, job: &Arc<Job>) {
+    let id = job.id;
+    let total = job.cells_total();
+    let mut last_done = usize::MAX;
+    loop {
+        let phase = job.phase();
+        if phase.is_terminal() {
+            let event = match phase {
+                crate::job::JobPhase::Done {
+                    report,
+                    hits,
+                    deduped,
+                    misses,
+                } => {
+                    daemon.note(format_args!(
+                        "job {id} done ({hits} hits, {deduped} deduped, {misses} misses)"
+                    ));
+                    Event::Done {
+                        id,
+                        report,
+                        hits,
+                        deduped,
+                        misses,
+                    }
+                }
+                crate::job::JobPhase::Cancelled { cells_done } => {
+                    daemon.note(format_args!(
+                        "job {id} cancelled after {cells_done}/{total} cells"
+                    ));
+                    Event::Cancelled {
+                        id,
+                        cells_done,
+                        cells_total: total,
+                    }
+                }
+                crate::job::JobPhase::Failed(reason) => {
+                    daemon.note(format_args!("job {id} failed: {reason}"));
+                    Event::Failed { id, reason }
+                }
+                crate::job::JobPhase::Queued | crate::job::JobPhase::Running => unreachable!(),
+            };
+            let _ = write_message(writer, &event);
+            return;
+        }
+        let (done, hits, deduped, misses) = job.progress.snapshot();
+        if done != last_done {
+            last_done = done;
+            if write_message(
+                writer,
+                &Event::Progress {
+                    id,
+                    done,
+                    total,
+                    hits,
+                    deduped,
+                    misses,
+                },
+            )
+            .is_err()
+            {
+                job.cancel.cancel();
+                daemon.note(format_args!("job {id} client vanished; cancelling"));
+                return;
+            }
+        }
+        job.wait_changed(PROGRESS_TICK);
+    }
+}
+
+fn handle_shutdown(daemon: &Arc<Daemon>, writer: &mut UnixStream) {
+    daemon.draining.store(true, Ordering::Release);
+    let jobs = daemon.job_snapshot();
+    let mut drained = 0usize;
+    for job in &jobs {
+        if !job.phase().is_terminal() {
+            job.cancel.cancel();
+            drained += 1;
+        }
+    }
+    daemon.note(format_args!("draining {drained} live jobs"));
+    for job in &jobs {
+        job.wait_terminal();
+    }
+    let _ = write_message(
+        writer,
+        &Event::ShutdownOk {
+            jobs_drained: drained,
+        },
+    );
+    daemon.stop.store(true, Ordering::Release);
+}

@@ -1,0 +1,331 @@
+//! One submitted job: its plan, its per-unit result slots, and its
+//! lifecycle (`queued → running → done | cancelled | failed`).
+//!
+//! A job is the scheduler's unit of *admission*; its plan's
+//! `(scenario, chip)` units are the unit of *execution*. Workers from
+//! the shared pool complete units in any order; the job reassembles them
+//! in [`sweep_units`](matic_harness::sweep_units) order, so the final
+//! report is byte-identical to a batch run of the same plan no matter
+//! how jobs interleave on the pool.
+
+use crate::protocol::{JobKind, JobSpec, JobStatusInfo};
+use matic_datasets::Split;
+use matic_harness::{
+    assemble_sweep, energy_report, AccuracyBudget, CancelToken, CellOrigin, ProgressSink,
+    ReusePolicy, SweepOutcome, SweepPlan, TrainingMode, UnitOutcome,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Builds the sweep plan a spec describes, with the same validation
+/// surface as the batch CLI (so a bad spec is refused at admission, not
+/// discovered mid-run).
+pub fn build_plan(spec: &JobSpec) -> Result<SweepPlan, String> {
+    if spec.voltages.is_some() && spec.bers.is_some() {
+        return Err("voltages and bers are mutually exclusive".into());
+    }
+    if spec.kind == JobKind::Energy && spec.bers.is_some() {
+        return Err(
+            "energy jobs need a voltage-axis sweep; the synthetic BER axis \
+             has no silicon to meter"
+                .into(),
+        );
+    }
+    if !spec.budget_percent.is_finite() || !spec.budget_mse.is_finite() {
+        return Err("accuracy budgets must be finite numbers".into());
+    }
+    let modes: Vec<TrainingMode> = spec
+        .modes
+        .iter()
+        .map(|m| TrainingMode::from_name(m).ok_or_else(|| format!("unknown mode `{m}`")))
+        .collect::<Result<_, _>>()?;
+    let mut builder = SweepPlan::builder()
+        .chips(spec.chips)
+        .data_scale(spec.data_scale)
+        .epoch_scale(spec.epoch_scale)
+        .seed(spec.seed)
+        .modes(&modes)
+        .reuse(if spec.no_reuse {
+            ReusePolicy::PerPoint
+        } else {
+            ReusePolicy::SupersetMap
+        });
+    builder = match (&spec.voltages, &spec.bers) {
+        (_, Some(r)) => builder.bit_error_rates(r),
+        (Some(v), None) => builder.voltages(v),
+        (None, None) => builder.voltage_grid(0.46, 0.90, 5),
+    };
+    for name in &spec.benchmarks {
+        builder = builder.benchmark(name.trim()).map_err(|e| e.to_string())?;
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Cumulative per-cell counters, updated lock-free from worker threads
+/// and read by the progress-streaming connection thread.
+#[derive(Debug, Default)]
+pub struct JobProgress {
+    hits: AtomicUsize,
+    deduped: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl JobProgress {
+    /// `(done, hits, deduped, misses)` — one coherent-enough snapshot
+    /// for progress display (counters only ever grow).
+    pub fn snapshot(&self) -> (usize, usize, usize, usize) {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let deduped = self.deduped.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        (hits + deduped + misses, hits, deduped, misses)
+    }
+}
+
+impl ProgressSink for JobProgress {
+    fn cell_done(&self, origin: CellOrigin) {
+        let counter = match origin {
+            CellOrigin::CacheHit => &self.hits,
+            CellOrigin::Deduped => &self.deduped,
+            CellOrigin::Computed => &self.misses,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Where a job is in its lifecycle. Terminal phases carry everything the
+/// client stream needs, so a status query never has to re-derive them.
+#[derive(Debug, Clone)]
+pub enum JobPhase {
+    /// Admitted, no unit started yet.
+    Queued,
+    /// At least one unit ran (or is running).
+    Running,
+    /// Every unit finished; `report` is the exact pretty-printed text.
+    Done {
+        /// The report bytes the batch CLI would have written.
+        report: String,
+        /// Cache replays.
+        hits: usize,
+        /// In-flight dedup replays.
+        deduped: usize,
+        /// Fresh computations.
+        misses: usize,
+    },
+    /// Cancelled at a cell boundary; finished cells are checkpointed.
+    Cancelled {
+        /// Cells finished before the stop.
+        cells_done: usize,
+    },
+    /// The run could not produce a report.
+    Failed(String),
+}
+
+impl JobPhase {
+    /// Lowercase phase name for status displays.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done { .. } => "done",
+            JobPhase::Cancelled { .. } => "cancelled",
+            JobPhase::Failed(_) => "failed",
+        }
+    }
+
+    /// Whether the job can no longer change.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobPhase::Done { .. } | JobPhase::Cancelled { .. } | JobPhase::Failed(_)
+        )
+    }
+}
+
+struct JobState {
+    phase: JobPhase,
+    /// Per-unit outcome slots in [`matic_harness::sweep_units`] order.
+    slots: Vec<Option<UnitOutcome>>,
+    remaining: usize,
+}
+
+/// One admitted job. Shared between the connection thread that streams
+/// its events and the pool workers that execute its units.
+pub struct Job {
+    /// Daemon-assigned id.
+    pub id: u64,
+    /// What to compute (sweep vs energy, and the energy budgets).
+    pub spec: JobSpec,
+    /// The validated plan.
+    pub plan: SweepPlan,
+    /// The plan's `(scenario, chip)` units, scenario-major.
+    pub units: Vec<(usize, usize)>,
+    /// Per-scenario datasets, generated once at admission.
+    pub splits: Vec<Split>,
+    /// Cooperative cancellation for every unit of this job.
+    pub cancel: CancelToken,
+    /// Per-cell counters for progress streams.
+    pub progress: JobProgress,
+    /// Whether the daemon had a cache attached when this job ran.
+    pub cache_enabled: bool,
+    state: Mutex<JobState>,
+    changed: Condvar,
+}
+
+impl Job {
+    /// Validates the spec and materializes the job (plan, units,
+    /// datasets). Dataset generation happens here — on the submitting
+    /// connection's thread — so pool workers only ever run units.
+    pub fn admit(id: u64, spec: JobSpec, cache_enabled: bool) -> Result<Job, String> {
+        let plan = build_plan(&spec)?;
+        let splits = matic_harness::sweep_splits(&plan);
+        let units = matic_harness::sweep_units(&plan);
+        let slots = units.iter().map(|_| None).collect::<Vec<_>>();
+        let remaining = units.len();
+        Ok(Job {
+            id,
+            spec,
+            plan,
+            units,
+            splits,
+            cancel: CancelToken::new(),
+            progress: JobProgress::default(),
+            cache_enabled,
+            state: Mutex::new(JobState {
+                phase: JobPhase::Queued,
+                slots,
+                remaining,
+            }),
+            changed: Condvar::new(),
+        })
+    }
+
+    /// Cells the plan produces in total.
+    pub fn cells_total(&self) -> usize {
+        self.plan.cell_count()
+    }
+
+    /// Marks the first unit pickup (idempotent).
+    pub fn mark_running(&self) {
+        let mut st = self.state.lock().expect("job state poisoned");
+        if matches!(st.phase, JobPhase::Queued) {
+            st.phase = JobPhase::Running;
+            self.changed.notify_all();
+        }
+    }
+
+    /// Records one unit's outcome; the last unit in assembles the report
+    /// (or the cancellation summary) and flips the job terminal.
+    pub fn complete_unit(&self, unit_idx: usize, outcome: UnitOutcome) {
+        let mut st = self.state.lock().expect("job state poisoned");
+        if st.phase.is_terminal() {
+            return; // a failed job ignores stragglers
+        }
+        assert!(
+            st.slots[unit_idx].is_none(),
+            "unit {unit_idx} completed twice"
+        );
+        st.slots[unit_idx] = Some(outcome);
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            let per_unit: Vec<UnitOutcome> = st
+                .slots
+                .iter_mut()
+                .map(|s| s.take().expect("all units complete"))
+                .collect();
+            st.phase = self.finalize(per_unit);
+        }
+        self.changed.notify_all();
+    }
+
+    /// Marks the job failed (worker panic, unrenderable report, ...).
+    pub fn fail(&self, reason: String) {
+        let mut st = self.state.lock().expect("job state poisoned");
+        if !st.phase.is_terminal() {
+            st.phase = JobPhase::Failed(reason);
+            self.changed.notify_all();
+        }
+    }
+
+    fn finalize(&self, per_unit: Vec<UnitOutcome>) -> JobPhase {
+        match assemble_sweep(&self.plan, per_unit, self.cache_enabled) {
+            SweepOutcome::Cancelled(c) => JobPhase::Cancelled {
+                cells_done: c.cells_done,
+            },
+            SweepOutcome::Complete(run) => {
+                let report = match self.spec.kind {
+                    JobKind::Sweep => run.report.to_json_pretty(),
+                    JobKind::Energy => {
+                        let budget = AccuracyBudget {
+                            percent: self.spec.budget_percent,
+                            mse: self.spec.budget_mse,
+                        };
+                        match energy_report(&run.report, budget) {
+                            Ok(energy) => energy.to_json_pretty(),
+                            Err(e) => return JobPhase::Failed(e.to_string()),
+                        }
+                    }
+                };
+                JobPhase::Done {
+                    report,
+                    hits: run.cache.hits,
+                    deduped: run.cache.deduped,
+                    misses: run.cache.misses,
+                }
+            }
+        }
+    }
+
+    /// The current phase (cloned; terminal phases carry their payload).
+    pub fn phase(&self) -> JobPhase {
+        self.state.lock().expect("job state poisoned").phase.clone()
+    }
+
+    /// Blocks until the phase changes or `timeout` elapses (progress
+    /// streams poll counters on this cadence).
+    pub fn wait_changed(&self, timeout: Duration) {
+        let st = self.state.lock().expect("job state poisoned");
+        if !st.phase.is_terminal() {
+            let _ = self
+                .changed
+                .wait_timeout(st, timeout)
+                .expect("job state poisoned");
+        }
+    }
+
+    /// Blocks until the job reaches a terminal phase.
+    pub fn wait_terminal(&self) -> JobPhase {
+        let mut st = self.state.lock().expect("job state poisoned");
+        while !st.phase.is_terminal() {
+            st = self.changed.wait(st).expect("job state poisoned");
+        }
+        st.phase.clone()
+    }
+
+    /// One status-line snapshot for `matic status`.
+    pub fn status(&self) -> JobStatusInfo {
+        let phase = self.phase();
+        let (done, hits, deduped, misses) = self.progress.snapshot();
+        JobStatusInfo {
+            id: self.id,
+            phase: phase.name().to_string(),
+            kind: self.spec.kind,
+            cells_done: done,
+            cells_total: self.cells_total(),
+            hits,
+            deduped,
+            misses,
+        }
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("id", &self.id)
+            .field("kind", &self.spec.kind)
+            .field("units", &self.units.len())
+            .field("phase", &self.phase().name())
+            .finish()
+    }
+}

@@ -1,0 +1,43 @@
+//! `matic-serve` — the long-running sweep service.
+//!
+//! Where `matic sweep` is a batch script (one plan, run to completion,
+//! exit), this crate turns the harness into a **daemon**: jobs arrive as
+//! JSON-lines over a local Unix-domain socket ([`protocol`]), multiplex
+//! onto one shared, bounded worker pool ([`pool`]), stream per-cell
+//! progress back to their clients, and share a single content-addressed
+//! cell cache — with an in-flight claim table so two jobs covering the
+//! same cell trigger **one** computation ([`matic_harness::Inflight`]).
+//!
+//! The service guarantees (enforced by `tests/serve_e2e.rs` and the CI
+//! serve smoke job):
+//!
+//! * **Determinism** — a report obtained via `matic submit` is
+//!   byte-identical to the same plan run via `matic sweep`, across
+//!   worker counts, concurrent-job interleavings, and cache states. The
+//!   daemon reuses the engine's grid-order assembly and ships the exact
+//!   report bytes as a string payload, never a re-serialized tree.
+//! * **Exactly-once overlap** — overlapping concurrent jobs compute the
+//!   shared cells once; the second observer replays them (visible as
+//!   `deduped`/`hits` counters, never as different bytes).
+//! * **Cancellation at cell granularity** — `matic cancel` stops a job
+//!   at the next cell boundary; every finished cell is already
+//!   checkpointed, so resubmitting the plan resumes instead of redoing.
+//! * **Graceful drain** — shutdown finishes and checkpoints in-flight
+//!   cells, answers new submissions with a structured rejection, then
+//!   exits cleanly.
+//!
+//! Everything is `std`-only: Unix sockets, threads, mutexes and
+//! condvars — no new dependencies over the offline vendor set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod job;
+pub mod pool;
+pub mod protocol;
+
+pub use daemon::{serve, ServeConfig};
+pub use job::{Job, JobPhase};
+pub use protocol::{Event, JobKind, JobSpec, JobStatusInfo, Request, SERVE_SCHEMA};

@@ -1,0 +1,298 @@
+//! The wire protocol of the serve subsystem: JSON-lines over a local
+//! Unix-domain socket.
+//!
+//! A connection carries exactly **one** request (the first line the
+//! client writes) followed by a stream of [`Event`] lines from the
+//! daemon. `Status`, `Cancel` and `Shutdown` answer with a single event;
+//! `Submit` streams `Accepted`, coalesced `Progress` ticks, and finally
+//! one terminal event (`Done`, `Cancelled`, `Rejected` or `Failed`).
+//!
+//! Every message is one line of compact JSON (the serializer escapes
+//! embedded newlines, so line framing is unambiguous). The `Done` event
+//! carries the **exact pretty-printed report text** as a JSON string —
+//! shipping the bytes rather than a re-serialized value tree is what
+//! lets a served report stay byte-identical to `matic sweep` output.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// Protocol schema tag, bumped on incompatible changes.
+pub const SERVE_SCHEMA: &str = "matic.serve/v1";
+
+/// What a submitted job computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// A chip-population sweep; the result is the sweep report JSON.
+    Sweep,
+    /// A sweep plus the accuracy–energy analysis; the result is the
+    /// energy report JSON.
+    Energy,
+}
+
+/// A declarative job description: the sweep-shaping knobs of `matic
+/// sweep`, minus execution details (threads, cache) — those belong to
+/// the daemon. Identical specs address identical cache cells no matter
+/// which client submits them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Sweep or energy.
+    pub kind: JobKind,
+    /// Chip instances to synthesize.
+    pub chips: usize,
+    /// SRAM voltage points (mutually exclusive with `bers`).
+    pub voltages: Option<Vec<f64>>,
+    /// Synthetic bit-error-rate points (mutually exclusive with
+    /// `voltages`; rejected for energy jobs — no silicon, no energy).
+    pub bers: Option<Vec<f64>>,
+    /// Benchmark names (`"all"` expands to the full Table I suite).
+    pub benchmarks: Vec<String>,
+    /// Training-mode names (`naive`, `mat`, `mat-canary`).
+    pub modes: Vec<String>,
+    /// Dataset scale factor.
+    pub data_scale: f64,
+    /// Epoch-budget multiplier.
+    pub epoch_scale: f64,
+    /// Root seed.
+    pub seed: u64,
+    /// Disable superset model reuse (strict one-model-per-point).
+    pub no_reuse: bool,
+    /// Energy only: accuracy-loss budget for classification benchmarks,
+    /// percentage points.
+    pub budget_percent: f64,
+    /// Energy only: accuracy-loss budget for regression benchmarks,
+    /// absolute MSE.
+    pub budget_mse: f64,
+}
+
+/// The one request a client opens its connection with.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Run a job; the connection stays open streaming its events.
+    Submit(JobSpec),
+    /// Snapshot every job the daemon knows about.
+    Status,
+    /// Cooperatively cancel a job by id (stops at the next cell
+    /// boundary; completed cells stay checkpointed).
+    Cancel(u64),
+    /// Drain in-flight cells and shut the daemon down.
+    Shutdown,
+}
+
+/// One job's place in the daemon, as reported by `Status`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobStatusInfo {
+    /// Daemon-assigned job id.
+    pub id: u64,
+    /// `queued`, `running`, `done`, `cancelled` or `failed`.
+    pub phase: String,
+    /// Sweep or energy.
+    pub kind: JobKind,
+    /// Cells finished so far (computed or replayed).
+    pub cells_done: usize,
+    /// Cells the plan produces in total.
+    pub cells_total: usize,
+    /// Cells replayed from the persistent cache without waiting.
+    pub hits: usize,
+    /// Cells replayed after waiting out another job's in-flight
+    /// computation of the same cell.
+    pub deduped: usize,
+    /// Cells computed (and checkpointed) by this job.
+    pub misses: usize,
+}
+
+/// A daemon-to-client message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Event {
+    /// The submission was admitted and queued.
+    Accepted {
+        /// Assigned job id (quote it to `matic status` / `matic cancel`).
+        id: u64,
+        /// Cells the job's plan produces.
+        cells_total: usize,
+    },
+    /// Coalesced progress tick (counters are cumulative).
+    Progress {
+        /// The job this tick describes.
+        id: u64,
+        /// Cells finished so far.
+        done: usize,
+        /// Cells in total.
+        total: usize,
+        /// Cache replays so far.
+        hits: usize,
+        /// In-flight dedup replays so far.
+        deduped: usize,
+        /// Fresh computations so far.
+        misses: usize,
+    },
+    /// Terminal: the job finished; `report` holds the exact report text.
+    Done {
+        /// The finished job.
+        id: u64,
+        /// The pretty-printed report JSON, byte-identical to what the
+        /// batch CLI writes for the same plan.
+        report: String,
+        /// Cache replays.
+        hits: usize,
+        /// In-flight dedup replays.
+        deduped: usize,
+        /// Fresh computations.
+        misses: usize,
+    },
+    /// Terminal: the job was cancelled at a cell boundary.
+    Cancelled {
+        /// The cancelled job.
+        id: u64,
+        /// Cells finished (and checkpointed) before the stop.
+        cells_done: usize,
+        /// Cells the plan would have produced.
+        cells_total: usize,
+    },
+    /// Terminal: the submission was refused (bad spec, or the daemon is
+    /// draining). Nothing was queued.
+    Rejected {
+        /// Why the daemon refused.
+        reason: String,
+    },
+    /// Terminal: the job started but could not finish.
+    Failed {
+        /// The failed job.
+        id: u64,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Answer to `Status`.
+    Status {
+        /// Every job, oldest first.
+        jobs: Vec<JobStatusInfo>,
+    },
+    /// Answer to `Cancel`: the request was delivered.
+    CancelOk {
+        /// The targeted job.
+        id: u64,
+        /// The job's phase at delivery time.
+        phase: String,
+    },
+    /// Answer to `Shutdown`: every job drained, daemon exiting.
+    ShutdownOk {
+        /// Jobs that were still live when the drain began.
+        jobs_drained: usize,
+    },
+    /// A request-level error (unknown job id, unreadable request, ...).
+    Error {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl Event {
+    /// Whether this event ends a submit stream.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Event::Done { .. }
+                | Event::Cancelled { .. }
+                | Event::Rejected { .. }
+                | Event::Failed { .. }
+        )
+    }
+}
+
+/// Writes one message as a JSON line and flushes it.
+pub fn write_message<T: Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> {
+    let line = serde_json::to_string(msg).map_err(io::Error::other)?;
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Reads one JSON-line message; `Ok(None)` on a clean EOF.
+pub fn read_message<T: Deserialize>(r: &mut impl BufRead) -> io::Result<Option<T>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    serde_json::from_str(trimmed)
+        .map(Some)
+        .map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            kind: JobKind::Sweep,
+            chips: 2,
+            voltages: Some(vec![0.9, 0.52]),
+            bers: None,
+            benchmarks: vec!["inversek2j".into()],
+            modes: vec!["naive".into(), "mat".into()],
+            data_scale: 0.1,
+            epoch_scale: 0.2,
+            seed: 11,
+            no_reuse: false,
+            budget_percent: 2.0,
+            budget_mse: 0.02,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip_as_single_lines() {
+        for req in [
+            Request::Submit(sample_spec()),
+            Request::Status,
+            Request::Cancel(7),
+            Request::Shutdown,
+        ] {
+            let line = serde_json::to_string(&req).unwrap();
+            assert!(!line.contains('\n'), "line framing: {line}");
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                line,
+                "roundtrip is lossless"
+            );
+        }
+    }
+
+    #[test]
+    fn done_event_preserves_report_bytes_exactly() {
+        // Multi-line pretty JSON (with quotes and floats) must survive
+        // the trip as a string payload untouched.
+        let report = "{\n  \"schema\": \"matic.sweep-report/v2\",\n  \"x\": 0.46\n}".to_string();
+        let ev = Event::Done {
+            id: 3,
+            report: report.clone(),
+            hits: 1,
+            deduped: 0,
+            misses: 7,
+        };
+        let line = serde_json::to_string(&ev).unwrap();
+        assert!(!line.contains('\n'));
+        let back: Event = serde_json::from_str(&line).unwrap();
+        match back {
+            Event::Done { report: r, .. } => assert_eq!(r, report, "byte-exact payload"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn messages_travel_over_a_byte_stream() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Request::Cancel(9)).unwrap();
+        write_message(&mut buf, &Request::Status).unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        let first: Request = read_message(&mut r).unwrap().expect("first message");
+        let second: Request = read_message(&mut r).unwrap().expect("second message");
+        assert!(matches!(first, Request::Cancel(9)));
+        assert!(matches!(second, Request::Status));
+        let eof: Option<Request> = read_message(&mut r).unwrap();
+        assert!(eof.is_none(), "clean EOF");
+    }
+}

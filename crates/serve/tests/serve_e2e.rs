@@ -1,0 +1,373 @@
+//! End-to-end service tests over a real Unix-domain socket: an
+//! in-process daemon, real client connections, and the guarantees the
+//! crate docs promise — byte-identity with batch sweeps, exactly-once
+//! overlap, cancel/resume, and a graceful drain that rejects new jobs.
+
+use matic_harness::run_sweep_with_cache;
+use matic_serve::job::build_plan;
+use matic_serve::{client, serve, Event, JobKind, JobSpec, Request, ServeConfig};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One in-process daemon on a fresh socket with a fresh cache dir.
+struct TestDaemon {
+    dir: PathBuf,
+    socket: PathBuf,
+    handle: Option<JoinHandle<Result<(), String>>>,
+}
+
+impl TestDaemon {
+    fn start(tag: &str, workers: usize) -> TestDaemon {
+        let dir = std::env::temp_dir().join(format!(
+            "matic-serve-{tag}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir");
+        let socket = dir.join("serve.sock");
+        let cfg = ServeConfig {
+            socket: socket.clone(),
+            workers,
+            cache_dir: Some(dir.join("cache")),
+            queue_depth: 8,
+            quiet: true,
+        };
+        let handle = std::thread::spawn(move || serve(cfg));
+        // The daemon binds before accepting; the socket file appearing
+        // means clients can connect.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !socket.exists() {
+            assert!(Instant::now() < deadline, "daemon never bound its socket");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        TestDaemon {
+            dir,
+            socket,
+            handle: Some(handle),
+        }
+    }
+
+    /// Requests shutdown, joins the daemon, and checks the clean exit.
+    fn shutdown(mut self) {
+        let event = client::roundtrip(&self.socket, &Request::Shutdown).expect("shutdown answered");
+        assert!(
+            matches!(event, Event::ShutdownOk { .. }),
+            "shutdown must be acknowledged, got {event:?}"
+        );
+        let result = self
+            .handle
+            .take()
+            .expect("daemon handle")
+            .join()
+            .expect("daemon thread");
+        assert_eq!(result, Ok(()), "the daemon must exit cleanly");
+        assert!(
+            !self.socket.exists(),
+            "a clean shutdown removes the socket file"
+        );
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// The small standard sweep job (12 cells, 2 units) the harness tests
+/// also use.
+fn spec(seed: u64) -> JobSpec {
+    JobSpec {
+        kind: JobKind::Sweep,
+        chips: 2,
+        voltages: Some(vec![0.9, 0.52]),
+        bers: None,
+        benchmarks: vec!["inversek2j".into()],
+        modes: vec!["naive".into(), "mat".into(), "mat-canary".into()],
+        data_scale: 0.1,
+        epoch_scale: 0.2,
+        seed,
+        no_reuse: false,
+        budget_percent: 2.0,
+        budget_mse: 0.02,
+    }
+}
+
+/// What `matic sweep` would have written for the same spec.
+fn batch_bytes(spec: &JobSpec) -> String {
+    let plan = build_plan(spec).expect("spec is valid");
+    run_sweep_with_cache(&plan, None).report.to_json_pretty()
+}
+
+#[test]
+fn submitted_report_is_byte_identical_to_batch_and_resubmit_replays() {
+    let daemon = TestDaemon::start("bytes", 2);
+    let spec = spec(11);
+    let total = build_plan(&spec).expect("valid").cell_count();
+
+    let mut accepted = None;
+    let terminal = client::submit(&daemon.socket, &spec, |event| {
+        if let Event::Accepted { id, cells_total } = event {
+            accepted = Some((*id, *cells_total));
+        }
+    })
+    .expect("submit streams to a terminal event");
+    let (id, cells_total) = accepted.expect("Accepted precedes the terminal event");
+    assert_eq!(cells_total, total);
+    let Event::Done {
+        report,
+        hits,
+        deduped,
+        misses,
+        ..
+    } = terminal
+    else {
+        panic!("fresh job must finish, got {terminal:?}");
+    };
+    assert_eq!((hits, deduped, misses), (0, 0, total), "cold cache");
+    assert_eq!(
+        report,
+        batch_bytes(&spec),
+        "a served report must be byte-identical to the batch run"
+    );
+
+    // Resubmitting the same plan replays everything from the shared cache.
+    let rerun = client::submit(&daemon.socket, &spec, |_| {}).expect("resubmit");
+    let Event::Done {
+        report: rerun_report,
+        hits,
+        misses,
+        ..
+    } = rerun
+    else {
+        panic!("warm job must finish, got {rerun:?}");
+    };
+    assert_eq!((hits, misses), (total, 0), "warm resubmit does zero work");
+    assert_eq!(rerun_report, report);
+
+    // The registry remembers both jobs as done.
+    let status = client::roundtrip(&daemon.socket, &Request::Status).expect("status");
+    let Event::Status { jobs } = status else {
+        panic!("status must answer with the job table, got {status:?}");
+    };
+    assert_eq!(jobs.len(), 2);
+    assert!(jobs.iter().any(|j| j.id == id));
+    assert!(jobs.iter().all(|j| j.phase == "done"));
+
+    daemon.shutdown();
+}
+
+#[test]
+fn concurrent_identical_jobs_compute_each_cell_once() {
+    let daemon = TestDaemon::start("overlap", 3);
+    let spec_a = spec(11);
+    let total = build_plan(&spec_a).expect("valid").cell_count();
+    let expected = batch_bytes(&spec_a);
+
+    let (a, b) = std::thread::scope(|scope| {
+        let submit = || {
+            let socket = daemon.socket.clone();
+            let spec = spec_a.clone();
+            scope.spawn(move || client::submit(&socket, &spec, |_| {}).expect("submit"))
+        };
+        let a = submit();
+        let b = submit();
+        (a.join().expect("job a"), b.join().expect("job b"))
+    });
+    let unpack = |event: Event| match event {
+        Event::Done {
+            report,
+            hits,
+            deduped,
+            misses,
+            ..
+        } => (report, hits, deduped, misses),
+        other => panic!("both jobs must finish, got {other:?}"),
+    };
+    let (report_a, hits_a, deduped_a, misses_a) = unpack(a);
+    let (report_b, hits_b, deduped_b, misses_b) = unpack(b);
+
+    assert_eq!(
+        misses_a + misses_b,
+        total,
+        "overlapping cells must be computed exactly once across both jobs"
+    );
+    assert_eq!(
+        hits_a + deduped_a + hits_b + deduped_b,
+        total,
+        "the other job's copy of every cell is a replay"
+    );
+    assert_eq!(report_a, expected, "racing never changes the bytes");
+    assert_eq!(report_b, expected);
+
+    daemon.shutdown();
+}
+
+#[test]
+fn cancelled_job_resumes_from_its_checkpoints_on_resubmit() {
+    // One worker serializes the two jobs: job A occupies it while job B
+    // (a different seed, disjoint cells) is cancelled behind it.
+    let daemon = TestDaemon::start("cancel", 1);
+    let spec_a = spec(11);
+    let spec_b = spec(12);
+    let total = build_plan(&spec_b).expect("valid").cell_count();
+
+    let (id_tx, id_rx) = mpsc::channel::<u64>();
+    let (submit_a, submit_b) = std::thread::scope(|scope| {
+        let spawn_streaming = |spec: JobSpec| {
+            let socket = daemon.socket.clone();
+            let id_tx = id_tx.clone();
+            scope.spawn(move || {
+                client::submit(&socket, &spec, |event| {
+                    if let Event::Accepted { id, .. } = event {
+                        id_tx.send(*id).expect("id channel");
+                    }
+                })
+                .expect("submit")
+            })
+        };
+        let a = spawn_streaming(spec_a.clone());
+        let id_a = id_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("job a admitted");
+        let b = spawn_streaming(spec_b.clone());
+        let id_b = id_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("job b admitted");
+        assert_ne!(id_a, id_b);
+
+        let answer =
+            client::roundtrip(&daemon.socket, &Request::Cancel(id_b)).expect("cancel answered");
+        assert!(
+            matches!(answer, Event::CancelOk { id, .. } if id == id_b),
+            "cancel must be acknowledged, got {answer:?}"
+        );
+        (
+            a.join().expect("job a stream"),
+            b.join().expect("job b stream"),
+        )
+    });
+
+    // Job A is untouched by B's cancellation.
+    assert!(
+        matches!(submit_a, Event::Done { ref report, .. } if *report == batch_bytes(&spec_a)),
+        "job a must finish with the batch bytes, got {submit_a:?}"
+    );
+
+    // Job B stopped at a cell boundary (usually before its first cell —
+    // the single worker was busy — but any prefix is legal).
+    let cells_done = match submit_b {
+        Event::Cancelled {
+            cells_done,
+            cells_total,
+            ..
+        } => {
+            assert_eq!(cells_total, total);
+            assert!(cells_done < total, "cancelled before completing");
+            cells_done
+        }
+        // The race where B finished before the cancel landed is legal
+        // too; then the resubmit below is simply a full replay.
+        Event::Done { .. } => total,
+        other => panic!("job b must settle as cancelled or done, got {other:?}"),
+    };
+
+    // Resubmission resumes: exactly the checkpointed prefix replays and
+    // the report still matches the uninterrupted batch bytes.
+    let resumed = client::submit(&daemon.socket, &spec_b, |_| {}).expect("resubmit");
+    let Event::Done {
+        report,
+        hits,
+        deduped,
+        misses,
+        ..
+    } = resumed
+    else {
+        panic!("the resubmitted job must finish, got {resumed:?}");
+    };
+    assert_eq!(hits + deduped, cells_done, "the cancelled prefix replays");
+    assert_eq!(misses, total - cells_done, "only the remainder is computed");
+    assert_eq!(report, batch_bytes(&spec_b));
+
+    daemon.shutdown();
+}
+
+#[test]
+fn draining_daemon_rejects_new_submissions_then_exits_cleanly() {
+    let daemon = TestDaemon::start("drain", 1);
+    // One slow cell: full-size data and epochs keep the worker busy long
+    // enough for the drain window to be observable.
+    let slow = JobSpec {
+        kind: JobKind::Sweep,
+        chips: 1,
+        voltages: Some(vec![0.52]),
+        bers: None,
+        benchmarks: vec!["inversek2j".into()],
+        modes: vec!["mat".into()],
+        data_scale: 1.0,
+        epoch_scale: 1.0,
+        seed: 7,
+        no_reuse: false,
+        budget_percent: 2.0,
+        budget_mse: 0.02,
+    };
+
+    std::thread::scope(|scope| {
+        let (id_tx, id_rx) = mpsc::channel::<u64>();
+        let slow_job = {
+            let socket = daemon.socket.clone();
+            let spec = slow.clone();
+            scope.spawn(move || {
+                client::submit(&socket, &spec, |event| {
+                    if let Event::Accepted { id, .. } = event {
+                        id_tx.send(*id).expect("id channel");
+                    }
+                })
+                .expect("slow submit")
+            })
+        };
+        id_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("slow job admitted");
+
+        // Shutdown drains in the background: it cancels the slow job and
+        // waits for the worker to finish (and checkpoint) its cell.
+        let shutdown = {
+            let socket = daemon.socket.clone();
+            scope.spawn(move || client::roundtrip(&socket, &Request::Shutdown).expect("shutdown"))
+        };
+        // Give the drain a moment to take effect, then try to submit.
+        std::thread::sleep(Duration::from_millis(50));
+        match client::submit(&daemon.socket, &spec(11), |_| {}) {
+            Ok(Event::Rejected { reason }) => {
+                assert!(
+                    reason.contains("draining"),
+                    "the rejection must name the drain, got {reason:?}"
+                );
+            }
+            // If the drain already finished, the daemon is gone and the
+            // connection itself fails — an equally clean refusal.
+            Ok(other) => panic!("a draining daemon must not accept jobs, got {other:?}"),
+            Err(_) => {}
+        }
+
+        let terminal = slow_job.join().expect("slow job stream");
+        assert!(
+            matches!(terminal, Event::Cancelled { .. } | Event::Done { .. }),
+            "the drained job settles at its next cell boundary, got {terminal:?}"
+        );
+        let ack = shutdown.join().expect("shutdown round-trip");
+        assert!(matches!(ack, Event::ShutdownOk { .. }));
+    });
+
+    let result = daemon
+        .handle
+        .expect("daemon handle")
+        .join()
+        .expect("daemon thread");
+    assert_eq!(result, Ok(()), "the daemon must exit cleanly");
+    assert!(!daemon.socket.exists());
+    let _ = fs::remove_dir_all(&daemon.dir);
+}

@@ -20,6 +20,10 @@ use std::process::ExitCode;
 /// Cache directory used when `--resume` is given without `--cache-dir`.
 const DEFAULT_CACHE_DIR: &str = ".matic-cache";
 
+/// Socket the serve-family commands use when `--socket`/`--listen` is
+/// not given.
+const DEFAULT_SOCKET: &str = ".matic-serve.sock";
+
 const USAGE: &str = "\
 matic — MATIC (DATE 2018) reproduction toolkit
 
@@ -27,6 +31,12 @@ USAGE:
     matic sweep [OPTIONS]    run a chip-population sweep
     matic energy [OPTIONS]   sweep (or load a sweep report) and derive the
                              accuracy–energy analysis (Table II / Fig. 10–11)
+    matic serve [OPTIONS]    run the long-lived sweep service on a local socket
+    matic submit [OPTIONS]   send a sweep (or --energy) job to the service,
+                             stream its progress, and write the report
+    matic status [OPTIONS]   list the service's jobs and their progress
+    matic cancel ID [OPTS]   cancel a running job at the next cell boundary
+    matic shutdown [OPTS]    drain the service and stop the daemon
     matic cache stats        show persistent sweep-cache contents
     matic cache clear        delete every cached cell result
     matic list               list built-in benchmarks and training modes
@@ -55,7 +65,26 @@ SWEEP OPTIONS (matic sweep; also accepted by matic energy):
                                               matic-energy.json for energy]
     --csv PATH          also write the per-cell (sweep) or per-scenario
                         (energy) table as CSV
-    --quiet             suppress the summary table
+    --quiet             suppress the summary table and all stderr progress
+                        narration (errors still print)
+
+SERVE OPTIONS (matic serve):
+    --listen PATH       Unix socket to serve on      [default: .matic-serve.sock]
+    --workers N         shared worker-pool threads   [default: all cores]
+    --queue-depth N     bounded unit queue (backpressure) [default: 2x workers]
+    --cache-dir PATH / --resume / --no-cache
+                        persistent cell cache shared by every job
+    --quiet             suppress daemon narration
+
+CLIENT OPTIONS (matic submit/status/cancel/shutdown):
+    --socket PATH       daemon socket (also --listen) [default: .matic-serve.sock]
+    matic submit additionally takes the sweep grid options above
+    (--chips/--voltages/--bers/--benchmarks/--modes/--scale/--epochs/
+    --seed/--no-reuse/--out/--quiet) plus:
+    --energy            submit an energy job (voltage axis only)
+    --budget-percent X / --budget-mse X   energy accuracy budgets
+    Execution knobs (--threads, --cache-dir, --resume, --no-cache, --csv)
+    are daemon-side and rejected by submit.
 
 ENERGY OPTIONS (matic energy only):
     --report PATH       analyze an existing sweep report instead of
@@ -88,6 +117,11 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("sweep") => run(run_sweep_command(&args[1..])),
         Some("energy") => run(run_energy_command(&args[1..])),
+        Some("serve") => run(run_serve_command(&args[1..])),
+        Some("submit") => run(run_submit_command(&args[1..])),
+        Some("status") => run(run_status_command(&args[1..])),
+        Some("cancel") => run(run_cancel_command(&args[1..])),
+        Some("shutdown") => run(run_shutdown_command(&args[1..])),
         Some("cache") => run(run_cache_command(&args[1..])),
         Some("list") => {
             list();
@@ -220,7 +254,7 @@ impl SweepArgs {
             "--scale" => self.scale = parse(&value("--scale")?, "--scale")?,
             "--epochs" => self.epochs = parse(&value("--epochs")?, "--epochs")?,
             "--seed" => self.seed = parse(&value("--seed")?, "--seed")?,
-            "--threads" => self.threads = Some(parse(&value("--threads")?, "--threads")?),
+            "--threads" => self.threads = Some(parse_nonzero(&value("--threads")?, "--threads")?),
             "--no-reuse" => self.reuse = ReusePolicy::PerPoint,
             "--cache-dir" => self.cache_dir = Some(value("--cache-dir")?),
             "--resume" => self.resume = true,
@@ -264,12 +298,7 @@ impl SweepArgs {
     /// --no-cache wins over both so scripts can force a cold recompute
     /// without unwinding their flags.
     fn cache_path(&self) -> Option<String> {
-        match (&self.cache_dir, self.resume) {
-            _ if self.no_cache => None,
-            (Some(dir), _) => Some(dir.clone()),
-            (None, true) => Some(DEFAULT_CACHE_DIR.to_string()),
-            (None, false) => None,
-        }
+        resolve_cache(self.cache_dir.clone(), self.resume, self.no_cache)
     }
 
     /// Builds the plan, runs the sweep (with the selected cache), and
@@ -282,24 +311,30 @@ impl SweepArgs {
             .map(|dir| SweepCache::open(dir).map_err(|e| format!("opening sweep cache {dir}: {e}")))
             .transpose()?;
         let workers = plan.threads.unwrap_or_else(rayon::current_num_threads);
-        eprintln!(
-            "sweep: {} cells ({} chips x {} {} points x {} benchmarks x {} modes) on {} threads, plan {}",
-            plan.cell_count(),
-            plan.chips,
-            plan.axis.points().len(),
-            plan.axis.kind(),
-            plan.scenarios.len(),
-            plan.modes.len(),
-            workers,
-            plan.fingerprint(),
+        narrate(
+            self.quiet,
+            format_args!(
+                "sweep: {} cells ({} chips x {} {} points x {} benchmarks x {} modes) on {} threads, plan {}",
+                plan.cell_count(),
+                plan.chips,
+                plan.axis.points().len(),
+                plan.axis.kind(),
+                plan.scenarios.len(),
+                plan.modes.len(),
+                workers,
+                plan.fingerprint(),
+            ),
         );
         let start = std::time::Instant::now();
         let run = matic_harness::run_sweep_with_cache(&plan, cache.as_ref());
         let elapsed = start.elapsed();
         if let Some(dir) = &cache_path {
-            eprintln!(
-                "cache: {} hits, {} misses -> {dir}",
-                run.cache.hits, run.cache.misses
+            narrate(
+                self.quiet,
+                format_args!(
+                    "cache: {} hits, {} misses -> {dir}",
+                    run.cache.hits, run.cache.misses
+                ),
             );
         }
         Ok((run, elapsed))
@@ -327,11 +362,14 @@ fn run_sweep_command(args: &[String]) -> Result<(), String> {
     if !sweep.quiet {
         print_summary(&report);
     }
-    eprintln!(
-        "sweep: {} cells in {:.1}s -> {out}{}",
-        report.cells.len(),
-        elapsed.as_secs_f64(),
-        sweep.csv.map(|p| format!(" + {p}")).unwrap_or_default(),
+    narrate(
+        sweep.quiet,
+        format_args!(
+            "sweep: {} cells in {:.1}s -> {out}{}",
+            report.cells.len(),
+            elapsed.as_secs_f64(),
+            sweep.csv.map(|p| format!(" + {p}")).unwrap_or_default(),
+        ),
     );
     Ok(())
 }
@@ -410,12 +448,275 @@ fn run_energy_command(args: &[String]) -> Result<(), String> {
     if !sweep.quiet {
         print_energy_summary(&energy);
     }
-    eprintln!(
-        "energy: {} benchmark/mode analyses -> {out}{}",
-        energy.benchmarks.len(),
-        sweep.csv.map(|p| format!(" + {p}")).unwrap_or_default(),
+    narrate(
+        sweep.quiet,
+        format_args!(
+            "energy: {} benchmark/mode analyses -> {out}{}",
+            energy.benchmarks.len(),
+            sweep.csv.map(|p| format!(" + {p}")).unwrap_or_default(),
+        ),
     );
     Ok(())
+}
+
+/// Cache-path resolution shared by `serve` (same precedence as the
+/// sweep flags: --no-cache > --cache-dir > --resume default).
+fn resolve_cache(cache_dir: Option<String>, resume: bool, no_cache: bool) -> Option<String> {
+    match (cache_dir, resume) {
+        _ if no_cache => None,
+        (Some(dir), _) => Some(dir),
+        (None, true) => Some(DEFAULT_CACHE_DIR.to_string()),
+        (None, false) => None,
+    }
+}
+
+/// `matic serve`: run the long-lived sweep service until a shutdown
+/// request drains it.
+fn run_serve_command(args: &[String]) -> Result<(), String> {
+    let mut socket = DEFAULT_SOCKET.to_string();
+    let mut workers = rayon::current_num_threads();
+    let mut queue_depth: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
+    let (mut resume, mut no_cache, mut quiet) = (false, false, false);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" | "--socket" => socket = value(arg)?,
+            "--workers" => workers = parse_nonzero(&value("--workers")?, "--workers")?,
+            "--queue-depth" => {
+                queue_depth = Some(parse_nonzero(&value("--queue-depth")?, "--queue-depth")?);
+            }
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")?),
+            "--resume" => resume = true,
+            "--no-cache" => no_cache = true,
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown option `{other}` (see `matic help`)")),
+        }
+    }
+    let cfg = matic_serve::ServeConfig {
+        socket: socket.into(),
+        workers,
+        cache_dir: resolve_cache(cache_dir, resume, no_cache).map(Into::into),
+        queue_depth: queue_depth.unwrap_or(workers * 2),
+        quiet,
+    };
+    matic_serve::serve(cfg)
+}
+
+/// `matic submit`: send one job to the service, stream its progress,
+/// and write the report the daemon streams back.
+fn run_submit_command(args: &[String]) -> Result<(), String> {
+    let mut sweep = SweepArgs::default();
+    let mut socket = DEFAULT_SOCKET.to_string();
+    let mut energy = false;
+    let mut budget = AccuracyBudget::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--socket" | "--listen" => socket = value(arg)?,
+            "--energy" => energy = true,
+            "--budget-percent" => {
+                budget.percent = parse(&value("--budget-percent")?, "--budget-percent")?;
+            }
+            "--budget-mse" => budget.mse = parse(&value("--budget-mse")?, "--budget-mse")?,
+            other => {
+                if !sweep.try_parse(other, &mut it)? {
+                    return Err(format!("unknown option `{other}` (see `matic help`)"));
+                }
+            }
+        }
+    }
+    if sweep.threads.is_some() || sweep.cache_dir.is_some() || sweep.resume || sweep.no_cache {
+        return Err(
+            "--threads/--cache-dir/--resume/--no-cache are daemon-side execution knobs; \
+             set them on `matic serve`, not on submit"
+                .into(),
+        );
+    }
+    if sweep.csv.is_some() {
+        return Err("submit streams the JSON report only; use `matic sweep --csv` locally".into());
+    }
+    let spec = matic_serve::JobSpec {
+        kind: if energy {
+            matic_serve::JobKind::Energy
+        } else {
+            matic_serve::JobKind::Sweep
+        },
+        chips: sweep.chips,
+        voltages: sweep.voltages.clone(),
+        bers: sweep.bers.clone(),
+        benchmarks: sweep
+            .benchmarks
+            .split(',')
+            .map(|b| b.trim().to_string())
+            .collect(),
+        modes: sweep.modes.iter().map(|m| m.name().to_string()).collect(),
+        data_scale: sweep.scale,
+        epoch_scale: sweep.epochs,
+        seed: sweep.seed,
+        no_reuse: matches!(sweep.reuse, ReusePolicy::PerPoint),
+        budget_percent: budget.percent,
+        budget_mse: budget.mse,
+    };
+    let quiet = sweep.quiet;
+    let socket = Path::new(&socket);
+    let outcome = matic_serve::client::submit(socket, &spec, |event| match event {
+        matic_serve::Event::Accepted { id, cells_total } => {
+            narrate(
+                quiet,
+                format_args!("submit: job {id} accepted ({cells_total} cells)"),
+            );
+        }
+        matic_serve::Event::Progress {
+            id,
+            done,
+            total,
+            hits,
+            deduped,
+            misses,
+        } => {
+            narrate(
+                quiet,
+                format_args!(
+                    "submit: job {id} {done}/{total} cells \
+                     ({hits} hits, {deduped} deduped, {misses} misses)"
+                ),
+            );
+        }
+        _ => {}
+    })?;
+    match outcome {
+        matic_serve::Event::Done {
+            id,
+            report,
+            hits,
+            deduped,
+            misses,
+        } => {
+            let out = sweep.out.unwrap_or_else(|| {
+                if energy {
+                    "matic-energy.json".to_string()
+                } else {
+                    "matic-sweep.json".to_string()
+                }
+            });
+            matic_harness::write_atomic(Path::new(&out), &report)
+                .map_err(|e| format!("writing {out}: {e}"))?;
+            narrate(
+                quiet,
+                format_args!(
+                    "submit: job {id} done -> {out} ({hits} hits, {deduped} deduped, {misses} misses)"
+                ),
+            );
+            Ok(())
+        }
+        matic_serve::Event::Cancelled {
+            id,
+            cells_done,
+            cells_total,
+        } => Err(format!(
+            "job {id} was cancelled after {cells_done}/{cells_total} cells \
+             (finished cells are checkpointed; resubmit to resume)"
+        )),
+        matic_serve::Event::Rejected { reason } => Err(format!("submission rejected: {reason}")),
+        matic_serve::Event::Failed { id, reason } => Err(format!("job {id} failed: {reason}")),
+        other => Err(format!("unexpected terminal event: {other:?}")),
+    }
+}
+
+/// Parses the one option every client command shares.
+fn parse_socket_only(args: &[String], command: &str) -> Result<String, String> {
+    let mut socket = DEFAULT_SOCKET.to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" | "--listen" => {
+                socket = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{arg} needs a value"))?;
+            }
+            other => return Err(format!("unknown option `{other}` for matic {command}")),
+        }
+    }
+    Ok(socket)
+}
+
+/// `matic status`: one line per job the daemon knows about.
+fn run_status_command(args: &[String]) -> Result<(), String> {
+    let socket = parse_socket_only(args, "status")?;
+    match matic_serve::client::roundtrip(Path::new(&socket), &matic_serve::Request::Status)? {
+        matic_serve::Event::Status { jobs } => {
+            if jobs.is_empty() {
+                println!("no jobs");
+                return Ok(());
+            }
+            println!(
+                "{:>4} | {:>9} | {:>6} | {:>11} | {:>6} | {:>7} | {:>6}",
+                "id", "phase", "kind", "cells", "hits", "deduped", "misses"
+            );
+            for j in jobs {
+                println!(
+                    "{:>4} | {:>9} | {:>6} | {:>5}/{:<5} | {:>6} | {:>7} | {:>6}",
+                    j.id,
+                    j.phase,
+                    match j.kind {
+                        matic_serve::JobKind::Sweep => "sweep",
+                        matic_serve::JobKind::Energy => "energy",
+                    },
+                    j.cells_done,
+                    j.cells_total,
+                    j.hits,
+                    j.deduped,
+                    j.misses,
+                );
+            }
+            Ok(())
+        }
+        matic_serve::Event::Error { reason } => Err(reason),
+        other => Err(format!("unexpected status answer: {other:?}")),
+    }
+}
+
+/// `matic cancel ID`: request a cooperative stop at the next cell
+/// boundary.
+fn run_cancel_command(args: &[String]) -> Result<(), String> {
+    let id: u64 = match args.first() {
+        Some(first) if !first.starts_with("--") => parse(first, "job id")?,
+        _ => return Err("cancel needs a job id: matic cancel ID [--socket PATH]".into()),
+    };
+    let socket = parse_socket_only(&args[1..], "cancel")?;
+    match matic_serve::client::roundtrip(Path::new(&socket), &matic_serve::Request::Cancel(id))? {
+        matic_serve::Event::CancelOk { id, phase } => {
+            println!("job {id}: cancel requested (was {phase})");
+            Ok(())
+        }
+        matic_serve::Event::Error { reason } => Err(reason),
+        other => Err(format!("unexpected cancel answer: {other:?}")),
+    }
+}
+
+/// `matic shutdown`: drain in-flight cells and stop the daemon.
+fn run_shutdown_command(args: &[String]) -> Result<(), String> {
+    let socket = parse_socket_only(args, "shutdown")?;
+    match matic_serve::client::roundtrip(Path::new(&socket), &matic_serve::Request::Shutdown)? {
+        matic_serve::Event::ShutdownOk { jobs_drained } => {
+            println!("daemon drained ({jobs_drained} live jobs stopped) and exiting");
+            Ok(())
+        }
+        matic_serve::Event::Error { reason } => Err(reason),
+        other => Err(format!("unexpected shutdown answer: {other:?}")),
+    }
 }
 
 /// `matic cache stats|clear [--cache-dir PATH]`.
@@ -559,6 +860,28 @@ fn parse<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
         .map_err(|_| format!("invalid value `{s}` for {name}"))
 }
 
+/// Parses a worker/thread count, rejecting `0` up front: the rayon shim
+/// reads `num_threads(0)` as "automatic", so a literal `--threads 0`
+/// would silently mean "all cores" instead of erroring.
+fn parse_nonzero(s: &str, name: &str) -> Result<usize, String> {
+    let n: usize = parse(s, name)?;
+    if n == 0 {
+        return Err(format!(
+            "{name} must be at least 1 (omit {name} to use all cores)"
+        ));
+    }
+    Ok(n)
+}
+
+/// The one choke point for stderr progress narration: `--quiet`
+/// silences every line that goes through here, while errors (which
+/// never do) keep printing.
+fn narrate(quiet: bool, msg: std::fmt::Arguments<'_>) {
+    if !quiet {
+        eprintln!("{msg}");
+    }
+}
+
 /// Parses `lo:hi:steps` (inclusive linear grid) or a comma-separated
 /// list. Every value must be finite (`f64::from_str` happily accepts
 /// `nan`/`inf`, which would otherwise reach the plan builder), a grid
@@ -641,6 +964,56 @@ mod tests {
         assert!(parse_grid("0.5:0.9").is_err(), "two fields");
         assert!(parse_grid("0.5:0.9:3:4").is_err(), "four fields");
         assert!(parse_grid("0.5:x:3").is_err(), "non-numeric bound");
+    }
+
+    #[test]
+    fn threads_zero_is_a_cli_error_not_a_rayon_default() {
+        // Regression: `--threads 0` used to reach the rayon shim, whose
+        // `num_threads(0)` silently means "all cores".
+        let mut sweep = SweepArgs::default();
+        let args: Vec<String> = ["--threads", "0"].iter().map(|s| s.to_string()).collect();
+        let mut it = args.iter();
+        let err = sweep.try_parse(&args[0], {
+            it.next();
+            &mut it
+        });
+        let err = err.unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        // Positive counts still parse.
+        let args: Vec<String> = ["--threads", "3"].iter().map(|s| s.to_string()).collect();
+        let mut it = args.iter();
+        it.next();
+        assert!(sweep.try_parse(&args[0], &mut it).unwrap());
+        assert_eq!(sweep.threads, Some(3));
+    }
+
+    #[test]
+    fn serve_worker_counts_reject_zero() {
+        for (args, what) in [
+            (vec!["--workers", "0"], "--workers"),
+            (vec!["--queue-depth", "0"], "--queue-depth"),
+        ] {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let err = run_serve_command(&args).unwrap_err();
+            assert!(err.contains("at least 1"), "{what}: {err}");
+        }
+    }
+
+    #[test]
+    fn submit_rejects_daemon_side_execution_flags() {
+        for extra in [
+            vec!["--threads", "2"],
+            vec!["--cache-dir", "c"],
+            vec!["--resume"],
+            vec!["--no-cache"],
+        ] {
+            let args: Vec<String> = extra.iter().map(|s| s.to_string()).collect();
+            let err = run_submit_command(&args).unwrap_err();
+            assert!(err.contains("daemon-side"), "{extra:?}: {err}");
+        }
+        let args: Vec<String> = ["--csv", "x.csv"].iter().map(|s| s.to_string()).collect();
+        let err = run_submit_command(&args).unwrap_err();
+        assert!(err.contains("JSON report only"), "{err}");
     }
 
     #[test]
