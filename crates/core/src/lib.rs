@@ -56,6 +56,7 @@ mod controller;
 mod flow;
 mod layout;
 mod mat;
+mod models;
 mod quantizer;
 
 pub use aei::{average_error_increase, AeiSummary};
@@ -65,6 +66,9 @@ pub use controller::{CanaryController, ControllerConfig, PollOutcome};
 pub use flow::{upload_weights, DeployedModel, DeploymentFlow};
 pub use layout::{LayoutError, Location, ParamRef, WeightLayout};
 pub use mat::{train_naive, MatConfig, MatTrainer, TrainedModel, UpdateRule};
+pub use models::{
+    drop_surrogate_map, CellFaults, FaultContext, FaultModel, RandomBer, SramVoltage, TimingError,
+};
 pub use quantizer::{ComposedQuantizer, MaskedQuantizer};
 
 #[cfg(test)]

@@ -1,10 +1,12 @@
 //! Property-based tests over the MATIC core.
 
 use crate::layout::{ParamRef, WeightLayout};
+use crate::models::{FaultModel, RandomBer, SramVoltage, TimingError};
 use crate::quantizer::MaskedQuantizer;
 use matic_fixed::QFormat;
 use matic_nn::NetSpec;
 use matic_sram::inject::bernoulli_fault_map;
+use matic_sram::ArrayConfig;
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -85,6 +87,48 @@ proptest! {
         prop_assert!(
             (matic_fixed::dequantize(plain.raw, fmt) + eq - value).abs() < 1e-12
         );
+    }
+
+    /// A fault-model fingerprint is a pure function of its semantic
+    /// fields — two values collide exactly when every semantic field
+    /// agrees, and never across model types. This is what lets the
+    /// sweep cache share entries between plans precisely when they
+    /// would inject identical faults.
+    #[test]
+    fn fault_model_fingerprint_tracks_semantics_exactly(
+        banks_a in 1usize..9,
+        banks_b in 1usize..9,
+        onset_a in 0.0f64..0.99,
+        onset_b in 0.0f64..0.99,
+    ) {
+        let geom = |banks: usize| ArrayConfig {
+            banks,
+            ..Default::default()
+        };
+        let a = TimingError::new(geom(banks_a), onset_a);
+        let b = TimingError::new(geom(banks_b), onset_b);
+        let same_fields = banks_a == banks_b && onset_a.to_bits() == onset_b.to_bits();
+        prop_assert_eq!(a.fingerprint() == b.fingerprint(), same_fields);
+
+        // RandomBer keys on geometry *and* weight format.
+        let robust = RandomBer::new(geom(banks_a), QFormat::snnac_weight_robust());
+        prop_assert_eq!(
+            robust.fingerprint(),
+            RandomBer::new(geom(banks_a), QFormat::snnac_weight_robust()).fingerprint()
+        );
+        prop_assert_ne!(
+            robust.fingerprint(),
+            RandomBer::new(geom(banks_a), QFormat::snnac_weight()).fingerprint()
+        );
+        prop_assert_eq!(
+            robust.fingerprint() == RandomBer::new(geom(banks_b), QFormat::snnac_weight_robust()).fingerprint(),
+            banks_a == banks_b
+        );
+
+        // Model types never collide, even over identical geometry.
+        prop_assert_ne!(a.fingerprint(), robust.fingerprint());
+        prop_assert_ne!(SramVoltage::new(geom(banks_a)).fingerprint(), robust.fingerprint());
+        prop_assert_ne!(SramVoltage::new(geom(banks_a)).fingerprint(), a.fingerprint());
     }
 
     /// The masked value differs from the plain quantized value only at

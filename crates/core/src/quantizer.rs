@@ -79,18 +79,22 @@ impl<'a> MaskedQuantizer<'a> {
 }
 
 /// Per-layer injection masks aligned with the dense row-major parameter
-/// storage of an [`Mlp`](matic_nn::Mlp), kept as separate OR/AND planes
-/// so the quantize-mask-decode sweep reads flat `u32` streams.
+/// storage of an [`Mlp`](matic_nn::Mlp), kept as separate OR/AND/XOR
+/// planes so the quantize-mask-decode sweep reads flat `u32` streams.
 #[derive(Debug, Clone)]
 struct LayerMasks {
     /// Per-weight OR masks, row-major `fan_out × fan_in`.
     w_or: Vec<u32>,
     /// Per-weight AND masks, row-major `fan_out × fan_in`.
     w_and: Vec<u32>,
+    /// Per-weight XOR (bit-flip) masks, row-major `fan_out × fan_in`.
+    w_xor: Vec<u32>,
     /// Per-bias OR masks.
     b_or: Vec<u32>,
     /// Per-bias AND masks.
     b_and: Vec<u32>,
+    /// Per-bias XOR (bit-flip) masks.
+    b_xor: Vec<u32>,
 }
 
 /// The [`QFormat`] constants of the quantize-mask-decode sweep, hoisted
@@ -121,13 +125,13 @@ impl QuantConsts {
         }
     }
 
-    /// `dequantize(decode((encode(quantize(x)) & and) | or))`, operation
-    /// for operation the same arithmetic as the scalar helpers in
-    /// `matic-fixed` — every comparison, tie-break and conversion matches,
-    /// so the result is bit-identical. Written select-friendly (no early
-    /// returns) so the per-parameter sweep stays branchless.
+    /// `dequantize(decode(((encode(quantize(x)) & and) | or) ^ xor))`,
+    /// operation for operation the same arithmetic as the scalar helpers
+    /// in `matic-fixed` — every comparison, tie-break and conversion
+    /// matches, so the result is bit-identical. Written select-friendly
+    /// (no early returns) so the per-parameter sweep stays branchless.
     #[inline]
-    fn effective(self, x: f64, or: u32, and: u32) -> f64 {
+    fn effective(self, x: f64, or: u32, and: u32, xor: u32) -> f64 {
         const MAGIC: f64 = 4_503_599_627_370_496.0; // 2^52
         let scaled = x * self.scale;
         // Inline `round_half_away`: exact nearest-even via the 2^52 trick,
@@ -150,7 +154,7 @@ impl QuantConsts {
         } else {
             rounded as i32
         };
-        let stored = ((raw as u32 & self.word_mask) & and) | or;
+        let stored = (((raw as u32 & self.word_mask) & and) | or) ^ xor;
         let decoded = ((stored << self.sign_shift) as i32) >> self.sign_shift;
         decoded as f64 * self.inv_scale
     }
@@ -181,14 +185,18 @@ impl ComposedQuantizer {
     pub fn new(fmt: QFormat, layout: &WeightLayout, faults: Option<&FaultMap>) -> Self {
         // Delegate validation so both paths reject the same inputs.
         let _ = MaskedQuantizer::new(fmt, layout, faults);
-        let clean = (0u32, fmt.word_mask());
+        let clean = (0u32, fmt.word_mask(), 0u32);
         let spec = layout.spec();
         let mut layers = Vec::with_capacity(spec.depth());
         let mask_of = |param: ParamRef| match faults {
             Some(map) => {
                 let Location { bank, word } = layout.location_of(param);
                 let bank = &map.banks()[bank];
-                (bank.or_masks()[word], bank.and_masks()[word])
+                (
+                    bank.or_masks()[word],
+                    bank.and_masks()[word],
+                    bank.xor_masks()[word],
+                )
             }
             None => clean,
         };
@@ -197,18 +205,22 @@ impl ComposedQuantizer {
             let mut masks = LayerMasks {
                 w_or: Vec::with_capacity(fan_out * fan_in),
                 w_and: Vec::with_capacity(fan_out * fan_in),
+                w_xor: Vec::with_capacity(fan_out * fan_in),
                 b_or: Vec::with_capacity(fan_out),
                 b_and: Vec::with_capacity(fan_out),
+                b_xor: Vec::with_capacity(fan_out),
             };
             for row in 0..fan_out {
                 for col in 0..fan_in {
-                    let (or, and) = mask_of(ParamRef::Weight { layer, row, col });
+                    let (or, and, xor) = mask_of(ParamRef::Weight { layer, row, col });
                     masks.w_or.push(or);
                     masks.w_and.push(and);
+                    masks.w_xor.push(xor);
                 }
-                let (or, and) = mask_of(ParamRef::Bias { layer, row });
+                let (or, and, xor) = mask_of(ParamRef::Bias { layer, row });
                 masks.b_or.push(or);
                 masks.b_and.push(and);
+                masks.b_xor.push(xor);
             }
             layers.push(masks);
         }
@@ -233,15 +245,25 @@ impl ComposedQuantizer {
         for (layer, masks) in self.layers.iter().enumerate() {
             let src = master.weights()[layer].as_slice();
             let dst = out.weights_mut()[layer].as_mut_slice();
-            for (((d, &s), &or), &and) in dst.iter_mut().zip(src).zip(&masks.w_or).zip(&masks.w_and)
+            for ((((d, &s), &or), &and), &xor) in dst
+                .iter_mut()
+                .zip(src)
+                .zip(&masks.w_or)
+                .zip(&masks.w_and)
+                .zip(&masks.w_xor)
             {
-                *d = k.effective(s, or, and);
+                *d = k.effective(s, or, and, xor);
             }
             let src = &master.biases()[layer];
             let dst = &mut out.biases_mut()[layer];
-            for (((d, &s), &or), &and) in dst.iter_mut().zip(src).zip(&masks.b_or).zip(&masks.b_and)
+            for ((((d, &s), &or), &and), &xor) in dst
+                .iter_mut()
+                .zip(src)
+                .zip(&masks.b_or)
+                .zip(&masks.b_and)
+                .zip(&masks.b_xor)
             {
-                *d = k.effective(s, or, and);
+                *d = k.effective(s, or, and, xor);
             }
         }
     }
@@ -349,7 +371,7 @@ mod tests {
     fn composed_scalar_core_matches_fixed_helpers_on_edge_values() {
         let fmt = QFormat::new(16, 13).unwrap();
         let k = QuantConsts::of(fmt);
-        let (or, and) = (0x0041u32, 0xFFDFu32);
+        let (or, and, xor) = (0x0041u32, 0xFFDFu32, 0x8004u32);
         let mut probes: Vec<f64> = vec![
             0.0,
             -0.0,
@@ -371,19 +393,19 @@ mod tests {
         }
         for &v in &probes {
             let raw = matic_fixed::quantize(v, fmt);
-            let stored = (fmt.encode(raw) & and) | or;
+            let stored = ((fmt.encode(raw) & and) | or) ^ xor;
             let reference = matic_fixed::dequantize(fmt.decode(stored), fmt);
             assert_eq!(
-                k.effective(v, or, and).to_bits(),
+                k.effective(v, or, and, xor).to_bits(),
                 reference.to_bits(),
                 "x = {v:e}"
             );
         }
         // NaN routes through the same saturating-cast branch.
         let raw = matic_fixed::quantize(f64::NAN, fmt);
-        let stored = (fmt.encode(raw) & and) | or;
+        let stored = ((fmt.encode(raw) & and) | or) ^ xor;
         let reference = matic_fixed::dequantize(fmt.decode(stored), fmt);
-        assert_eq!(k.effective(f64::NAN, or, and), reference);
+        assert_eq!(k.effective(f64::NAN, or, and, xor), reference);
     }
 
     #[test]
@@ -394,7 +416,10 @@ mod tests {
         let spec = NetSpec::classifier(&[6, 5, 3]);
         let layout = WeightLayout::new(&spec, 2, 64).unwrap();
         let fmt = QFormat::new(16, 12).unwrap();
-        let map = bernoulli_fault_map(2, 64, 16, 0.25, 11);
+        let mut map = bernoulli_fault_map(2, 64, 16, 0.25, 11);
+        // Mix in bit flips so the XOR plane is exercised too.
+        map.bank_mut(0).set_flip(3, 15);
+        map.bank_mut(1).set_flip(10, 0);
         let master = Mlp::init(spec.clone(), 3);
 
         let reference = MaskedQuantizer::new(fmt, &layout, Some(&map));

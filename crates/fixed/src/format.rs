@@ -103,6 +103,24 @@ impl QFormat {
         }
     }
 
+    /// The *robust* weight format for random bit-flip fault models:
+    /// 16-bit words with 14 fraction bits (Q1.14, range ±2).
+    ///
+    /// Stutz et al. observe that under i.i.d. bit flips the dominant error
+    /// term is a flipped high-order bit, so the robust choice is the
+    /// *tightest* fixed-point range that still covers the trained weights:
+    /// dropping an integer bit relative to [`QFormat::snnac_weight`]
+    /// halves the magnitude every bit position contributes, halving the
+    /// worst-case perturbation a single flip can inject. Trained-weight
+    /// magnitudes on the paper's four benchmarks stay below 2, so Q1.14
+    /// clips nothing that matters at the BERs this model sweeps.
+    pub fn snnac_weight_robust() -> Self {
+        QFormat {
+            word_bits: 16,
+            frac_bits: 14,
+        }
+    }
+
     /// SNNAC's default activation format: 16-bit words with 14 fraction
     /// bits (activations are bounded to (−2, 2) by the sigmooid/ReLU-clamped
     /// datapath, so more fraction bits are affordable).

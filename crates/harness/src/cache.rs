@@ -60,7 +60,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// [`CellEnergy`](crate::report::CellEnergy) record instead of scalar
 /// `energy_pj`/`cycles` fields — v1 entries are unreadable and must be
 /// orphaned, not partially deserialized.
-pub const CACHE_SCHEMA: &str = "matic.sweep-cache/v2";
+///
+/// v3: cells carry the `fault_model` / `clock_stress` fields of report
+/// schema v3, and keys identify the plan's
+/// [`FaultModel`](matic_core::FaultModel) by name and canonical
+/// fingerprint — v2 entries (which baked in the implicit SRAM voltage
+/// model) are orphaned.
+pub const CACHE_SCHEMA: &str = "matic.sweep-cache/v3";
 
 /// The grid position of one cell, as the cache key builder consumes it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,9 +146,10 @@ impl CellKey {
         f.to_hex()
     }
 
-    /// Builds the full key of one grid cell. `map` is the cell's profiled
-    /// (voltage axis) or injected (BER axis) fault map — its content
-    /// fingerprint is what makes the key honest about the silicon.
+    /// Builds the full key of one grid cell. `map` is the cell's fault
+    /// map — profiled on silicon-backed models, injected otherwise (on
+    /// the clock axis, the timing-drop *surrogate* map) — and its content
+    /// fingerprint is what makes the key honest about the faults.
     ///
     /// Equivalent to [`UnitKeyPrefix::new`] + [`UnitKeyPrefix::cell`];
     /// the engine uses the split form so the per-unit fields (topology,
@@ -163,8 +170,9 @@ impl CellKey {
 /// (name, topology, metric, dataset seed/scale), the full
 /// trainer/quantizer recipe, root seed and unit coordinates, the walk
 /// context (axis kind, complete point list, reuse policy), failure
-/// margins, and the silicon identity on the voltage axis. Build once per
-/// unit, then stamp per-cell fields with [`UnitKeyPrefix::cell`].
+/// margins, the fault model's name and canonical fingerprint, and — for
+/// silicon-backed models — the chip identity. Build once per unit, then
+/// stamp per-cell fields with [`UnitKeyPrefix::cell`].
 #[derive(Debug, Clone)]
 pub struct UnitKeyPrefix {
     scen_idx: usize,
@@ -199,7 +207,15 @@ impl UnitKeyPrefix {
         // epoch_scale knob is folded into the config's epoch count.
         key.push(
             "trainer.config",
-            format!("{:032x}", scen.train_config(plan.epoch_scale).fingerprint()),
+            format!("{:032x}", plan.train_config(scen).fingerprint()),
+        );
+        // The fault model: which taxonomy member generated the cell's
+        // faults, and the exact geometry/format/parameter recipe it was
+        // configured with.
+        key.push("model.name", plan.model.name());
+        key.push(
+            "model.fingerprint",
+            format!("{:032x}", plan.model.fingerprint()),
         );
         // Grid position and root seed: together these pin every derived
         // seed, including the ones earlier walk points used, which is
@@ -223,12 +239,13 @@ impl UnitKeyPrefix {
         key.push("reuse.policy", format!("{:?}", plan.reuse));
         key.push_f64("fail.margin_percent", plan.fail_margin_percent);
         key.push_f64("fail.margin_mse", plan.fail_margin_mse);
-        if let StressAxis::Voltage(_) = &plan.axis {
+        if plan.model.needs_silicon() {
             key.push("chip.seed", plan.chip_seed(chip_idx));
-            key.push(
-                "chip.config",
-                format!("{:032x}", ChipConfig::snnac().fingerprint()),
+            let chip_cfg = ChipConfig::with_geometry(
+                plan.model.geometry(),
+                plan.model.weight_format().unwrap_or_default(),
             );
+            key.push("chip.config", format!("{:032x}", chip_cfg.fingerprint()));
         }
         UnitKeyPrefix {
             scen_idx,
@@ -263,6 +280,13 @@ impl UnitKeyPrefix {
                     plan.cell_map_seed(self.chip_idx, self.scen_idx, point_idx),
                 );
                 key.push_f64("stress.ber", points[point_idx]);
+            }
+            StressAxis::ClockStress(points) => {
+                key.push(
+                    "map.seed",
+                    plan.unit_fault_seed(self.chip_idx, self.scen_idx),
+                );
+                key.push_f64("stress.clock", points[point_idx]);
             }
         }
         key.push("map.fingerprint", format!("{map_fingerprint:032x}"));
@@ -593,6 +617,35 @@ mod tests {
         );
     }
 
+    #[test]
+    fn cell_key_tracks_fault_model() {
+        use matic_core::TimingError;
+        use matic_sram::ArrayConfig;
+
+        let clock_plan = |onset: f64| {
+            SweepPlan::builder()
+                .chips(2)
+                .clock_stress(&[0.4, 0.8])
+                .fault_model(Arc::new(TimingError::new(ArrayConfig::default(), onset)))
+                .benchmark("inversek2j")
+                .expect("builtin benchmark")
+                .build()
+                .unwrap()
+        };
+        let map = small_map();
+        let reference = CellKey::for_cell(&clock_plan(0.25), coords(), &map).digest();
+        assert_ne!(
+            reference,
+            CellKey::for_cell(&clock_plan(0.30), coords(), &map).digest(),
+            "a model parameter (drop onset) must re-key the cache"
+        );
+        assert_ne!(
+            reference,
+            CellKey::for_cell(&base_plan().build().unwrap(), coords(), &map).digest(),
+            "the model identity must re-key the cache"
+        );
+    }
+
     /// A scenario identical to inversek2j except for the weight format —
     /// proves the quantizer configuration reaches the key.
     struct NarrowWeights(Arc<dyn Scenario>);
@@ -646,8 +699,10 @@ mod tests {
             chip_index: 1,
             chip_seed: 42,
             mode: "mat".into(),
+            fault_model: "sram-voltage".into(),
             voltage: Some(0.5),
             ber_target: None,
+            clock_stress: None,
             error: 0.0125,
             nominal_error: 0.01,
             metric: "mse".into(),

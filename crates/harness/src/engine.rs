@@ -60,14 +60,17 @@ use crate::scenario::Scenario;
 use crate::sched::{
     CancelledSweep, CellOrigin, ExecContext, Resolution, SweepOutcome, UnitOutcome,
 };
-use matic_core::{DeploymentFlow, MatConfig, MatTrainer, TrainedModel};
+use matic_core::{
+    drop_surrogate_map, upload_weights, CellFaults, DeploymentFlow, FaultContext, FaultedWeights,
+    MatConfig, MatTrainer, ParamRef, TrainedModel, WeightLayout,
+};
 use matic_datasets::Split;
-use matic_nn::{classification_error_percent, mean_squared_error, Mlp, NetSpec, Sample};
+use matic_nn::kernel::MacDropSpec;
+use matic_nn::{NetSpec, Sample};
 use matic_snnac::microcode::Program;
 use matic_snnac::npu::NpuStats;
 use matic_snnac::{Chip, ChipConfig, Snnac};
-use matic_sram::inject::bernoulli_fault_map;
-use matic_sram::FaultMap;
+use matic_sram::{ArrayConfig, FaultMap, SramArray};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
@@ -202,6 +205,7 @@ pub fn assemble_sweep(
             schema: REPORT_SCHEMA.to_string(),
             plan: PlanSummary {
                 chips: plan.chips,
+                fault_model: plan.model.name().to_string(),
                 stress_kind: plan.axis.kind().to_string(),
                 stress_points: plan.axis.points().to_vec(),
                 scenarios: plan
@@ -287,15 +291,6 @@ fn argmax(v: &[f64]) -> usize {
     best
 }
 
-/// Error of the masked float view (the Fig. 5 evaluation path).
-fn float_view_error(net: &Mlp, is_classification: bool, test: &[Sample]) -> f64 {
-    if is_classification {
-        classification_error_percent(net, test)
-    } else {
-        mean_squared_error(net, test)
-    }
-}
-
 /// The full per-cell energy record at the chip's **current** operating
 /// point for an inference whose NPU counters are `npu`: the point itself,
 /// the calibrated per-domain pJ/cycle there, energy/inference and power
@@ -331,13 +326,11 @@ pub fn run_unit_observed(
     ctx: &ExecContext<'_>,
 ) -> UnitOutcome {
     let scen = &*plan.scenarios[scen_idx];
-    match &plan.axis {
-        StressAxis::Voltage(points) => {
-            run_voltage_unit(plan, scen, scen_idx, chip_idx, split, points, ctx)
-        }
-        StressAxis::BitErrorRate(points) => {
-            run_ber_unit(plan, scen, scen_idx, chip_idx, split, points, ctx)
-        }
+    let points = plan.axis.points();
+    if plan.model.needs_silicon() {
+        run_silicon_unit(plan, scen, scen_idx, chip_idx, split, points, ctx)
+    } else {
+        run_injected_unit(plan, scen, scen_idx, chip_idx, split, points, ctx)
     }
 }
 
@@ -371,21 +364,26 @@ fn ensure_naive_on_chip<'a>(
     slot.as_ref().expect("filled above")
 }
 
-/// Baseline flavour for the BER axis: nominal error is the quantized
-/// model through the masked float view (no silicon on this axis).
-fn ensure_naive_float<'a>(
+/// Baseline flavour for synthetic (injected) fault models: nominal error
+/// is the quantized model through the NPU against a clean store and an
+/// undropped kernel — the same evaluation path the stressed cells use,
+/// with zero faults composed in.
+fn ensure_naive_injected<'a>(
     slot: &'a mut Option<NaiveBaseline>,
     spec: &NetSpec,
     cfg: &MatConfig,
     is_classification: bool,
     split: &Split,
-    geometry: (usize, usize, u8),
+    geom: &ArrayConfig,
 ) -> &'a NaiveBaseline {
     if slot.is_none() {
-        let (banks, words, bits) = geometry;
-        let clean = FaultMap::clean(0.9, banks, words, bits);
+        let clean = FaultMap::clean(0.9, geom.banks, geom.bank.words, geom.bank.word_bits);
         let model = MatTrainer::new(spec.clone(), cfg.clone()).train(&split.train, &clean);
-        let nominal = float_view_error(&model.quantized(), is_classification, &split.test);
+        let clean_faults = CellFaults {
+            map: clean,
+            drops: None,
+        };
+        let nominal = eval_injected(&model, is_classification, &split.test, &clean_faults, geom);
         *slot = Some(NaiveBaseline { model, nominal });
     }
     slot.as_ref().expect("filled above")
@@ -444,8 +442,12 @@ struct EvalCache {
     mat: Option<(f64, NpuStats)>,
 }
 
+/// The sweep unit for silicon-backed fault models
+/// ([`needs_silicon`](matic_core::FaultModel::needs_silicon)): a chip is
+/// synthesized to the model's declared geometry, profiled at every stress
+/// point, and the model turns the profile into the cell's fault content.
 #[allow(clippy::too_many_arguments)]
-fn run_voltage_unit(
+fn run_silicon_unit(
     plan: &SweepPlan,
     scen: &dyn Scenario,
     scen_idx: usize,
@@ -455,9 +457,13 @@ fn run_voltage_unit(
     ctx: &ExecContext<'_>,
 ) -> UnitOutcome {
     let spec = scen.topology();
-    let cfg = scen.train_config(plan.epoch_scale);
+    let cfg = plan.train_config(scen);
     let is_class = scen.is_classification();
-    let mut chip = Chip::synthesize(ChipConfig::snnac(), plan.chip_seed(chip_idx));
+    let chip_cfg = ChipConfig::with_geometry(
+        plan.model.geometry(),
+        plan.model.weight_format().unwrap_or_default(),
+    );
+    let mut chip = Chip::synthesize(chip_cfg, plan.chip_seed(chip_idx));
     // The unit-invariant half of every cell key, hashed once.
     let prefix = ctx
         .cache
@@ -468,7 +474,16 @@ fn run_voltage_unit(
     let mut evals: Option<EvalCache> = None;
     let mut cells = Vec::with_capacity(points.len() * plan.modes.len());
     for (point_idx, &voltage) in points.iter().enumerate() {
-        let map = chip.profile(voltage);
+        let profiled = chip.profile(voltage);
+        let map = plan
+            .model
+            .faults_at(&FaultContext {
+                stress: voltage,
+                cell_seed: plan.cell_map_seed(chip_idx, scen_idx, point_idx),
+                unit_seed: plan.unit_fault_seed(chip_idx, scen_idx),
+                profiled: Some(&profiled),
+            })
+            .map;
         // One fault-content digest per point, shared by all modes.
         let map_fp = prefix.as_ref().map(|_| map.fingerprint());
         // A voltage step that adds no new faults recomputes nothing: the
@@ -630,7 +645,7 @@ fn run_canary_cell(
 ) -> CellRecord {
     let is_class = scen.is_classification();
     let flow = DeploymentFlow {
-        mat: scen.train_config(plan.epoch_scale),
+        mat: plan.train_config(scen),
         ..DeploymentFlow::new(voltage)
     };
     let mut net = chip.deploy(&flow, spec, &split.train);
@@ -675,8 +690,85 @@ fn run_canary_cell(
     cell
 }
 
+/// Evaluates a trained model under injected faults, **without profiled
+/// silicon**: the quantized weights land in a behaviourally clean store
+/// (an SRAM array held at the 0.9 V nominal point, where every bit-cell
+/// reads back faithfully — the Vmin distribution tops out far below it),
+/// the model's storage faults are applied word-by-word, and the test set
+/// runs through the NPU's dense kernel with the model's MAC-drop spec
+/// composed into the accumulation. [`FaultedWeights`] stays the hot
+/// path; the fault map is never consulted per MAC.
+fn eval_injected(
+    model: &TrainedModel,
+    is_classification: bool,
+    test: &[Sample],
+    faults: &CellFaults,
+    geom: &ArrayConfig,
+) -> f64 {
+    let mut array = SramArray::synthesize(geom, 0);
+    upload_weights(model, &mut array);
+    for b in 0..geom.banks {
+        for w in 0..geom.bank.words {
+            let stored = array.read(b, w);
+            let faulted = faults.map.apply(b, w, stored);
+            if faulted != stored {
+                array.write(b, w, faulted);
+            }
+        }
+    }
+    let weights = FaultedWeights::from_array(model.layout(), model.format(), &mut array);
+    let npu = Snnac::snnac(model.format());
+    let program = Program::compile(model.master().spec(), npu.pe_count());
+    let drops = faults.drops.as_ref();
+    let mut wrong = 0usize;
+    let mut sq_err = 0.0f64;
+    for s in test {
+        let (out, _) = npu.execute_composed_dropped(&program, &weights, &s.input, drops);
+        if is_classification {
+            if !classified_correctly(&out, &s.target) {
+                wrong += 1;
+            }
+        } else {
+            sq_err += out
+                .iter()
+                .zip(&s.target)
+                .map(|(y, t)| (y - t) * (y - t))
+                .sum::<f64>()
+                / out.len() as f64;
+        }
+    }
+    if is_classification {
+        100.0 * wrong as f64 / test.len().max(1) as f64
+    } else {
+        sq_err / test.len().max(1) as f64
+    }
+}
+
+/// How many of the layout's weight parameters a drop spec kills, as
+/// `(count, fraction)` — the clock-axis analogue of a measured bit-error
+/// rate (biases are accumulated outside the MAC issue slots and are
+/// never dropped).
+fn dropped_weight_stats(drops: &MacDropSpec, layout: &WeightLayout) -> (usize, f64) {
+    let (mut dropped, mut total) = (0usize, 0usize);
+    for (param, _) in layout.entries() {
+        if let ParamRef::Weight { layer, row, col } = param {
+            total += 1;
+            if drops.dropped(layer, row, col) {
+                dropped += 1;
+            }
+        }
+    }
+    (dropped, dropped as f64 / total.max(1) as f64)
+}
+
+/// The sweep unit for synthetic fault models (`needs_silicon() == false`):
+/// fault content is derived from the plan's seeds, MAT trains against the
+/// injected map — or, for kernel-side drops, against the exact stuck-at-0
+/// surrogate (a dropped MAC contributes zero to the integer accumulation,
+/// precisely what a zeroed weight word does) — and every evaluation runs
+/// through the NPU with the faults composed in.
 #[allow(clippy::too_many_arguments)]
-fn run_ber_unit(
+fn run_injected_unit(
     plan: &SweepPlan,
     scen: &dyn Scenario,
     scen_idx: usize,
@@ -686,12 +778,11 @@ fn run_ber_unit(
     ctx: &ExecContext<'_>,
 ) -> UnitOutcome {
     let spec = scen.topology();
-    let cfg = scen.train_config(plan.epoch_scale);
+    let cfg = plan.train_config(scen);
     let is_class = scen.is_classification();
-    // The BER axis uses the SNNAC weight-memory geometry without
-    // synthesizing silicon: faults are injected, not profiled.
-    let geom = matic_sram::ArrayConfig::snnac();
-    let geometry = (geom.banks, geom.bank.words, geom.bank.word_bits);
+    let geom = plan.model.geometry();
+    let layout = WeightLayout::new(&spec, geom.banks, geom.bank.words)
+        .expect("scenario topology fits the model's weight memory");
 
     // The unit-invariant half of every cell key, hashed once.
     let prefix = ctx
@@ -700,19 +791,28 @@ fn run_ber_unit(
     let mut naive: Option<NaiveBaseline> = None;
     let mut adaptive: Option<AdaptiveModel> = None;
     let mut cells = Vec::with_capacity(points.len() * plan.modes.len());
-    for (point_idx, &ber) in points.iter().enumerate() {
-        let (banks, words, bits) = geometry;
-        let map = bernoulli_fault_map(
-            banks,
-            words,
-            bits,
-            ber,
-            plan.cell_map_seed(chip_idx, scen_idx, point_idx),
-        );
+    for (point_idx, &stress) in points.iter().enumerate() {
+        let faults = plan.model.faults_at(&FaultContext {
+            stress,
+            cell_seed: plan.cell_map_seed(chip_idx, scen_idx, point_idx),
+            unit_seed: plan.unit_fault_seed(chip_idx, scen_idx),
+            profiled: None,
+        });
+        // The map MAT trains against — and the content the cell key
+        // fingerprints: the injected map itself for storage faults, the
+        // stuck-at-0 surrogate for kernel-side drops.
+        let train_map = match &faults.drops {
+            Some(drops) => drop_surrogate_map(drops, &layout, geom.bank.word_bits),
+            None => faults.map.clone(),
+        };
+        let drop_stats = faults
+            .drops
+            .as_ref()
+            .map(|d| dropped_weight_stats(d, &layout));
         // One fault-content digest per point, shared by all modes.
-        let map_fp = prefix.as_ref().map(|_| map.fingerprint());
-        let reused =
-            plan.modes.contains(&TrainingMode::Mat) && advance_adaptive(plan, &mut adaptive, &map);
+        let map_fp = prefix.as_ref().map(|_| train_map.fingerprint());
+        let reused = plan.modes.contains(&TrainingMode::Mat)
+            && advance_adaptive(plan, &mut adaptive, &train_map);
         for &mode in &plan.modes {
             if ctx.is_cancelled() {
                 return UnitOutcome {
@@ -733,23 +833,24 @@ fn run_ber_unit(
             let cell = match mode {
                 TrainingMode::Naive => {
                     let baseline =
-                        ensure_naive_float(&mut naive, &spec, &cfg, is_class, split, geometry);
+                        ensure_naive_injected(&mut naive, &spec, &cfg, is_class, split, &geom);
                     let error =
-                        float_view_error(&baseline.model.deploy(&map), is_class, &split.test);
-                    base_ber_cell(
+                        eval_injected(&baseline.model, is_class, &split.test, &faults, &geom);
+                    base_injected_cell(
                         plan,
                         scen,
                         chip_idx,
                         mode,
-                        ber,
+                        stress,
                         error,
                         baseline.nominal,
-                        &map,
+                        &train_map,
+                        drop_stats,
                     )
                 }
                 TrainingMode::Mat => {
                     let nominal =
-                        ensure_naive_float(&mut naive, &spec, &cfg, is_class, split, geometry)
+                        ensure_naive_injected(&mut naive, &spec, &cfg, is_class, split, &geom)
                             .nominal;
                     let model = materialize_adaptive(
                         adaptive.as_mut().expect("advanced above"),
@@ -757,14 +858,15 @@ fn run_ber_unit(
                         &cfg,
                         &split.train,
                     );
-                    let error = float_view_error(&model.deploy(&map), is_class, &split.test);
-                    let mut cell =
-                        base_ber_cell(plan, scen, chip_idx, mode, ber, error, nominal, &map);
+                    let error = eval_injected(model, is_class, &split.test, &faults, &geom);
+                    let mut cell = base_injected_cell(
+                        plan, scen, chip_idx, mode, stress, error, nominal, &train_map, drop_stats,
+                    );
                     cell.reused_model = reused;
                     cell
                 }
                 TrainingMode::MatCanary => {
-                    unreachable!("plan validation rejects mat-canary on the BER axis")
+                    unreachable!("plan validation rejects mat-canary on synthetic fault models")
                 }
             };
             ctx.finish(claim, key.as_ref(), &cell);
@@ -793,19 +895,32 @@ fn base_cell(
     cell
 }
 
+/// A cell of the injected (synthetic-model) path: the stress value lands
+/// in the axis-appropriate column, and for kernel-side drop models the
+/// storage-map statistics — meaningless there — are replaced by the
+/// dropped-MAC population.
 #[allow(clippy::too_many_arguments)]
-fn base_ber_cell(
+fn base_injected_cell(
     plan: &SweepPlan,
     scen: &dyn Scenario,
     chip_idx: usize,
     mode: TrainingMode,
-    ber: f64,
+    stress: f64,
     error: f64,
     nominal: f64,
     map: &FaultMap,
+    drop_stats: Option<(usize, f64)>,
 ) -> CellRecord {
     let mut cell = new_cell(plan, scen, chip_idx, mode, error, nominal, map);
-    cell.ber_target = Some(ber);
+    match &plan.axis {
+        StressAxis::Voltage(_) => cell.voltage = Some(stress),
+        StressAxis::BitErrorRate(_) => cell.ber_target = Some(stress),
+        StressAxis::ClockStress(_) => cell.clock_stress = Some(stress),
+    }
+    if let Some((dropped, fraction)) = drop_stats {
+        cell.fault_count = dropped;
+        cell.measured_ber = fraction;
+    }
     cell
 }
 
@@ -829,8 +944,10 @@ fn new_cell(
         chip_index: chip_idx,
         chip_seed: plan.chip_seed(chip_idx),
         mode: mode.name().to_string(),
+        fault_model: plan.model.name().to_string(),
         voltage: None,
         ber_target: None,
+        clock_stress: None,
         error,
         nominal_error: nominal,
         metric: if is_class {

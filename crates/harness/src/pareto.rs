@@ -441,8 +441,10 @@ mod tests {
                 chip_index: 0,
                 chip_seed: 1,
                 mode: "mat".into(),
+                fault_model: "sram-voltage".into(),
                 voltage: Some(v),
                 ber_target: None,
+                clock_stress: None,
                 error,
                 nominal_error: 0.010,
                 metric: "mse".into(),
@@ -468,6 +470,7 @@ mod tests {
             schema: REPORT_SCHEMA.into(),
             plan: PlanSummary {
                 chips: 1,
+                fault_model: "sram-voltage".into(),
                 stress_kind: "voltage".into(),
                 stress_points: voltages.to_vec(),
                 scenarios: vec!["inversek2j".into()],

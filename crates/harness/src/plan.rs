@@ -1,6 +1,7 @@
 //! [`SweepPlan`]: the declarative description of a chip-population sweep.
 
 use crate::scenario::{builtin_scenarios, scenario_by_name, Scenario};
+use matic_core::{FaultModel, MatConfig, RandomBer, SramVoltage, TimingError};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -54,25 +55,31 @@ pub enum StressAxis {
     /// SRAM supply voltages: chips are profiled and evaluated **on the
     /// NPU** at each point (the Table I / Fig. 10 experiment).
     Voltage(Vec<f64>),
-    /// Synthetic Bernoulli bit-error rates: fault maps are injected and
-    /// models evaluated through the masked float view (the Fig. 5
+    /// Synthetic i.i.d. bit-error rates: fault maps are injected from the
+    /// plan's fault model and evaluated on the NPU (the Fig. 5-style
     /// feasibility experiment). No energy accounting on this axis.
     BitErrorRate(Vec<f64>),
+    /// Normalized clock-period stress in `[0, 1]`: MACs drop their
+    /// partial products with a stress-dependent probability
+    /// (ThUnderVolt's TE-Drop semantics). No energy accounting on this
+    /// axis.
+    ClockStress(Vec<f64>),
 }
 
 impl StressAxis {
     /// The stress values, in sweep order.
     pub fn points(&self) -> &[f64] {
         match self {
-            StressAxis::Voltage(v) | StressAxis::BitErrorRate(v) => v,
+            StressAxis::Voltage(v) | StressAxis::BitErrorRate(v) | StressAxis::ClockStress(v) => v,
         }
     }
 
-    /// `"voltage"` or `"ber"`.
+    /// `"voltage"`, `"ber"` or `"clock"`.
     pub fn kind(&self) -> &'static str {
         match self {
             StressAxis::Voltage(_) => "voltage",
             StressAxis::BitErrorRate(_) => "ber",
+            StressAxis::ClockStress(_) => "clock",
         }
     }
 }
@@ -136,6 +143,10 @@ pub struct SweepPlan {
     pub chips: usize,
     /// The stress dimension and its points (voltages sorted descending).
     pub axis: StressAxis,
+    /// The fault model stressed along the axis. Defaults to the axis's
+    /// natural model: voltage → [`SramVoltage`], BER → [`RandomBer`],
+    /// clock → [`TimingError`].
+    pub model: Arc<dyn FaultModel>,
     /// Workloads swept.
     pub scenarios: Vec<Arc<dyn Scenario>>,
     /// Training modes swept.
@@ -170,6 +181,7 @@ impl fmt::Debug for SweepPlan {
         f.debug_struct("SweepPlan")
             .field("chips", &self.chips)
             .field("axis", &self.axis)
+            .field("model", &self.model.name())
             .field(
                 "scenarios",
                 &self
@@ -219,6 +231,33 @@ impl SweepPlan {
         )
     }
 
+    /// The fault seed shared by every stress point of the
+    /// (`chip_idx`, `scen_idx`) work unit. Fault models whose per-point
+    /// error sets must nest monotonically across stress (so model reuse
+    /// stays sound) key on this instead of the per-cell seed.
+    pub fn unit_fault_seed(&self, chip_idx: usize, scen_idx: usize) -> u64 {
+        crate::seeds::mix4(
+            self.base_seed,
+            0xD309_0004,
+            chip_idx as u64,
+            scen_idx as u64,
+            0,
+        )
+    }
+
+    /// The training recipe for `scenario` under this plan: the scenario's
+    /// own config at the plan's epoch scale, with the weight format
+    /// overridden when the fault model requires one (e.g. the robust
+    /// Q1.14 range of the random-BER model). Models with no format
+    /// requirement leave the scenario's choice in force.
+    pub fn train_config(&self, scenario: &dyn Scenario) -> MatConfig {
+        let mut cfg = scenario.train_config(self.epoch_scale);
+        if let Some(fmt) = self.model.weight_format() {
+            cfg.weight_fmt = fmt;
+        }
+        cfg
+    }
+
     /// Total number of sweep cells.
     pub fn cell_count(&self) -> usize {
         self.chips * self.axis.points().len() * self.scenarios.len() * self.modes.len()
@@ -236,7 +275,7 @@ impl SweepPlan {
     /// digest is the cheap way to answer "is this the same experiment?".
     pub fn fingerprint(&self) -> String {
         let mut f = matic_sram::fingerprint::Fingerprint::new();
-        f.write_str("matic.sweep-plan/v1");
+        f.write_str("matic.sweep-plan/v2");
         f.write_str(env!("CARGO_PKG_VERSION"));
         f.write_u64(self.chips as u64);
         f.write_str(self.axis.kind());
@@ -244,12 +283,14 @@ impl SweepPlan {
         for &p in self.axis.points() {
             f.write_u64(p.to_bits());
         }
+        f.write_str(self.model.name());
+        f.write_u128(self.model.fingerprint());
         f.write_u64(self.scenarios.len() as u64);
         for s in &self.scenarios {
             f.write_str(s.name());
             f.write_u128(matic_sram::fingerprint::fingerprint_of(&s.topology()));
             f.write(if s.is_classification() { b"C" } else { b"R" });
-            f.write_u128(s.train_config(self.epoch_scale).fingerprint());
+            f.write_u128(self.train_config(s.as_ref()).fingerprint());
         }
         f.write_u64(self.modes.len() as u64);
         for m in &self.modes {
@@ -273,6 +314,7 @@ impl SweepPlan {
 pub struct SweepPlanBuilder {
     chips: usize,
     axis: Option<StressAxis>,
+    model: Option<Arc<dyn FaultModel>>,
     scenarios: Vec<Arc<dyn Scenario>>,
     modes: Vec<TrainingMode>,
     data_scale: f64,
@@ -290,6 +332,7 @@ impl Default for SweepPlanBuilder {
         SweepPlanBuilder {
             chips: 1,
             axis: None,
+            model: None,
             scenarios: Vec::new(),
             modes: vec![TrainingMode::Naive, TrainingMode::Mat],
             data_scale: 1.0,
@@ -336,6 +379,25 @@ impl SweepPlanBuilder {
         r.sort_by(|a, b| a.total_cmp(b));
         r.dedup();
         self.axis = Some(StressAxis::BitErrorRate(r));
+        self
+    }
+
+    /// Sweeps normalized clock-period stress values in `[0, 1]`
+    /// (ascending, deduplicated). Like the other axis setters, bad values
+    /// surface as a [`PlanError`] at build time.
+    pub fn clock_stress(mut self, stress: &[f64]) -> Self {
+        let mut s: Vec<f64> = stress.to_vec();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s.dedup();
+        self.axis = Some(StressAxis::ClockStress(s));
+        self
+    }
+
+    /// Overrides the fault model (default: the stress axis's natural
+    /// model). [`build`](SweepPlanBuilder::build) rejects a model whose
+    /// `stress_kind` disagrees with the chosen axis.
+    pub fn fault_model(mut self, model: Arc<dyn FaultModel>) -> Self {
+        self.model = Some(model);
         self
     }
 
@@ -445,6 +507,26 @@ impl SweepPlanBuilder {
                 "stress points must be finite numbers, got `{bad}`"
             )));
         }
+        // The axis's natural fault model, unless the builder overrode it.
+        let model: Arc<dyn FaultModel> = match self.model {
+            Some(m) => m,
+            None => match &axis {
+                StressAxis::Voltage(_) => Arc::new(SramVoltage::snnac()),
+                StressAxis::BitErrorRate(_) => Arc::new(RandomBer::snnac()),
+                StressAxis::ClockStress(_) => Arc::new(TimingError::snnac()),
+            },
+        };
+        if model.stress_kind() != axis.kind() {
+            return Err(PlanError(format!(
+                "fault model `{}` sweeps a {} axis, but the plan's stress axis is {}",
+                model.name(),
+                model.stress_kind(),
+                axis.kind()
+            )));
+        }
+        model
+            .validate_stress(axis.points())
+            .map_err(|e| PlanError(format!("fault model `{}`: {e}", model.name())))?;
         match &axis {
             StressAxis::Voltage(v) => {
                 if v.iter().any(|&x| !(0.2..=1.2).contains(&x)) {
@@ -467,14 +549,19 @@ impl SweepPlanBuilder {
                 if r.iter().any(|&x| !(0.0..=1.0).contains(&x)) {
                     return Err(PlanError("bit-error rates must lie in [0, 1]".into()));
                 }
-                if self.modes.contains(&TrainingMode::MatCanary) {
-                    return Err(PlanError(
-                        "mat-canary needs a physical voltage axis (the runtime controller \
-                         walks the SRAM rail); it cannot run on the synthetic BER axis"
-                            .into(),
-                    ));
+            }
+            StressAxis::ClockStress(s) => {
+                if s.iter().any(|&x| !(0.0..=1.0).contains(&x)) {
+                    return Err(PlanError("clock stress values must lie in [0, 1]".into()));
                 }
             }
+        }
+        if self.modes.contains(&TrainingMode::MatCanary) && !model.supports_canary() {
+            return Err(PlanError(format!(
+                "mat-canary needs a fault model with canary support (the runtime \
+                 controller walks the SRAM rail); `{}` has none",
+                model.name()
+            )));
         }
         if self.chips == 0 {
             return Err(PlanError("at least one chip is required".into()));
@@ -497,6 +584,7 @@ impl SweepPlanBuilder {
         Ok(SweepPlan {
             chips: self.chips,
             axis,
+            model,
             scenarios: self.scenarios,
             modes: self.modes,
             data_scale: self.data_scale,
@@ -576,6 +664,113 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("mat-canary"));
+    }
+
+    #[test]
+    fn clock_axis_builds_with_timing_model() {
+        let plan = SweepPlan::builder()
+            .clock_stress(&[0.8, 0.2, 0.8])
+            .benchmark("inversek2j")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(plan.axis.points(), [0.2, 0.8], "ascending, deduped");
+        assert_eq!(plan.model.name(), "timing-error");
+        assert_eq!(plan.model.stress_kind(), "clock");
+        let err = SweepPlan::builder()
+            .clock_stress(&[1.5])
+            .benchmark("inversek2j")
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn canary_rejected_on_clock_axis() {
+        let err = SweepPlan::builder()
+            .clock_stress(&[0.5])
+            .all_benchmarks()
+            .modes(&[TrainingMode::MatCanary])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("mat-canary"));
+    }
+
+    #[test]
+    fn model_axis_mismatch_is_rejected() {
+        let err = SweepPlan::builder()
+            .voltages(&[0.9])
+            .fault_model(Arc::new(TimingError::snnac()))
+            .all_benchmarks()
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("timing-error"), "{err}");
+        assert!(err.to_string().contains("clock"), "{err}");
+    }
+
+    #[test]
+    fn default_models_follow_the_axis() {
+        let v = SweepPlan::builder()
+            .voltages(&[0.9])
+            .all_benchmarks()
+            .build()
+            .unwrap();
+        assert_eq!(v.model.name(), "sram-voltage");
+        let b = SweepPlan::builder()
+            .bit_error_rates(&[0.01])
+            .all_benchmarks()
+            .build()
+            .unwrap();
+        assert_eq!(b.model.name(), "random-ber");
+    }
+
+    #[test]
+    fn fingerprint_tracks_fault_model() {
+        let base = || {
+            SweepPlan::builder()
+                .clock_stress(&[0.5])
+                .benchmark("inversek2j")
+                .expect("builtin benchmark")
+        };
+        let reference = base().build().unwrap().fingerprint();
+        let other_onset = base()
+            .fault_model(Arc::new(TimingError::new(Default::default(), 0.6)))
+            .build()
+            .unwrap()
+            .fingerprint();
+        assert_ne!(
+            reference, other_onset,
+            "a semantic model field must change the plan digest"
+        );
+    }
+
+    #[test]
+    fn ber_model_overrides_weight_format() {
+        let plan = SweepPlan::builder()
+            .bit_error_rates(&[0.01])
+            .benchmark("inversek2j")
+            .unwrap()
+            .build()
+            .unwrap();
+        let cfg = plan.train_config(plan.scenarios[0].as_ref());
+        assert_eq!(
+            cfg.weight_fmt,
+            matic_fixed::QFormat::snnac_weight_robust(),
+            "random-ber imposes the robust range"
+        );
+        let vplan = SweepPlan::builder()
+            .voltages(&[0.9])
+            .benchmark("inversek2j")
+            .unwrap()
+            .build()
+            .unwrap();
+        let vcfg = vplan.train_config(vplan.scenarios[0].as_ref());
+        assert_eq!(
+            vcfg.weight_fmt,
+            vplan.scenarios[0].train_config(1.0).weight_fmt,
+            "voltage model leaves the scenario's format alone"
+        );
     }
 
     #[test]

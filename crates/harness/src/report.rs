@@ -22,7 +22,11 @@ use std::fmt::Write as _;
 /// v2: the scalar `energy_pj`/`cycles` cell fields became the structured
 /// [`CellEnergy`] record (operating point, per-domain pJ/cycle, power),
 /// and point summaries gained `mean_power_watts`.
-pub const REPORT_SCHEMA: &str = "matic.sweep-report/v2";
+///
+/// v3: fault models became pluggable — cells carry the `fault_model` name
+/// and a `clock_stress` column (the TE-Drop axis), and the plan summary
+/// echoes the swept model. `stress_kind` may now also be `"clock"`.
+pub const REPORT_SCHEMA: &str = "matic.sweep-report/v3";
 
 /// The energy accounting of one cell's inference: the cell's operating
 /// point, the calibrated per-cycle costs there, and the resulting
@@ -54,7 +58,10 @@ pub struct CellEnergy {
 pub struct PlanSummary {
     /// Chip-population size.
     pub chips: usize,
-    /// `"voltage"` or `"ber"`.
+    /// Fault-model name (`"sram-voltage"`, `"random-ber"`,
+    /// `"timing-error"`, or a custom model's name).
+    pub fault_model: String,
+    /// `"voltage"`, `"ber"` or `"clock"`.
     pub stress_kind: String,
     /// Stress points in sweep order.
     pub stress_points: Vec<f64>,
@@ -81,10 +88,14 @@ pub struct CellRecord {
     pub chip_seed: u64,
     /// Training-mode name.
     pub mode: String,
-    /// SRAM voltage of this cell (`None` on the BER axis).
+    /// Fault-model name this cell was stressed under.
+    pub fault_model: String,
+    /// SRAM voltage of this cell (`None` off the voltage axis).
     pub voltage: Option<f64>,
-    /// Target Bernoulli bit-error rate (`None` on the voltage axis).
+    /// Target bit-error rate (`None` off the BER axis).
     pub ber_target: Option<f64>,
+    /// Normalized clock-period stress (`None` off the clock axis).
+    pub clock_stress: Option<f64>,
     /// Table I metric value: classification error % or MSE.
     pub error: f64,
     /// The naive model's error at the 0.9 V nominal (fault-free) point.
@@ -191,7 +202,8 @@ impl SweepReport {
     /// columns, which are empty on the BER axis.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "scenario,chip_index,chip_seed,mode,voltage,ber_target,error,nominal_error,\
+            "scenario,chip_index,chip_seed,mode,fault_model,voltage,ber_target,clock_stress,\
+             error,nominal_error,\
              metric,v_logic,v_sram,freq_hz,logic_pj_per_cycle,sram_pj_per_cycle,cycles,\
              energy_pj,power_watts,measured_ber,fault_count,settled_voltage,\
              reused_model,failed\n",
@@ -200,13 +212,15 @@ impl SweepReport {
             let e = c.energy.as_ref();
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 c.scenario,
                 c.chip_index,
                 c.chip_seed,
                 c.mode,
+                c.fault_model,
                 opt(c.voltage),
                 opt(c.ber_target),
+                opt(c.clock_stress),
                 c.error,
                 c.nominal_error,
                 c.metric,
@@ -233,7 +247,12 @@ impl SweepReport {
     pub fn summarize(cells: &[CellRecord]) -> Vec<PointSummary> {
         // Group on the stress value's bit pattern so cells without any
         // stress value (or with a NaN) still form well-defined groups.
-        let stress_bits = |c: &CellRecord| c.voltage.or(c.ber_target).map(f64::to_bits);
+        let stress_bits = |c: &CellRecord| {
+            c.voltage
+                .or(c.ber_target)
+                .or(c.clock_stress)
+                .map(f64::to_bits)
+        };
         let mut keys: Vec<(String, Option<u64>, String)> = Vec::new();
         for c in cells {
             let key = (c.scenario.clone(), stress_bits(c), c.mode.clone());
@@ -296,8 +315,10 @@ mod tests {
             chip_index: chip,
             chip_seed: chip as u64,
             mode: mode.into(),
+            fault_model: "sram-voltage".into(),
             voltage: Some(v),
             ber_target: None,
+            clock_stress: None,
             error: err,
             nominal_error: 1.0,
             metric: "classification_error_percent".into(),
@@ -354,6 +375,7 @@ mod tests {
             schema: REPORT_SCHEMA.into(),
             plan: PlanSummary {
                 chips: 1,
+                fault_model: "sram-voltage".into(),
                 stress_kind: "voltage".into(),
                 stress_points: vec![0.5],
                 scenarios: vec!["mnist".into()],
@@ -378,6 +400,7 @@ mod tests {
             schema: REPORT_SCHEMA.into(),
             plan: PlanSummary {
                 chips: 1,
+                fault_model: "sram-voltage".into(),
                 stress_kind: "voltage".into(),
                 stress_points: vec![0.5],
                 scenarios: vec!["mnist".into()],

@@ -278,6 +278,9 @@ pub struct UnitOutcome {
 }
 
 /// The outcome of a whole observed sweep.
+// One value exists per sweep (never collections of them), so the size
+// gap between the report-carrying and cancelled variants is harmless.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum SweepOutcome {
     /// Every cell finished; the report is byte-identical to what the
@@ -388,8 +391,10 @@ mod tests {
             chip_index: 0,
             chip_seed: 42,
             mode: "mat".into(),
+            fault_model: "sram-voltage".into(),
             voltage: Some(0.5),
             ber_target: None,
+            clock_stress: None,
             error: 0.01,
             nominal_error: 0.01,
             metric: "mse".into(),

@@ -139,6 +139,79 @@ fn ber_axis_resumes_byte_identical() {
 }
 
 #[test]
+fn clock_axis_resumes_byte_identical() {
+    let plan = |threads: usize| {
+        SweepPlan::builder()
+            .chips(2)
+            .clock_stress(&[0.3, 0.8])
+            .benchmark("inversek2j")
+            .expect("builtin benchmark")
+            .data_scale(0.1)
+            .epoch_scale(0.2)
+            .threads(threads)
+            .build()
+            .expect("plan is valid")
+    };
+    let dir = scratch_dir("clock");
+    let cache = SweepCache::open(&dir).expect("cache opens");
+    let cold = run_sweep_with_cache(&plan(1), Some(&cache));
+    assert_eq!(cold.cache.misses, plan(1).cell_count());
+    let warm = run_sweep_with_cache(&plan(3), Some(&cache));
+    assert!(warm.cache.all_hits());
+    assert_eq!(cold.report.to_json(), warm.report.to_json());
+    let uncached = run_sweep_with_cache(&plan(2), None);
+    assert_eq!(cold.report.to_json(), uncached.report.to_json());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_schema_entries_are_orphaned_not_trusted() {
+    // A cache directory left over from an older binary may hold entries
+    // under the previous cache schema. Those must never replay — even if
+    // the file sits at exactly the path the new key hashes to — and the
+    // resume must recompute the cell, reproducing the cold bytes.
+    let dir = scratch_dir("stale");
+    let cache = SweepCache::open(&dir).expect("cache opens");
+    let cold = run_sweep_with_cache(&plan(2), Some(&cache));
+
+    let cells_dir = dir.join("cells");
+    let mut entries: Vec<PathBuf> = fs::read_dir(&cells_dir)
+        .expect("cache dir listable")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    entries.sort();
+    let victim = &entries[0];
+    let text = fs::read_to_string(victim).expect("cached cell readable");
+    assert!(
+        text.contains("matic.sweep-cache/v3"),
+        "entries carry the tag"
+    );
+    // Downgrade the tag and corrupt the payload: if the loader ever
+    // trusted this entry, the warm report would visibly diverge.
+    let stale = text
+        .replace("matic.sweep-cache/v3", "matic.sweep-cache/v2")
+        .replace("\"error\":", "\"error_was\":");
+    fs::write(victim, stale).expect("tamper with cached cell");
+
+    let warm = run_sweep_with_cache(&plan(2), Some(&cache));
+    assert_eq!(
+        warm.cache.misses, 1,
+        "the stale entry must be recomputed, not replayed"
+    );
+    assert_eq!(warm.cache.hits, plan(2).cell_count() - 1);
+    assert_eq!(
+        report_bytes(&cold.report),
+        report_bytes(&warm.report),
+        "recomputing an orphaned entry must reproduce the cold bytes"
+    );
+    // The recompute re-checkpointed the cell under the current schema.
+    let healed = fs::read_to_string(victim).expect("cell re-written");
+    assert!(healed.contains("matic.sweep-cache/v3"));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn changed_inputs_do_not_hit_a_stale_cache() {
     let dir = scratch_dir("invalidate");
     let cache = SweepCache::open(&dir).expect("cache opens");

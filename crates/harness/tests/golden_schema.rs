@@ -122,5 +122,5 @@ fn schema_constant_is_embedded() {
     let report = run_sweep(&plan);
     assert_eq!(report.schema, matic_harness::REPORT_SCHEMA);
     let json = report.to_json();
-    assert!(json.starts_with("{\"schema\":\"matic.sweep-report/v2\""));
+    assert!(json.starts_with("{\"schema\":\"matic.sweep-report/v3\""));
 }

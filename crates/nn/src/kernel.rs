@@ -82,6 +82,126 @@ pub fn fx_matvec(w: &[i32], x: &[i32], out: &mut [i64]) {
     }
 }
 
+/// Deterministic MAC-level error-drop model (ThUnderVolt's *TE-Drop*
+/// semantics): under clock-period overscaling, a multiply whose critical
+/// path misses timing closure is detected by a Razor-style shadow latch
+/// and its partial product is **dropped** from the accumulation — the MAC
+/// still occupies its issue slot, but contributes zero.
+///
+/// Whether a given MAC drops is a pure function of `(seed, layer, row,
+/// col)` hashed through a SplitMix64-style mixer and compared against a
+/// fixed-point probability threshold. That gives the model exactly the
+/// properties the differential harness needs:
+///
+/// * **idempotent** — re-evaluating the same coordinates always yields
+///   the same verdict (no hidden RNG state);
+/// * **monotone in stress** — at a fixed seed, the drop set at threshold
+///   `t₁ ≤ t₂` is a subset of the drop set at `t₂`, mirroring how a
+///   shorter clock period can only fail *more* paths;
+/// * **schedule-free** — the verdict never depends on evaluation order,
+///   so blocked and reference executions agree bit-exactly.
+///
+/// Drops apply to weight MACs only; bias additions ride the short
+/// accumulator path and always meet timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacDropSpec {
+    seed: u64,
+    /// Drop probability as a 0.64 fixed-point threshold in `[0, 2^64]`.
+    /// `u128` so that probability 1.0 (`2^64`) is representable exactly.
+    threshold: u128,
+}
+
+impl MacDropSpec {
+    /// Builds a drop spec with the given seed and drop probability
+    /// (clamped to `[0, 1]`; NaN is treated as 0).
+    pub fn new(seed: u64, drop_probability: f64) -> Self {
+        let p = if drop_probability.is_nan() {
+            0.0
+        } else {
+            drop_probability.clamp(0.0, 1.0)
+        };
+        // Exact at both endpoints: p = 1.0 maps to 2^64, above every hash.
+        let threshold = (p * (u128::pow(2, 64) as f64)) as u128;
+        MacDropSpec { seed, threshold }
+    }
+
+    /// The drop probability this spec realizes (exact at 0 and 1).
+    pub fn drop_probability(&self) -> f64 {
+        self.threshold as f64 / u128::pow(2, 64) as f64
+    }
+
+    /// The seed the drop hash is keyed on.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the MAC at `(layer, row, col)` misses timing and drops its
+    /// partial product. Pure and schedule-free.
+    #[inline]
+    pub fn dropped(&self, layer: usize, row: usize, col: usize) -> bool {
+        (mix_coords(self.seed, layer as u64, row as u64, col as u64) as u128) < self.threshold
+    }
+}
+
+/// SplitMix64-style finalizer over the drop coordinates. Each input is
+/// absorbed through the odd golden-ratio increment before the avalanche
+/// rounds, so nearby coordinates decorrelate fully.
+#[inline]
+fn mix_coords(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// [`fx_dot`] with TE-Drop error injection: MACs flagged by `drops` at
+/// `(layer, row, col)` contribute zero. Exact `i64` accumulation over the
+/// surviving terms, so any evaluation order gives identical bits.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn fx_dot_dropped(w: &[i32], x: &[i32], drops: &MacDropSpec, layer: usize, row: usize) -> i64 {
+    assert_eq!(w.len(), x.len(), "fx_dot length mismatch");
+    let mut sum = 0i64;
+    for (col, (wv, xv)) in w.iter().zip(x).enumerate() {
+        if !drops.dropped(layer, row, col) {
+            sum += *wv as i64 * *xv as i64;
+        }
+    }
+    sum
+}
+
+/// [`fx_matvec`] with TE-Drop error injection. `row_base` is the global
+/// row index of `out[0]` so that blocked callers hash the same `(layer,
+/// row, col)` coordinates as an unblocked reference walk.
+///
+/// # Panics
+///
+/// Panics if `w.len() != out.len() * x.len()`.
+pub fn fx_matvec_dropped(
+    w: &[i32],
+    x: &[i32],
+    out: &mut [i64],
+    drops: &MacDropSpec,
+    layer: usize,
+    row_base: usize,
+) {
+    let cols = x.len();
+    assert_eq!(w.len(), out.len() * cols, "fx_matvec shape mismatch");
+    if cols == 0 {
+        out.fill(0);
+        return;
+    }
+    for (local, (row, o)) in w.chunks_exact(cols).zip(out.iter_mut()).enumerate() {
+        *o = fx_dot_dropped(row, x, drops, layer, row_base + local);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +237,49 @@ mod tests {
         for r in 0..rows {
             assert_eq!(out[r], dot_reference(&w[r * cols..(r + 1) * cols], &x));
         }
+    }
+
+    #[test]
+    fn drop_endpoints_are_exact() {
+        let never = MacDropSpec::new(7, 0.0);
+        let always = MacDropSpec::new(7, 1.0);
+        for i in 0..64 {
+            assert!(!never.dropped(0, i, i * 3));
+            assert!(always.dropped(0, i, i * 3));
+        }
+        assert_eq!(never.drop_probability(), 0.0);
+        assert_eq!(always.drop_probability(), 1.0);
+    }
+
+    #[test]
+    fn dropped_dot_matches_masked_reference() {
+        let drops = MacDropSpec::new(42, 0.35);
+        let n = 97;
+        let w: Vec<i32> = (0..n).map(|i| (i * 7919) % 65537 - 32768).collect();
+        let x: Vec<i32> = (0..n).map(|i| (i * 104729) % 65537 - 32768).collect();
+        let expect: i64 = (0..n as usize)
+            .filter(|&c| !drops.dropped(2, 5, c))
+            .map(|c| w[c] as i64 * x[c] as i64)
+            .sum();
+        assert_eq!(fx_dot_dropped(&w, &x, &drops, 2, 5), expect);
+        assert_ne!(expect, dot_reference(&w, &x), "some MAC must have dropped");
+    }
+
+    #[test]
+    fn dropped_matvec_uses_global_row_indices() {
+        let drops = MacDropSpec::new(9, 0.5);
+        let (rows, cols) = (10, 17);
+        let w: Vec<i32> = (0..rows * cols).map(|i| (i % 251) as i32 - 125).collect();
+        let x: Vec<i32> = (0..cols).map(|i| (i * 3) as i32 - 50).collect();
+        let mut whole = vec![0i64; rows];
+        fx_matvec_dropped(&w, &x, &mut whole, &drops, 1, 0);
+        // Split the rows across two calls with the right row_base: same bits.
+        let mut lo = vec![0i64; 4];
+        let mut hi = vec![0i64; rows - 4];
+        fx_matvec_dropped(&w[..4 * cols], &x, &mut lo, &drops, 1, 0);
+        fx_matvec_dropped(&w[4 * cols..], &x, &mut hi, &drops, 1, 4);
+        assert_eq!(&whole[..4], &lo[..]);
+        assert_eq!(&whole[4..], &hi[..]);
     }
 
     #[test]

@@ -74,4 +74,59 @@ proptest! {
         let net = Mlp::init(NetSpec::classifier(&[2, 3, 2]), seed);
         prop_assert_eq!(net.map_weights(|w| w), net);
     }
+
+    /// The TE-Drop mask is idempotent: the verdict for any coordinate is
+    /// a pure function of (seed, p, layer, row, col), stable across
+    /// repeated queries and across fresh specs with identical fields.
+    #[test]
+    fn drop_mask_is_idempotent(
+        seed in 0u64..1000,
+        p in 0.0f64..=1.0,
+        layer in 0usize..4,
+        row in 0usize..128,
+        col in 0usize..512,
+    ) {
+        let a = kernel::MacDropSpec::new(seed, p);
+        let b = kernel::MacDropSpec::new(seed, p);
+        let first = a.dropped(layer, row, col);
+        prop_assert_eq!(a.dropped(layer, row, col), first);
+        prop_assert_eq!(b.dropped(layer, row, col), first);
+    }
+
+    /// The TE-Drop mask is monotone in drop probability at a fixed seed:
+    /// every MAC dropped at the lower probability is also dropped at the
+    /// higher one (clock-period stress only ever fails *more* paths).
+    #[test]
+    fn drop_mask_is_monotone_in_stress(
+        seed in 0u64..500,
+        p_pair in (0.0f64..=1.0, 0.0f64..=1.0),
+    ) {
+        let (a, b) = p_pair;
+        let (p_lo, p_hi) = if a <= b { (a, b) } else { (b, a) };
+        let lo = kernel::MacDropSpec::new(seed, p_lo);
+        let hi = kernel::MacDropSpec::new(seed, p_hi);
+        for layer in 0..2 {
+            for row in 0..16 {
+                for col in 0..16 {
+                    if lo.dropped(layer, row, col) {
+                        prop_assert!(hi.dropped(layer, row, col));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dropped-kernel variants agree with the plain kernels when nothing
+    /// drops, for every seed.
+    #[test]
+    fn dropped_kernels_degenerate_to_plain(seed in 0u64..500) {
+        let never = kernel::MacDropSpec::new(seed, 0.0);
+        let w: Vec<i32> = (0..60).map(|i| (i * 37) % 201 - 100).collect();
+        let x: Vec<i32> = (0..20).map(|i| (i * 91) % 201 - 100).collect();
+        let mut plain = vec![0i64; 3];
+        let mut dropped = vec![0i64; 3];
+        kernel::fx_matvec(&w, &x, &mut plain);
+        kernel::fx_matvec_dropped(&w, &x, &mut dropped, &never, 1, 7);
+        prop_assert_eq!(plain, dropped);
+    }
 }

@@ -22,15 +22,17 @@ use std::time::Duration;
 /// surface as the batch CLI (so a bad spec is refused at admission, not
 /// discovered mid-run).
 pub fn build_plan(spec: &JobSpec) -> Result<SweepPlan, String> {
-    if spec.voltages.is_some() && spec.bers.is_some() {
-        return Err("voltages and bers are mutually exclusive".into());
+    let axes_named = [&spec.voltages, &spec.bers, &spec.clock]
+        .iter()
+        .filter(|a| a.is_some())
+        .count();
+    if axes_named > 1 {
+        return Err("voltages, bers and clock are mutually exclusive".into());
     }
-    if spec.kind == JobKind::Energy && spec.bers.is_some() {
-        return Err(
-            "energy jobs need a voltage-axis sweep; the synthetic BER axis \
-             has no silicon to meter"
-                .into(),
-        );
+    if spec.kind == JobKind::Energy && (spec.bers.is_some() || spec.clock.is_some()) {
+        return Err("energy jobs need a voltage-axis sweep; the synthetic axes \
+             have no silicon to meter"
+            .into());
     }
     if !spec.budget_percent.is_finite() || !spec.budget_mse.is_finite() {
         return Err("accuracy budgets must be finite numbers".into());
@@ -51,10 +53,11 @@ pub fn build_plan(spec: &JobSpec) -> Result<SweepPlan, String> {
         } else {
             ReusePolicy::SupersetMap
         });
-    builder = match (&spec.voltages, &spec.bers) {
-        (_, Some(r)) => builder.bit_error_rates(r),
-        (Some(v), None) => builder.voltages(v),
-        (None, None) => builder.voltage_grid(0.46, 0.90, 5),
+    builder = match (&spec.voltages, &spec.bers, &spec.clock) {
+        (_, Some(r), _) => builder.bit_error_rates(r),
+        (_, _, Some(c)) => builder.clock_stress(c),
+        (Some(v), None, None) => builder.voltages(v),
+        (None, None, None) => builder.voltage_grid(0.46, 0.90, 5),
     };
     for name in &spec.benchmarks {
         builder = builder.benchmark(name.trim()).map_err(|e| e.to_string())?;

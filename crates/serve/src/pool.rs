@@ -196,6 +196,7 @@ mod tests {
             chips: 1,
             voltages: Some(vec![0.9]),
             bers: None,
+            clock: None,
             benchmarks: vec!["inversek2j".into()],
             modes: vec!["naive".into()],
             data_scale: 0.05,
@@ -222,6 +223,7 @@ mod tests {
             chips: 2,
             voltages: Some(vec![0.9]),
             bers: None,
+            clock: None,
             benchmarks: vec!["inversek2j".into()],
             modes: vec!["naive".into()],
             data_scale: 0.05,

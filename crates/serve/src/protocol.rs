@@ -39,11 +39,15 @@ pub struct JobSpec {
     pub kind: JobKind,
     /// Chip instances to synthesize.
     pub chips: usize,
-    /// SRAM voltage points (mutually exclusive with `bers`).
+    /// SRAM voltage points (mutually exclusive with `bers` and `clock`).
     pub voltages: Option<Vec<f64>>,
-    /// Synthetic bit-error-rate points (mutually exclusive with
-    /// `voltages`; rejected for energy jobs — no silicon, no energy).
+    /// Synthetic bit-error-rate points (mutually exclusive with the
+    /// other axes; rejected for energy jobs — no silicon, no energy).
     pub bers: Option<Vec<f64>>,
+    /// Clock-period stress points in `[0, 1]` for the timing-error fault
+    /// model (mutually exclusive with the other axes; rejected for
+    /// energy jobs).
+    pub clock: Option<Vec<f64>>,
     /// Benchmark names (`"all"` expands to the full Table I suite).
     pub benchmarks: Vec<String>,
     /// Training-mode names (`naive`, `mat`, `mat-canary`).
@@ -231,6 +235,7 @@ mod tests {
             chips: 2,
             voltages: Some(vec![0.9, 0.52]),
             bers: None,
+            clock: None,
             benchmarks: vec!["inversek2j".into()],
             modes: vec!["naive".into(), "mat".into()],
             data_scale: 0.1,

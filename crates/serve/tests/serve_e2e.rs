@@ -84,6 +84,7 @@ fn spec(seed: u64) -> JobSpec {
         chips: 2,
         voltages: Some(vec![0.9, 0.52]),
         bers: None,
+        clock: None,
         benchmarks: vec!["inversek2j".into()],
         modes: vec!["naive".into(), "mat".into(), "mat-canary".into()],
         data_scale: 0.1,
@@ -304,6 +305,7 @@ fn draining_daemon_rejects_new_submissions_then_exits_cleanly() {
         chips: 1,
         voltages: Some(vec![0.52]),
         bers: None,
+        clock: None,
         benchmarks: vec!["inversek2j".into()],
         modes: vec!["mat".into()],
         data_scale: 1.0,

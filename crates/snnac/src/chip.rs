@@ -36,6 +36,19 @@ impl ChipConfig {
         }
     }
 
+    /// The SNNAC rails and clock with an arbitrary weight-memory geometry
+    /// and weight format — the shape a pluggable fault model dictates
+    /// (`FaultModel::geometry` / `FaultModel::weight_format`). With the
+    /// default SNNAC geometry and weight format this is exactly
+    /// [`ChipConfig::snnac`].
+    pub fn with_geometry(array: ArrayConfig, weight_fmt: QFormat) -> Self {
+        ChipConfig {
+            array,
+            weight_fmt,
+            ..Self::snnac()
+        }
+    }
+
     /// Stable 128-bit content fingerprint of the configuration: array
     /// geometry, the `Vmin` distribution the silicon is synthesized from,
     /// weight format and rails. Together with a synthesis seed this

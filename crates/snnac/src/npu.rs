@@ -21,7 +21,7 @@ use crate::afu::Afu;
 use crate::microcode::{MicroOp, Program};
 use matic_core::{FaultedWeights, ParamRef, WeightLayout};
 use matic_fixed::{Accumulator, Fx, QFormat};
-use matic_nn::kernel::fx_matvec;
+use matic_nn::kernel::{fx_matvec, fx_matvec_dropped, MacDropSpec};
 use matic_sram::SramArray;
 use serde::{Deserialize, Serialize};
 
@@ -140,6 +140,28 @@ impl Snnac {
         weights: &FaultedWeights,
         input: &[f64],
     ) -> (Vec<f64>, NpuStats) {
+        self.execute_composed_dropped(program, weights, input, None)
+    }
+
+    /// [`Snnac::execute_composed`] with TE-Drop error injection: MACs
+    /// flagged by `drops` contribute zero to the accumulation (their
+    /// partial product is squashed by the Razor-style error path), while
+    /// cycle and traffic accounting is unchanged — a dropped MAC still
+    /// occupies its issue slot and its weight word is still fetched.
+    /// Bias additions ride the short accumulator path and never drop.
+    ///
+    /// `drops = None` is exactly [`Snnac::execute_composed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Snnac::execute_composed`].
+    pub fn execute_composed_dropped(
+        &self,
+        program: &Program,
+        weights: &FaultedWeights,
+        input: &[f64],
+        drops: Option<&MacDropSpec>,
+    ) -> (Vec<f64>, NpuStats) {
         let mut stats = NpuStats::default();
         // The input FIFO holds the current layer's inputs (activation fmt),
         // mirrored as raw values for the integer kernel.
@@ -197,7 +219,10 @@ impl Snnac {
                     let rows =
                         &tensor.as_raw()[base * tensor.cols()..(base + group) * tensor.cols()];
                     let dots = &mut group_dots[..group];
-                    fx_matvec(rows, &current_raw, dots);
+                    match drops {
+                        None => fx_matvec(rows, &current_raw, dots),
+                        Some(d) => fx_matvec_dropped(rows, &current_raw, dots, d, layer, base),
+                    }
                     for (pe, &dot) in dots.iter().enumerate() {
                         let mut acc = Accumulator::new();
                         acc.add_raw(dot);
@@ -247,6 +272,26 @@ impl Snnac {
         layout: &WeightLayout,
         array: &mut SramArray,
         input: &[f64],
+    ) -> (Vec<f64>, NpuStats) {
+        self.execute_reference_dropped(program, layout, array, input, None)
+    }
+
+    /// [`Snnac::execute_reference`] with TE-Drop error injection: the
+    /// per-MAC oracle for [`Snnac::execute_composed_dropped`]. A dropped
+    /// MAC still fetches its weight word (the read-disturb side effect
+    /// and traffic accounting happen either way) but its product is
+    /// squashed before the accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Snnac::execute_reference`].
+    pub fn execute_reference_dropped(
+        &self,
+        program: &Program,
+        layout: &WeightLayout,
+        array: &mut SramArray,
+        input: &[f64],
+        drops: Option<&MacDropSpec>,
     ) -> (Vec<f64>, NpuStats) {
         assert!(
             layout.banks() == array.bank_count(),
@@ -307,7 +352,9 @@ impl Snnac {
                             });
                             let word = array.read(loc.bank, loc.word);
                             let w = Fx::from_word(word, self.weight_fmt);
-                            acc.mac(w, *x);
+                            if !drops.is_some_and(|d| d.dropped(layer, neuron, col)) {
+                                acc.mac(w, *x);
+                            }
                             stats.sram_reads += 1;
                             stats.macs += 1;
                         }
@@ -435,6 +482,42 @@ mod tests {
         // MACs: 100×32 + 32×10; reads add one bias word per neuron.
         assert_eq!(stats.macs, 100 * 32 + 32 * 10);
         assert_eq!(stats.sram_reads, stats.macs + 32 + 10);
+    }
+
+    #[test]
+    fn dropped_paths_agree_and_none_is_identity() {
+        let spec = NetSpec::classifier(&[9, 14, 3]);
+        let input: Vec<f64> = (0..9).map(|i| i as f64 / 9.0 - 0.4).collect();
+        let data: Vec<Sample> = (0..16)
+            .map(|i| Sample::new(vec![i as f64 / 16.0; 9], vec![0.5; 3]))
+            .collect();
+        let cfg = MatConfig {
+            sgd: SgdConfig {
+                epochs: 3,
+                ..SgdConfig::default()
+            },
+            ..MatConfig::paper()
+        };
+        let model = train_naive(&spec, &data, &cfg, 8, 576);
+        let npu = Snnac::snnac(model.format());
+        let program = Program::compile(&spec, npu.pe_count());
+        let mut arr = array(8, 576, 13);
+        matic_core::upload_weights(&model, &mut arr);
+
+        let drops = MacDropSpec::new(77, 0.3);
+        let weights = FaultedWeights::from_array(model.layout(), model.format(), &mut arr);
+        let (composed, cstats) =
+            npu.execute_composed_dropped(&program, &weights, &input, Some(&drops));
+        let (reference, rstats) =
+            npu.execute_reference_dropped(&program, model.layout(), &mut arr, &input, Some(&drops));
+        assert_eq!(composed, reference, "dropped paths must agree bit-exactly");
+        assert_eq!(cstats, rstats, "a dropped MAC still occupies its slot");
+
+        // With no drop spec the dropped entry points are the plain paths.
+        let (plain, _) = npu.execute_composed(&program, &weights, &input);
+        let (none, _) = npu.execute_composed_dropped(&program, &weights, &input, None);
+        assert_eq!(plain, none);
+        assert_ne!(plain, composed, "a 30 % drop rate must perturb the output");
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! Applying a fault map to a stored word is then
 //! `(word & and_mask) | or_mask` — precisely the "injection masking" step
 //! of Fig. 4.
+//!
+//! Beyond the paper's stuck-at physics, a map can also carry **XOR
+//! masks**: bits that *invert* on every read rather than pinning to a
+//! preferred state. These model the i.i.d. random bit flips of
+//! bit-error-robustness studies (Stutz et al.) and compose after the
+//! stuck-at masks: `((word & and) | or) ^ xor`.
 
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +41,8 @@ pub struct BankFaultMap {
     or_masks: Vec<u32>,
     /// Per-word AND mask (bit *cleared* where stuck at 0).
     and_masks: Vec<u32>,
+    /// Per-word XOR mask (bits inverted on read: random flips).
+    xor_masks: Vec<u32>,
 }
 
 impl BankFaultMap {
@@ -45,6 +53,7 @@ impl BankFaultMap {
             word_bits,
             or_masks: vec![0; words],
             and_masks: vec![full; words],
+            xor_masks: vec![0; words],
         }
     }
 
@@ -65,10 +74,25 @@ impl BankFaultMap {
         }
     }
 
+    /// Marks a bit as a random flip: it inverts on every read instead of
+    /// pinning to a preferred state. Clears any stuck-at record on the
+    /// same bit (a cell is either stuck or flipping, not both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` or `bit` is out of range.
+    pub fn set_flip(&mut self, word: usize, bit: u8) {
+        assert!(bit < self.word_bits, "bit {bit} out of range");
+        let m = 1u32 << bit;
+        self.or_masks[word] &= !m;
+        self.and_masks[word] |= m;
+        self.xor_masks[word] |= m;
+    }
+
     /// Applies the injection masks to a stored word:
-    /// `(word & and) | or` (Fig. 4).
+    /// `((word & and) | or) ^ xor` (Fig. 4, extended with flips).
     pub fn apply(&self, word_addr: usize, word: u32) -> u32 {
-        (word & self.and_masks[word_addr]) | self.or_masks[word_addr]
+        ((word & self.and_masks[word_addr]) | self.or_masks[word_addr]) ^ self.xor_masks[word_addr]
     }
 
     /// OR mask for a word (bits stuck at 1).
@@ -79,6 +103,11 @@ impl BankFaultMap {
     /// AND mask for a word (zero where stuck at 0).
     pub fn and_mask(&self, word_addr: usize) -> u32 {
         self.and_masks[word_addr]
+    }
+
+    /// XOR mask for a word (bits inverted on read).
+    pub fn xor_mask(&self, word_addr: usize) -> u32 {
+        self.xor_masks[word_addr]
     }
 
     /// All per-word OR masks, indexed by word address. Together with
@@ -96,23 +125,37 @@ impl BankFaultMap {
         &self.and_masks
     }
 
+    /// All per-word XOR masks, indexed by word address; see
+    /// [`BankFaultMap::or_masks`].
+    pub fn xor_masks(&self) -> &[u32] {
+        &self.xor_masks
+    }
+
     /// Applies the injection masks to a buffer of stored words in place
-    /// (`words[i] = (words[i] & and[i]) | or[i]`): the bulk counterpart of
-    /// [`BankFaultMap::apply`] for composing a whole bank at once.
+    /// (`words[i] = ((words[i] & and[i]) | or[i]) ^ xor[i]`): the bulk
+    /// counterpart of [`BankFaultMap::apply`] for composing a whole bank
+    /// at once.
     ///
     /// # Panics
     ///
     /// Panics if `words` is longer than the bank.
     pub fn apply_slice(&self, words: &mut [u32]) {
         assert!(words.len() <= self.or_masks.len(), "buffer exceeds bank");
-        for ((w, &and), &or) in words.iter_mut().zip(&self.and_masks).zip(&self.or_masks) {
-            *w = (*w & and) | or;
+        for (((w, &and), &or), &xor) in words
+            .iter_mut()
+            .zip(&self.and_masks)
+            .zip(&self.or_masks)
+            .zip(&self.xor_masks)
+        {
+            *w = ((*w & and) | or) ^ xor;
         }
     }
 
-    /// Mask of faulty bits in a word (either polarity).
+    /// Mask of faulty bits in a word (stuck either polarity, or flipping).
     pub fn fault_bits(&self, word_addr: usize) -> u32 {
-        self.or_masks[word_addr] | (!self.and_masks[word_addr] & word_mask(self.word_bits))
+        self.or_masks[word_addr]
+            | (!self.and_masks[word_addr] & word_mask(self.word_bits))
+            | self.xor_masks[word_addr]
     }
 
     /// Whether a particular bit is recorded faulty.
@@ -142,7 +185,10 @@ impl BankFaultMap {
         self.fault_count() as f64 / (self.words() * self.word_bits as usize) as f64
     }
 
-    /// Iterates over all recorded faults.
+    /// Iterates over the recorded **stuck-at** faults (the profiled
+    /// failures the canary machinery consumes). Random-flip bits are not
+    /// yielded — they have no preferred state to report; count them via
+    /// [`BankFaultMap::fault_bits`] / [`BankFaultMap::fault_count`].
     pub fn iter(&self) -> impl Iterator<Item = (usize, u8, bool)> + '_ {
         (0..self.words()).flat_map(move |w| {
             (0..self.word_bits).filter_map(move |b| {
@@ -159,8 +205,9 @@ impl BankFaultMap {
     }
 
     /// True when `other` contains every fault of `self` with the same
-    /// polarity (the voltage-monotonicity relation: maps profiled at a
-    /// higher voltage are subsets of maps profiled lower).
+    /// behaviour (the voltage-monotonicity relation: maps profiled at a
+    /// higher voltage are subsets of maps profiled lower). Stuck bits
+    /// must match polarity; flip bits must flip in `other` too.
     pub fn is_subset_of(&self, other: &BankFaultMap) -> bool {
         if self.words() != other.words() {
             return false;
@@ -168,6 +215,7 @@ impl BankFaultMap {
         (0..self.words()).all(|w| {
             (self.or_masks[w] & !other.or_masks[w]) == 0
                 && (!self.and_masks[w] & other.and_masks[w] & word_mask(self.word_bits)) == 0
+                && (self.xor_masks[w] & !other.xor_masks[w]) == 0
         })
     }
 }
@@ -276,13 +324,13 @@ impl FaultMap {
     }
 
     /// Stable 128-bit content fingerprint of the map: the profiled
-    /// operating point plus every bank's OR/AND masks. Two maps share a
-    /// fingerprint exactly when they would inject identical faults, which
-    /// is what lets the sweep cache address results by fault content
-    /// rather than by how the map was produced.
+    /// operating point plus every bank's OR/AND/XOR masks. Two maps share
+    /// a fingerprint exactly when they would inject identical faults,
+    /// which is what lets the sweep cache address results by fault
+    /// content rather than by how the map was produced.
     pub fn fingerprint(&self) -> u128 {
         let mut f = crate::fingerprint::Fingerprint::new();
-        f.write_str("matic.fault-map/v1");
+        f.write_str("matic.fault-map/v2");
         f.write_u64(self.voltage.to_bits());
         f.write_u64(self.temp_c.to_bits());
         f.write_u64(self.banks.len() as u64);
@@ -292,6 +340,7 @@ impl FaultMap {
             for w in 0..bank.words() {
                 f.write_u64(bank.or_mask(w) as u64);
                 f.write_u64(bank.and_mask(w) as u64);
+                f.write_u64(bank.xor_mask(w) as u64);
             }
         }
         f.finish()
@@ -431,6 +480,76 @@ mod tests {
             clean,
             other_voltage.fingerprint(),
             "the profiled operating point is content"
+        );
+    }
+
+    #[test]
+    fn flip_inverts_bit_on_apply() {
+        let mut map = BankFaultMap::clean(4, 16);
+        map.set_flip(1, 3);
+        assert_eq!(map.apply(1, 0x0000), 1 << 3);
+        assert_eq!(map.apply(1, 0xFFFF), 0xFFFF ^ (1 << 3));
+        assert_eq!(map.apply(0, 0x0000), 0x0000); // other words untouched
+        assert_eq!(map.xor_mask(1), 1 << 3);
+        // A flip counts as a faulty bit.
+        assert_eq!(map.fault_count(), 1);
+        // But iter() yields stuck-at faults only (canary machinery).
+        assert_eq!(map.iter().count(), 0);
+    }
+
+    #[test]
+    fn set_flip_overrides_prior_stuck_at() {
+        let mut map = BankFaultMap::clean(1, 16);
+        map.set_fault(0, 4, true);
+        map.set_flip(0, 4);
+        assert_eq!(map.apply(0, 0x0000), 1 << 4);
+        assert_eq!(map.apply(0, 0xFFFF) & (1 << 4), 0);
+    }
+
+    #[test]
+    fn flip_subset_relation() {
+        let mut small = BankFaultMap::clean(2, 8);
+        small.set_flip(0, 1);
+        let mut big = small.clone();
+        big.set_flip(1, 5);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        // A flip is not a subset of a stuck-at at the same bit.
+        let mut stuck = BankFaultMap::clean(2, 8);
+        stuck.set_fault(0, 1, true);
+        assert!(!small.is_subset_of(&stuck));
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar_apply_with_flips() {
+        let mut map = BankFaultMap::clean(8, 16);
+        map.set_fault(1, 2, true);
+        map.set_flip(5, 11);
+        map.set_flip(1, 9);
+        let mut words: Vec<u32> = (0..8).map(|i| (i * 0x1357) & 0xFFFF).collect();
+        let expect: Vec<u32> = words
+            .iter()
+            .enumerate()
+            .map(|(w, &v)| map.apply(w, v))
+            .collect();
+        map.apply_slice(&mut words);
+        assert_eq!(words, expect);
+        assert_eq!(map.xor_masks().len(), 8);
+    }
+
+    #[test]
+    fn fingerprint_tracks_flips() {
+        let mut a = FaultMap::clean(0.5, 2, 4, 16);
+        let clean = a.fingerprint();
+        a.bank_mut(0).set_flip(1, 2);
+        let flipped = a.fingerprint();
+        assert_ne!(clean, flipped, "a flip must change the digest");
+        let mut stuck = FaultMap::clean(0.5, 2, 4, 16);
+        stuck.bank_mut(0).set_fault(1, 2, true);
+        assert_ne!(
+            flipped,
+            stuck.fingerprint(),
+            "a flip and a stuck-at at the same bit are distinct content"
         );
     }
 

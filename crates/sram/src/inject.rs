@@ -44,6 +44,35 @@ pub fn bernoulli_fault_map(
     FaultMap::new(0.0, 25.0, maps)
 }
 
+/// Builds a synthetic fault map where each bit-cell independently *flips*
+/// (inverts on read) with probability `ber` — the i.i.d. random bit-error
+/// model of Stutz et al., as opposed to the stuck-at semantics of
+/// [`bernoulli_fault_map`].
+///
+/// Synthetic maps have no profiled operating point; their `voltage` field
+/// is 0.0.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= ber <= 1.0`.
+pub fn random_flip_map(banks: usize, words: usize, word_bits: u8, ber: f64, seed: u64) -> FaultMap {
+    assert!((0.0..=1.0).contains(&ber), "ber {ber} outside [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut maps = Vec::with_capacity(banks);
+    for _ in 0..banks {
+        let mut map = BankFaultMap::clean(words, word_bits);
+        for w in 0..words {
+            for b in 0..word_bits {
+                if rng.gen::<f64>() < ber {
+                    map.set_flip(w, b);
+                }
+            }
+        }
+        maps.push(map);
+    }
+    FaultMap::new(0.0, 25.0, maps)
+}
+
 /// Builds a synthetic fault map with an exact number of faults, placed
 /// uniformly at random without replacement (useful for tight sweeps at
 /// small fault counts where Bernoulli sampling is noisy).
@@ -105,6 +134,27 @@ mod tests {
         let ones = map.records().iter().filter(|r| r.stuck_at_one).count() as f64;
         let frac = ones / map.fault_count() as f64;
         assert!((frac - 0.5).abs() < 0.03, "stuck-at-1 fraction {frac}");
+    }
+
+    #[test]
+    fn flip_map_flips_and_converges() {
+        let map = random_flip_map(4, 1024, 16, 0.10, 3);
+        assert!((map.ber() - 0.10).abs() < 0.01, "ber = {}", map.ber());
+        // Every fault is a flip, not a stuck-at.
+        assert_eq!(map.records().len(), 0, "flips are not stuck-at records");
+        // Applying twice round-trips the word.
+        let bank = &map.banks()[0];
+        let word = 0x5A5A & 0xFFFF;
+        assert_eq!(bank.apply(0, bank.apply(0, word)), word);
+    }
+
+    #[test]
+    fn flip_map_is_deterministic_in_seed() {
+        let a = random_flip_map(1, 256, 16, 0.3, 9);
+        let b = random_flip_map(1, 256, 16, 0.3, 9);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = random_flip_map(1, 256, 16, 0.3, 10);
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

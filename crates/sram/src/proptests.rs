@@ -75,6 +75,33 @@ proptest! {
         }
     }
 
+    /// The i.i.d. random-flip injector produces a flip count within exact
+    /// binomial bounds for every seed: |k - np| <= 6·sqrt(np(1-p)) + 1,
+    /// a ~6-sigma envelope that a correct Bernoulli sampler essentially
+    /// never leaves and a biased one essentially always does.
+    #[test]
+    fn random_flip_count_within_binomial_bounds(
+        ber in 0.001f64..0.5,
+        seed in 0u64..500,
+    ) {
+        let (banks, words, bits) = (2usize, 256usize, 16u8);
+        let map = inject::random_flip_map(banks, words, bits, ber, seed);
+        let n = (banks * words * bits as usize) as f64;
+        let k = map.fault_count() as f64;
+        let sigma = (n * ber * (1.0 - ber)).sqrt();
+        prop_assert!(
+            (k - n * ber).abs() <= 6.0 * sigma + 1.0,
+            "k = {}, np = {}, sigma = {}", k, n * ber, sigma
+        );
+        // Flips only: no stuck-at records, and apply is an involution.
+        prop_assert_eq!(map.records().len(), 0);
+        let bank_map = &map.banks()[0];
+        for addr in 0..words {
+            let once = bank_map.apply(addr, 0xA5C3);
+            prop_assert_eq!(bank_map.apply(addr, once), 0xA5C3);
+        }
+    }
+
     /// Profiling never reports unstable bits under the stable-upset model,
     /// and finds exactly the oracle's fault count.
     #[test]

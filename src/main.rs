@@ -37,6 +37,8 @@ USAGE:
     matic status [OPTIONS]   list the service's jobs and their progress
     matic cancel ID [OPTS]   cancel a running job at the next cell boundary
     matic shutdown [OPTS]    drain the service and stop the daemon
+    matic compare-models [OPTS]  sweep all three fault models at matched
+                             stress and print the naive/MAT/MAT+canary table
     matic cache stats        show persistent sweep-cache contents
     matic cache clear        delete every cached cell result
     matic list               list built-in benchmarks and training modes
@@ -46,9 +48,13 @@ SWEEP OPTIONS (matic sweep; also accepted by matic energy):
     --chips N           chip instances to synthesize        [default: 4]
     --voltages SPEC     SRAM voltages: lo:hi:steps grid or comma list
                         (e.g. 0.46:0.90:5 or 0.53,0.50,0.46) [default: 0.46:0.90:5]
-    --bers SPEC         sweep synthetic bit-error rates instead of voltages
-                        (the Fig. 5 axis; evaluated on the masked float view;
-                        not accepted by matic energy — no silicon, no energy)
+    --bers SPEC         sweep the random-ber fault model instead of voltages:
+                        Stutz-style i.i.d. bit flips over robust Q1.14 weight
+                        words (not accepted by matic energy — no silicon)
+    --clock-stress SPEC sweep the timing-error fault model instead: normalized
+                        clock-period stress in [0,1]; overscaled MACs drop
+                        their partial products (ThUnderVolt-style; not
+                        accepted by matic energy)
     --benchmarks LIST   all | comma list of mnist,facedet,inversek2j,bscholes
                                                             [default: all]
     --modes LIST        comma list of naive,mat,mat-canary  [default: naive,mat]
@@ -86,6 +92,14 @@ CLIENT OPTIONS (matic submit/status/cancel/shutdown):
     Execution knobs (--threads, --cache-dir, --resume, --no-cache, --csv)
     are daemon-side and rejected by submit.
 
+COMPARE OPTIONS (matic compare-models):
+    --voltage V         sram-voltage model stress point     [default: 0.50]
+    --ber X             random-ber model stress point       [default: 0.002]
+    --clock X           timing-error model stress point     [default: 0.60]
+    plus the sweep options above except the axis flags
+    (--voltages/--bers/--clock-stress/--modes are fixed by the comparison);
+    writes matic-compare-models.json unless --out overrides it
+
 ENERGY OPTIONS (matic energy only):
     --report PATH       analyze an existing sweep report instead of
                         sweeping (mutually exclusive with sweep options)
@@ -122,6 +136,7 @@ fn main() -> ExitCode {
         Some("status") => run(run_status_command(&args[1..])),
         Some("cancel") => run(run_cancel_command(&args[1..])),
         Some("shutdown") => run(run_shutdown_command(&args[1..])),
+        Some("compare-models") => run(run_compare_command(&args[1..])),
         Some("cache") => run(run_cache_command(&args[1..])),
         Some("list") => {
             list();
@@ -161,6 +176,7 @@ struct SweepArgs {
     chips: usize,
     voltages: Option<Vec<f64>>,
     bers: Option<Vec<f64>>,
+    clock: Option<Vec<f64>>,
     benchmarks: String,
     modes: Vec<TrainingMode>,
     scale: f64,
@@ -185,6 +201,7 @@ impl Default for SweepArgs {
             chips: 4,
             voltages: None,
             bers: None,
+            clock: None,
             benchmarks: "all".to_string(),
             modes: vec![TrainingMode::Naive, TrainingMode::Mat],
             scale: 0.5,
@@ -226,6 +243,7 @@ impl SweepArgs {
             "--chips"
                 | "--voltages"
                 | "--bers"
+                | "--clock-stress"
                 | "--benchmarks"
                 | "--modes"
                 | "--scale"
@@ -241,6 +259,7 @@ impl SweepArgs {
             "--chips" => self.chips = parse(&value("--chips")?, "--chips")?,
             "--voltages" => self.voltages = Some(parse_grid(&value("--voltages")?)?),
             "--bers" => self.bers = Some(parse_grid(&value("--bers")?)?),
+            "--clock-stress" => self.clock = Some(parse_grid(&value("--clock-stress")?)?),
             "--benchmarks" => self.benchmarks = value("--benchmarks")?,
             "--modes" => {
                 self.modes = value("--modes")?
@@ -269,8 +288,12 @@ impl SweepArgs {
     }
 
     fn build_plan(&self) -> Result<SweepPlan, String> {
-        if self.voltages.is_some() && self.bers.is_some() {
-            return Err("--voltages and --bers are mutually exclusive".into());
+        let axes = [&self.voltages, &self.bers, &self.clock]
+            .iter()
+            .filter(|a| a.is_some())
+            .count();
+        if axes > 1 {
+            return Err("--voltages, --bers and --clock-stress are mutually exclusive".into());
         }
         let mut builder = SweepPlan::builder()
             .chips(self.chips)
@@ -279,10 +302,11 @@ impl SweepArgs {
             .seed(self.seed)
             .modes(&self.modes)
             .reuse(self.reuse);
-        builder = match (&self.voltages, &self.bers) {
-            (_, Some(r)) => builder.bit_error_rates(r),
-            (Some(v), None) => builder.voltages(v),
-            (None, None) => builder.voltage_grid(0.46, 0.90, 5),
+        builder = match (&self.voltages, &self.bers, &self.clock) {
+            (_, Some(r), _) => builder.bit_error_rates(r),
+            (_, _, Some(c)) => builder.clock_stress(c),
+            (Some(v), None, None) => builder.voltages(v),
+            (None, None, None) => builder.voltage_grid(0.46, 0.90, 5),
         };
         for name in self.benchmarks.split(',') {
             builder = builder.benchmark(name.trim()).map_err(|e| e.to_string())?;
@@ -403,10 +427,10 @@ fn run_energy_command(args: &[String]) -> Result<(), String> {
     if !budget.percent.is_finite() || !budget.mse.is_finite() {
         return Err("accuracy budgets must be finite numbers".into());
     }
-    if sweep.bers.is_some() {
+    if sweep.bers.is_some() || sweep.clock.is_some() {
         return Err(
-            "matic energy needs a voltage-axis sweep; the synthetic BER axis \
-             has no silicon to meter (drop --bers)"
+            "matic energy needs a voltage-axis sweep; the synthetic fault axes \
+             have no silicon to meter (drop --bers/--clock-stress)"
                 .into(),
         );
     }
@@ -457,6 +481,184 @@ fn run_energy_command(args: &[String]) -> Result<(), String> {
         ),
     );
     Ok(())
+}
+
+/// `matic compare-models`: run all three fault models at a matched
+/// stress point each and print naive/MAT/MAT+canary side by side —
+/// canaries only apply to the voltage-scaled storage model, so the
+/// synthetic models show an em dash there.
+fn run_compare_command(args: &[String]) -> Result<(), String> {
+    let mut sweep = SweepArgs::default();
+    let (mut voltage, mut ber, mut clock) = (0.50f64, 0.002f64, 0.60f64);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--voltage" => voltage = parse(&value("--voltage")?, "--voltage")?,
+            "--ber" => ber = parse(&value("--ber")?, "--ber")?,
+            "--clock" => clock = parse(&value("--clock")?, "--clock")?,
+            "--voltages" | "--bers" | "--clock-stress" | "--modes" => {
+                return Err(format!(
+                    "compare-models fixes its own axes and modes; use \
+                     --voltage/--ber/--clock for the per-model stress points \
+                     (not {arg})"
+                ));
+            }
+            other => {
+                if !sweep.try_parse(other, &mut it)? {
+                    return Err(format!("unknown option `{other}` (see `matic help`)"));
+                }
+            }
+        }
+    }
+    let cache_path = sweep.cache_path();
+    let cache = cache_path
+        .as_ref()
+        .map(|dir| SweepCache::open(dir).map_err(|e| format!("opening sweep cache {dir}: {e}")))
+        .transpose()?;
+
+    let build = |axis: &str| -> Result<SweepPlan, String> {
+        let mut builder = SweepPlan::builder()
+            .chips(sweep.chips)
+            .data_scale(sweep.scale)
+            .epoch_scale(sweep.epochs)
+            .seed(sweep.seed)
+            .reuse(sweep.reuse);
+        builder = match axis {
+            "voltage" => builder.voltages(&[voltage]).modes(&[
+                TrainingMode::Naive,
+                TrainingMode::Mat,
+                TrainingMode::MatCanary,
+            ]),
+            "ber" => builder
+                .bit_error_rates(&[ber])
+                .modes(&[TrainingMode::Naive, TrainingMode::Mat]),
+            "clock" => builder
+                .clock_stress(&[clock])
+                .modes(&[TrainingMode::Naive, TrainingMode::Mat]),
+            _ => unreachable!("three fixed axes"),
+        };
+        for name in sweep.benchmarks.split(',') {
+            builder = builder.benchmark(name.trim()).map_err(|e| e.to_string())?;
+        }
+        if let Some(n) = sweep.threads {
+            builder = builder.threads(n);
+        }
+        builder.build().map_err(|e| e.to_string())
+    };
+
+    let mut runs: Vec<(f64, SweepReport)> = Vec::new();
+    for axis in ["voltage", "ber", "clock"] {
+        let plan = build(axis)?;
+        narrate(
+            sweep.quiet,
+            format_args!(
+                "compare: {} at {} {} ({} cells), plan {}",
+                plan.model.name(),
+                plan.axis.points()[0],
+                plan.axis.kind(),
+                plan.cell_count(),
+                plan.fingerprint(),
+            ),
+        );
+        let stress = plan.axis.points()[0];
+        let run = matic_harness::run_sweep_with_cache(&plan, cache.as_ref());
+        runs.push((stress, run.report));
+    }
+
+    if !sweep.quiet {
+        print_compare_table(&runs);
+    }
+    let out = sweep
+        .out
+        .clone()
+        .unwrap_or_else(|| "matic-compare-models.json".to_string());
+    let doc = compare_models_json(&runs);
+    matic_harness::write_atomic(
+        Path::new(&out),
+        &serde_json::to_string_pretty(&doc).map_err(|e| format!("serializing report: {e}"))?,
+    )
+    .map_err(|e| format!("writing {out}: {e}"))?;
+    narrate(
+        sweep.quiet,
+        format_args!("compare: 3 fault models -> {out}"),
+    );
+    Ok(())
+}
+
+/// One comparison row per (model, benchmark): the three training modes'
+/// mean errors at the model's stress point.
+fn print_compare_table(runs: &[(f64, SweepReport)]) {
+    println!(
+        "{:>12} | {:>11} | {:>8} | {:>11} | {:>11} | {:>11}",
+        "fault model", "benchmark", "stress", "naive err", "mat err", "mat-canary"
+    );
+    println!("{:-<78}", "");
+    for (stress, report) in runs {
+        for scenario in &report.plan.scenarios {
+            let err = |mode: &str| {
+                report
+                    .points
+                    .iter()
+                    .find(|p| p.mode == mode && &p.scenario == scenario)
+                    .map(|p| format!("{:.4}", p.error.mean))
+                    .unwrap_or_else(|| "—".into())
+            };
+            println!(
+                "{:>12} | {:>11} | {:>8.3} | {:>11} | {:>11} | {:>11}",
+                report.plan.fault_model,
+                scenario,
+                stress,
+                err("naive"),
+                err("mat"),
+                err("mat-canary"),
+            );
+        }
+    }
+}
+
+/// The machine-readable comparison: per model, the stress point and the
+/// per-benchmark/mode point summaries.
+fn compare_models_json(runs: &[(f64, SweepReport)]) -> serde_json::Value {
+    use serde_json::Value;
+    let models: Vec<Value> = runs
+        .iter()
+        .map(|(stress, report)| {
+            let points: Vec<Value> = report
+                .points
+                .iter()
+                .map(|p| {
+                    Value::Map(vec![
+                        ("scenario".into(), Value::Str(p.scenario.clone())),
+                        ("mode".into(), Value::Str(p.mode.clone())),
+                        ("error_mean".into(), Value::F64(p.error.mean)),
+                        ("error_std".into(), Value::F64(p.error.std_dev)),
+                        ("fail_rate".into(), Value::F64(p.fail_rate)),
+                    ])
+                })
+                .collect();
+            Value::Map(vec![
+                ("model".into(), Value::Str(report.plan.fault_model.clone())),
+                (
+                    "stress_kind".into(),
+                    Value::Str(report.plan.stress_kind.clone()),
+                ),
+                ("stress".into(), Value::F64(*stress)),
+                ("points".into(), Value::Seq(points)),
+            ])
+        })
+        .collect();
+    serde_json::Value::Map(vec![
+        (
+            "schema".into(),
+            serde_json::Value::Str("matic.compare-models/v1".into()),
+        ),
+        ("models".into(), serde_json::Value::Seq(models)),
+    ])
 }
 
 /// Cache-path resolution shared by `serve` (same precedence as the
@@ -555,6 +757,7 @@ fn run_submit_command(args: &[String]) -> Result<(), String> {
         chips: sweep.chips,
         voltages: sweep.voltages.clone(),
         bers: sweep.bers.clone(),
+        clock: sweep.clock.clone(),
         benchmarks: sweep
             .benchmarks
             .split(',')
@@ -1034,6 +1237,51 @@ mod tests {
             .collect();
         let err = run_energy_command(&args).unwrap_err();
         assert!(err.contains("voltage-axis"), "{err}");
+    }
+
+    #[test]
+    fn energy_rejects_the_clock_axis() {
+        let args: Vec<String> = ["--clock-stress", "0.4,0.8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run_energy_command(&args).unwrap_err();
+        assert!(err.contains("voltage-axis"), "{err}");
+    }
+
+    #[test]
+    fn stress_axes_are_mutually_exclusive() {
+        for pair in [
+            ["--voltages", "0.9", "--bers", "0.01"],
+            ["--voltages", "0.9", "--clock-stress", "0.5"],
+            ["--bers", "0.01", "--clock-stress", "0.5"],
+        ] {
+            let args: Vec<String> = pair.iter().map(|s| s.to_string()).collect();
+            let mut sweep = SweepArgs::default();
+            let mut it = args.iter();
+            while let Some(arg) = it.next() {
+                assert!(sweep.try_parse(arg, &mut it).unwrap());
+            }
+            let err = sweep.build_plan().unwrap_err();
+            assert!(err.contains("mutually exclusive"), "{pair:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn compare_models_owns_its_axes_and_modes() {
+        for flag in [
+            ["--voltages", "0.9"],
+            ["--bers", "0.01"],
+            ["--clock-stress", "0.5"],
+            ["--modes", "naive"],
+        ] {
+            let args: Vec<String> = flag.iter().map(|s| s.to_string()).collect();
+            let err = run_compare_command(&args).unwrap_err();
+            assert!(
+                err.contains("compare-models fixes its own axes"),
+                "{flag:?}: {err}"
+            );
+        }
     }
 
     #[test]
