@@ -19,7 +19,8 @@ use matic_core::{
 };
 use matic_datasets::Benchmark;
 use matic_fixed::{Accumulator, Fx, QFormat};
-use matic_nn::kernel::fx_dot;
+use matic_harness::eval_composed_set;
+use matic_nn::kernel::{fx_dot, fx_dot_with, KernelTier};
 use matic_nn::{MomentumState, Sample, SgdConfig};
 use matic_snnac::microcode::Program;
 use matic_snnac::{Chip, ChipConfig, Snnac};
@@ -42,10 +43,22 @@ fn bench_mac(c: &mut Criterion) {
             black_box(acc.raw())
         })
     });
-    // The blocked/unrolled kernel over the same operands (identical sum).
+    // The blocked/unrolled scalar-tier kernel over the same operands
+    // (identical sum).
     let ws_raw: Vec<i32> = ws.iter().map(|w| w.raw()).collect();
     let xs_raw: Vec<i32> = xs.iter().map(|x| x.raw()).collect();
     c.bench_function("fx_dot_1024_unrolled", |b| {
+        b.iter(|| {
+            black_box(fx_dot_with(
+                KernelTier::Scalar,
+                black_box(&ws_raw),
+                black_box(&xs_raw),
+            ))
+        })
+    });
+    // The auto-dispatched lane-packed tier (AVX2 where available, still
+    // the exact same i64 sum).
+    c.bench_function("fx_dot_1024_lanes", |b| {
         b.iter(|| black_box(fx_dot(black_box(&ws_raw), black_box(&xs_raw))))
     });
 }
@@ -74,9 +87,15 @@ fn bench_profiling(c: &mut Criterion) {
     });
 }
 
+/// Sample lanes per batched-inference dispatch. The JSON baseline entry
+/// for the batched benchmark is normalized to **per-sample** time by
+/// dividing by this constant, so it is directly comparable to the
+/// single-sample entries.
+const INFERENCE_BATCH: usize = 32;
+
 /// A trained MNIST-topology model on an overscaled chip: the shared
 /// fixture for the inference-path benchmarks.
-fn inference_fixture() -> (TrainedModel, Chip, Snnac, Program, Vec<f64>) {
+fn inference_fixture() -> (TrainedModel, Chip, Snnac, Program, Vec<Sample>) {
     let bench = Benchmark::Mnist;
     let split = bench.generate_scaled(1, 0.05);
     let cfg = MatConfig {
@@ -92,12 +111,12 @@ fn inference_fixture() -> (TrainedModel, Chip, Snnac, Program, Vec<f64>) {
     chip.set_sram_voltage(0.50);
     let npu = Snnac::snnac(model.format());
     let program = Program::compile(model.master().spec(), npu.pe_count());
-    let input = split.test[0].input.clone();
-    (model, chip, npu, program, input)
+    (model, chip, npu, program, split.test)
 }
 
 fn bench_inference(c: &mut Criterion) {
-    let (model, mut chip, npu, program, input) = inference_fixture();
+    let (model, mut chip, npu, program, test) = inference_fixture();
+    let input = test[0].input.clone();
 
     // The legacy oracle: locate + fetch + decode inside the MAC loop.
     c.bench_function("npu_inference_mnist_per_mac", |b| {
@@ -126,6 +145,34 @@ fn bench_inference(c: &mut Criterion) {
     let weights = FaultedWeights::from_array(model.layout(), model.format(), chip.array_mut());
     c.bench_function("npu_inference_mnist_composed", |b| {
         b.iter(|| black_box(npu.execute_composed(&program, &weights, black_box(&input))))
+    });
+
+    // Batched inference: one dispatch carries INFERENCE_BATCH sample
+    // lanes through the microcode. Timed per dispatch here; the JSON
+    // baseline divides by the batch size to report per-sample time.
+    let batch_inputs: Vec<&[f64]> = test
+        .iter()
+        .cycle()
+        .take(INFERENCE_BATCH)
+        .map(|s| s.input.as_slice())
+        .collect();
+    c.bench_function("npu_inference_mnist_batched", |b| {
+        b.iter(|| black_box(npu.execute_batch(&program, &weights, black_box(&batch_inputs))))
+    });
+
+    // A whole cell evaluation through the harness: compose-once batched
+    // eval of the full test split with the chunked parallel reduction.
+    c.bench_function("cell_eval_parallel", |b| {
+        b.iter(|| {
+            black_box(eval_composed_set(
+                &npu,
+                &program,
+                &weights,
+                None,
+                true,
+                black_box(&test),
+            ))
+        })
     });
 }
 
@@ -216,12 +263,22 @@ fn main() {
         benches: c
             .results()
             .iter()
-            .map(|r| Entry {
-                name: r.name.clone(),
-                median_ns: r.median_ns as u64,
-                min_ns: r.min_ns as u64,
-                max_ns: r.max_ns as u64,
-                samples: r.samples as u64,
+            .map(|r| {
+                // The batched benchmark times a whole dispatch; emit it
+                // per sample so it is comparable to the single-sample
+                // inference entries.
+                let div = if r.name == "npu_inference_mnist_batched" {
+                    INFERENCE_BATCH as u128
+                } else {
+                    1
+                };
+                Entry {
+                    name: r.name.clone(),
+                    median_ns: (r.median_ns / div) as u64,
+                    min_ns: (r.min_ns / div) as u64,
+                    max_ns: (r.max_ns / div) as u64,
+                    samples: r.samples as u64,
+                }
             })
             .collect(),
     };

@@ -90,6 +90,31 @@ impl Accumulator {
     }
 }
 
+/// Narrows a lane of raw accumulated sums into `out_fmt`, appending the
+/// raw codes to `out`.
+///
+/// Bit-identical to loading each sum into an [`Accumulator`] via
+/// [`Accumulator::add_raw`] and calling [`Accumulator::narrow_from`],
+/// with the shift distance and saturation bounds hoisted out of the
+/// loop. Batched inference narrows whole PE sample lanes through this
+/// between the MAC kernel and the AFU.
+pub fn narrow_lane(sums: &[i64], w_fmt: QFormat, x_frac: u8, out_fmt: QFormat, out: &mut Vec<i32>) {
+    let total_frac = w_fmt.frac_bits() as i32 + x_frac as i32;
+    let shift = total_frac - out_fmt.frac_bits() as i32;
+    out.reserve(sums.len());
+    if shift >= 0 {
+        let s = shift as u32;
+        for &sum in sums {
+            out.push(out_fmt.saturate_raw(round_shift(sum, s)));
+        }
+    } else {
+        let s = (-shift) as u32;
+        for &sum in sums {
+            out.push(out_fmt.saturate_raw(sum << s));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +177,28 @@ mod tests {
         acc.mac(Fx::from_f64(0.5, wq), Fx::from_f64(0.25, xq));
         let out = acc.narrow_from(wq, xq.frac_bits(), xq);
         assert_eq!(out.to_f64(), 0.125);
+    }
+
+    #[test]
+    fn narrow_lane_matches_per_value_narrow_from() {
+        let wq = QFormat::new(16, 12).unwrap();
+        let out_fmts = [
+            QFormat::new(16, 14).unwrap(), // positive shift (downscale)
+            QFormat::new(32, 30).unwrap(), // negative shift (upscale)
+        ];
+        let sums: Vec<i64> = (-300..300)
+            .map(|i| i as i64 * 104_729 - 17)
+            .chain([i64::from(i32::MAX) << 4, i64::from(i32::MIN) << 4])
+            .collect();
+        for out_fmt in out_fmts {
+            let mut lane = Vec::new();
+            narrow_lane(&sums, wq, 14, out_fmt, &mut lane);
+            for (&sum, &got) in sums.iter().zip(&lane) {
+                let mut acc = Accumulator::new();
+                acc.add_raw(sum);
+                assert_eq!(got, acc.narrow_from(wq, 14, out_fmt).raw(), "sum={sum}");
+            }
+        }
     }
 
     #[test]

@@ -40,9 +40,11 @@ mod quant;
 mod scalar;
 mod tensor;
 
-pub use acc::Accumulator;
+pub use acc::{narrow_lane, Accumulator};
 pub use format::{FormatError, QFormat};
-pub use quant::{dequantize, quantize, quantize_with_residual, round_half_away, Quantized};
+pub use quant::{
+    dequantize, quantize, quantize_lane, quantize_with_residual, round_half_away, Quantized,
+};
 pub use scalar::Fx;
 pub use tensor::FxTensor;
 

@@ -90,6 +90,43 @@ pub fn dequantize(raw: i32, fmt: QFormat) -> f64 {
     raw as f64 * fmt.inv_scale()
 }
 
+/// Quantizes a lane of real values into `fmt`, appending the raw codes
+/// to `out`.
+///
+/// **Bit-identical to calling [`quantize`] per element** for every input
+/// — including NaNs, infinities, signed zeros, ties and values past the
+/// integer-precision limit — but written with branch-free selects so the
+/// compiler can vectorize it. Batched inference quantizes whole input
+/// batches through this on its way into the sample-lane layout, where
+/// the per-element branchy rounding would otherwise dominate the
+/// dispatch.
+pub fn quantize_lane(xs: &[f64], fmt: QFormat, out: &mut Vec<i32>) {
+    const MAGIC: f64 = 4_503_599_627_370_496.0; // 2^52
+    let scale = fmt.scale();
+    let (max_f, min_f) = (fmt.raw_max() as f64, fmt.raw_min() as f64);
+    let start = out.len();
+    out.resize(start + xs.len(), 0);
+    for (q, &x) in out[start..].iter_mut().zip(xs) {
+        let scaled = x * scale;
+        // round_half_away(scaled), with every branch a select. `t` is
+        // always non-negative, so `copysign` equals the sign branch.
+        let a = scaled.abs();
+        let t = (a + MAGIC) - MAGIC;
+        let t = if a - t == 0.5 { t + 1.0 } else { t };
+        // |scaled| >= 2^52 (already integral), infinite, or NaN: keep
+        // as is.
+        let rounded = if a < MAGIC {
+            t.copysign(scaled)
+        } else {
+            scaled
+        };
+        // Saturate exactly as `quantize` does. `rounded` is integral or
+        // a boundary after the clamp, so the truncating cast is exact;
+        // NaN clamps to NaN and casts to 0, matching scalar.
+        *q = rounded.clamp(min_f, max_f) as i32;
+    }
+}
+
 /// Quantizes `x` and also returns the residual εq = `x − value(Q(x))`.
 ///
 /// When `x` is inside the representable range, `|residual| ≤ lsb/2`; when it
@@ -121,6 +158,49 @@ mod tests {
 
     fn q8_4() -> QFormat {
         QFormat::new(8, 4).unwrap()
+    }
+
+    #[test]
+    fn quantize_lane_matches_scalar_on_adversarial_values() {
+        let fmts = [
+            q8_4(),
+            QFormat::new(16, 14).unwrap(),
+            QFormat::new(32, 16).unwrap(),
+        ];
+        // Edge cases plus a dense pseudo-random sweep, covering ties,
+        // signed zeros, saturation, NaN/inf and the 2^52 integral limit.
+        let mut xs = vec![
+            0.0,
+            -0.0,
+            0.5,
+            -0.5,
+            1.0 / 32.0,
+            -3.0 / 32.0,
+            7.96875,
+            -8.0,
+            1e30,
+            -1e30,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            4_503_599_627_370_496.0,
+            -4_503_599_627_370_497.0,
+            f64::MIN_POSITIVE,
+        ];
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let unit = (state >> 11) as f64 / (1u64 << 53) as f64;
+            xs.push((unit - 0.5) * 40.0);
+            xs.push((unit - 0.5) / 1024.0); // tie-dense region
+        }
+        for fmt in fmts {
+            let mut lane = Vec::new();
+            quantize_lane(&xs, fmt, &mut lane);
+            for (&x, &got) in xs.iter().zip(&lane) {
+                assert_eq!(got, quantize(x, fmt), "x={x:?} fmt={fmt}");
+            }
+        }
     }
 
     #[test]

@@ -2,14 +2,20 @@
 //!
 //! # Parallel decomposition
 //!
-//! The unit of parallel work is one **(scenario, chip)** pair: everything
-//! inside a unit (profiling, the naive baseline, per-point adaptive
-//! training, NPU evaluation) runs sequentially so that the chip's
-//! stateful SRAM mechanics stay deterministic, while units — which share
-//! nothing — are distributed over a work queue that idle workers pull
-//! from ([`rayon`]'s dynamic scheduling). MAT training times vary wildly
-//! with fault density, which is exactly the load shape that queue
-//! balancing handles well.
+//! The unit of parallel work is one **(scenario, chip)** pair: the
+//! chip-stateful stages of a unit (profiling, the naive baseline,
+//! per-point adaptive training) run sequentially so that the SRAM
+//! mechanics stay deterministic, while units — which share nothing — are
+//! distributed over a work queue that idle workers pull from
+//! ([`rayon`]'s dynamic scheduling). MAT training times vary wildly with
+//! fault density, which is exactly the load shape that queue balancing
+//! handles well. Inside a unit, each cell's NPU evaluation additionally
+//! splits its test set into fixed-size chunks across the pool
+//! ([`eval_composed_set`]) — sound because the composed weight artifact
+//! is immutable during evaluation, and byte-stable because the
+//! per-sample contributions are reassembled and folded in sample order
+//! (see that function's determinism notes). Small grids therefore no
+//! longer leave cores idle.
 //!
 //! # Determinism
 //!
@@ -58,7 +64,7 @@ use crate::plan::{ReusePolicy, StressAxis, SweepPlan, TrainingMode};
 use crate::report::{CellEnergy, CellRecord, PlanSummary, SweepReport, REPORT_SCHEMA};
 use crate::scenario::Scenario;
 use crate::sched::{
-    CancelledSweep, CellOrigin, ExecContext, Resolution, SweepOutcome, UnitOutcome,
+    par_chunked, CancelledSweep, CellOrigin, ExecContext, Resolution, SweepOutcome, UnitOutcome,
 };
 use matic_core::{
     drop_surrogate_map, upload_weights, CellFaults, DeploymentFlow, FaultContext, FaultedWeights,
@@ -73,6 +79,8 @@ use matic_snnac::{Chip, ChipConfig, Snnac};
 use matic_sram::{ArrayConfig, FaultMap, SramArray};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// The outcome of one sweep run: the deterministic report plus the
 /// run's cache provenance. The provenance lives here — not inside the
@@ -246,31 +254,109 @@ pub fn eval_on_chip(
     let program = Program::compile(model.master().spec(), npu.pe_count());
     let weights =
         matic_core::FaultedWeights::from_array(model.layout(), model.format(), chip.array_mut());
-    let mut first_stats: Option<NpuStats> = None;
-    let mut wrong = 0usize;
-    let mut sq_err = 0.0f64;
-    for s in test {
-        let (out, stats) = npu.execute_composed(&program, &weights, &s.input);
-        first_stats.get_or_insert(stats);
-        if is_classification {
-            if !classified_correctly(&out, &s.target) {
-                wrong += 1;
-            }
-        } else {
-            sq_err += out
-                .iter()
-                .zip(&s.target)
-                .map(|(y, t)| (y - t) * (y - t))
-                .sum::<f64>()
-                / out.len() as f64;
-        }
+    eval_composed_set(&npu, &program, &weights, None, is_classification, test)
+}
+
+/// Process-wide override of the eval chunk size (`None` restores the
+/// default resolution: the `MATIC_EVAL_CHUNK` environment variable, then
+/// 32). Exists for differential tests; like the kernel-tier override,
+/// flipping it can never change results — only how the identical
+/// per-sample contributions are grouped into batched NPU calls.
+pub fn set_eval_chunk(chunk: Option<usize>) {
+    // 0 encodes "no override"; an explicit Some(0) is clamped to 1.
+    let encoded = match chunk {
+        Some(c) => c.max(1),
+        None => 0,
+    };
+    EVAL_CHUNK_OVERRIDE.store(encoded, Ordering::Relaxed);
+}
+
+/// `0` means "no override active".
+static EVAL_CHUNK_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Samples per batched NPU call (and per parallel work item) inside one
+/// cell's evaluation: the [`set_eval_chunk`] override if active, else
+/// `MATIC_EVAL_CHUNK`, else 32 — large enough to amortize each weight-row
+/// traversal across the lanes, small enough to split a few-hundred-sample
+/// eval set across workers.
+fn eval_chunk() -> usize {
+    let v = EVAL_CHUNK_OVERRIDE.load(Ordering::Relaxed);
+    if v > 0 {
+        return v;
+    }
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        std::env::var("MATIC_EVAL_CHUNK").ok().map(|v| {
+            v.parse::<usize>()
+                .unwrap_or_else(|_| {
+                    panic!("MATIC_EVAL_CHUNK must be a positive integer, got {v:?}")
+                })
+                .max(1)
+        })
+    })
+    .unwrap_or(32)
+}
+
+/// Evaluates a composed weight set over the whole test set through the
+/// NPU's batched kernel, with the eval set split into fixed-size chunks
+/// (see [`set_eval_chunk`]) across the worker pool. Returns the
+/// Table I metric and the per-inference cycle counters (identical for
+/// every sample — the NPU schedule is data-independent).
+///
+/// # Determinism
+///
+/// The result is bit-identical to the sequential per-sample
+/// `execute_composed_dropped` loop it replaces, and invariant across
+/// worker counts, chunk sizes and kernel tiers, because every stage
+/// either computes exact per-sample values or folds them in a fixed
+/// order:
+///
+/// 1. each sample's NPU output is bit-identical in every batching (exact
+///    integer MACs, per-sample lanes);
+/// 2. each sample's contribution — a 0/1 miss indicator or its MSE term —
+///    depends on that sample alone;
+/// 3. [`par_chunked`] reassembles the contributions in sample order
+///    regardless of which worker computed which chunk;
+/// 4. the final fold is strictly sequential over that order, one f64
+///    accumulator, exactly like the old loop.
+pub fn eval_composed_set(
+    npu: &Snnac,
+    program: &Program,
+    weights: &FaultedWeights,
+    drops: Option<&MacDropSpec>,
+    is_classification: bool,
+    test: &[Sample],
+) -> (f64, NpuStats) {
+    let per_sample: Vec<(f64, NpuStats)> = par_chunked(test, eval_chunk(), |samples| {
+        let inputs: Vec<&[f64]> = samples.iter().map(|s| s.input.as_slice()).collect();
+        let (outs, stats) = npu.execute_batch_dropped(program, weights, &inputs, drops);
+        outs.iter()
+            .zip(samples)
+            .map(|(out, s)| {
+                let contribution = if is_classification {
+                    f64::from(!classified_correctly(out, &s.target) as u8)
+                } else {
+                    out.iter()
+                        .zip(&s.target)
+                        .map(|(y, t)| (y - t) * (y - t))
+                        .sum::<f64>()
+                        / out.len() as f64
+                };
+                (contribution, stats)
+            })
+            .collect()
+    });
+    let stats = per_sample.first().map(|&(_, s)| s).unwrap_or_default();
+    let mut sum = 0.0f64;
+    for &(c, _) in &per_sample {
+        sum += c;
     }
     let metric = if is_classification {
-        100.0 * wrong as f64 / test.len().max(1) as f64
+        100.0 * sum / test.len().max(1) as f64
     } else {
-        sq_err / test.len().max(1) as f64
+        sum / test.len().max(1) as f64
     };
-    (metric, first_stats.unwrap_or_default())
+    (metric, stats)
 }
 
 fn classified_correctly(out: &[f64], target: &[f64]) -> bool {
@@ -650,30 +736,20 @@ fn run_canary_cell(
     };
     let mut net = chip.deploy(&flow, spec, &split.train);
     let settled = chip.poll_canaries(&mut net);
-    let mut wrong = 0usize;
-    let mut sq_err = 0.0f64;
-    let mut first_npu: Option<NpuStats> = None;
-    for s in &split.test {
-        let (out, stats) = chip.infer(&net, &s.input);
-        first_npu.get_or_insert(stats.npu);
-        if is_class {
-            if !classified_correctly(&out, &s.target) {
-                wrong += 1;
-            }
-        } else {
-            sq_err += out
-                .iter()
-                .zip(&s.target)
-                .map(|(y, t)| (y - t) * (y - t))
-                .sum::<f64>()
-                / out.len() as f64;
-        }
-    }
-    let error = if is_class {
-        100.0 * wrong as f64 / split.test.len().max(1) as f64
-    } else {
-        sq_err / split.test.len().max(1) as f64
-    };
+    // Compose the post-disturb contents once at the settled rail and run
+    // the whole eval set through the batched kernel. Bit-identical to
+    // the per-sample `chip.infer` loop it replaces: read-disturb flips
+    // are idempotent, so every later per-sample composition would read
+    // back the same words the first one settled.
+    let weights = chip.compose(&net);
+    let (error, first_npu) = eval_composed_set(
+        net.npu(),
+        net.program(),
+        &weights,
+        None,
+        is_class,
+        &split.test,
+    );
     let map = net.deployment().fault_map().clone();
     let mut cell = base_cell(
         plan,
@@ -685,7 +761,7 @@ fn run_canary_cell(
         nominal,
         &map,
     )
-    .with_energy(cell_energy(chip, first_npu.unwrap_or_default()));
+    .with_energy(cell_energy(chip, first_npu));
     cell.settled_voltage = Some(settled);
     cell
 }
@@ -720,28 +796,7 @@ fn eval_injected(
     let npu = Snnac::snnac(model.format());
     let program = Program::compile(model.master().spec(), npu.pe_count());
     let drops = faults.drops.as_ref();
-    let mut wrong = 0usize;
-    let mut sq_err = 0.0f64;
-    for s in test {
-        let (out, _) = npu.execute_composed_dropped(&program, &weights, &s.input, drops);
-        if is_classification {
-            if !classified_correctly(&out, &s.target) {
-                wrong += 1;
-            }
-        } else {
-            sq_err += out
-                .iter()
-                .zip(&s.target)
-                .map(|(y, t)| (y - t) * (y - t))
-                .sum::<f64>()
-                / out.len() as f64;
-        }
-    }
-    if is_classification {
-        100.0 * wrong as f64 / test.len().max(1) as f64
-    } else {
-        sq_err / test.len().max(1) as f64
-    }
+    eval_composed_set(&npu, &program, &weights, drops, is_classification, test).0
 }
 
 /// How many of the layout's weight parameters a drop spec kills, as

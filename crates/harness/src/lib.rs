@@ -82,8 +82,8 @@ pub use cache::{
     write_atomic, CacheStats, CacheUsage, CellCoords, CellKey, SweepCache, UnitKeyPrefix,
 };
 pub use engine::{
-    assemble_sweep, eval_on_chip, run_sweep, run_sweep_observed, run_sweep_with_cache,
-    run_unit_observed, sweep_splits, sweep_units, SweepRun,
+    assemble_sweep, eval_composed_set, eval_on_chip, run_sweep, run_sweep_observed,
+    run_sweep_with_cache, run_unit_observed, set_eval_chunk, sweep_splits, sweep_units, SweepRun,
 };
 pub use pareto::{
     energy_report, AccuracyBudget, BenchmarkEnergy, EnergyReport, EnergyReportError,
@@ -97,6 +97,9 @@ pub use report::{
 };
 pub use scenario::{builtin_scenarios, scenario_by_name, BenchmarkScenario, Scenario};
 pub use sched::{
-    CancelToken, CancelledSweep, CellOrigin, ExecContext, Inflight, ProgressSink, Resolution,
-    SweepOutcome, UnitOutcome,
+    par_chunked, CancelToken, CancelledSweep, CellOrigin, ExecContext, Inflight, ProgressSink,
+    Resolution, SweepOutcome, UnitOutcome,
 };
+
+#[cfg(test)]
+mod proptests;

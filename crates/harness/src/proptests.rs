@@ -1,0 +1,85 @@
+//! Property-based determinism tests over the sweep engine.
+//!
+//! These drive the whole pipeline — training, fault injection, batched
+//! on-chip eval, the chunked intra-cell reduction — under randomly drawn
+//! scheduling knobs (worker-thread count, eval chunk size, kernel tier)
+//! and require the serialized report to stay **byte-identical** to a
+//! single-threaded scalar-tier baseline. This is the load-bearing
+//! invariant behind every golden file in the repo: no observable output
+//! may depend on how the work was scheduled or which MAC kernel ran.
+//!
+//! Flipping the kernel tier and eval-chunk overrides mid-process is safe
+//! precisely because of that invariant; the overrides are restored to
+//! auto after every case regardless.
+
+use crate::{run_sweep, set_eval_chunk, SweepPlan, TrainingMode};
+use matic_nn::kernel::{set_kernel_tier, KernelTier};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A small but non-trivial plan: two voltage points (one overscaled, so
+/// fault maps are non-empty), two training modes, a real benchmark.
+fn tiny_plan(threads: usize) -> SweepPlan {
+    SweepPlan::builder()
+        .chips(1)
+        .voltages(&[0.9, 0.52])
+        .benchmark("inversek2j")
+        .expect("builtin benchmark")
+        .modes(&[TrainingMode::Naive, TrainingMode::Mat])
+        .data_scale(0.05)
+        .epoch_scale(0.1)
+        .seed(13)
+        .threads(threads)
+        .build()
+        .expect("plan is valid")
+}
+
+/// The reference report: one worker, scalar kernels, chunk size 1.
+fn baseline() -> &'static String {
+    static BASELINE: OnceLock<String> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        set_kernel_tier(Some(KernelTier::Scalar));
+        set_eval_chunk(Some(1));
+        let report = run_sweep(&tiny_plan(1)).to_json_pretty();
+        set_kernel_tier(None);
+        set_eval_chunk(None);
+        report
+    })
+}
+
+proptest! {
+    // Full sweeps are expensive; a handful of drawn configurations per
+    // run still covers the {threads x chunk x tier} space over time.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Accumulation-order invariance, end to end: the full sweep report
+    /// is byte-identical across worker-thread counts, eval chunk sizes
+    /// (including chunk 1 and chunks larger than the eval set), and
+    /// kernel tiers.
+    #[test]
+    fn sweep_report_invariant_under_scheduling_knobs(
+        threads in 1usize..5,
+        chunk_pick in 0usize..4,
+        raw_chunk in 2usize..8,
+        tier_pick in 0usize..4,
+    ) {
+        let chunk = [1, raw_chunk, 64, 1024][chunk_pick];
+        let tier = [
+            None,
+            Some(KernelTier::Scalar),
+            Some(KernelTier::Lanes),
+            Some(KernelTier::Simd),
+        ][tier_pick];
+        let expected = baseline().clone();
+        set_kernel_tier(tier);
+        set_eval_chunk(Some(chunk));
+        let got = run_sweep(&tiny_plan(threads)).to_json_pretty();
+        set_kernel_tier(None);
+        set_eval_chunk(None);
+        prop_assert_eq!(
+            got, expected,
+            "report must not depend on threads={} chunk={} tier={:?}",
+            threads, chunk, tier
+        );
+    }
+}

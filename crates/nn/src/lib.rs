@@ -37,7 +37,10 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// `#[allow(unsafe_code)]` AVX2 module in `kernel`, which wraps
+// `std::arch` intrinsics behind a runtime feature check.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod activation;

@@ -113,6 +113,42 @@ impl Matrix {
         }
     }
 
+    /// Batched [`Matrix::matvec_into`] over `batch` sample lanes held
+    /// column-major: `x[c·batch + s]` is input `c` of sample `s`, and
+    /// `y[r·batch + s]` comes back as output `r` of sample `s`.
+    ///
+    /// Each sample's accumulation walks the columns in ascending order —
+    /// exactly the order of [`Matrix::matvec_into`] — so despite the
+    /// float reassociation hazard, every lane is **bit-identical** to a
+    /// per-sample `matvec_into` call (the batched forward pass relies on
+    /// this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`, `x.len() != cols * batch`, or
+    /// `y.len() != rows * batch`.
+    pub fn matvec_lanes_into(&self, x: &[f64], batch: usize, y: &mut [f64]) {
+        assert!(batch > 0, "matvec_lanes batch must be positive");
+        assert_eq!(x.len(), self.cols * batch, "matvec_lanes input mismatch");
+        assert_eq!(y.len(), self.rows * batch, "matvec_lanes output mismatch");
+        if self.cols == 0 {
+            y.fill(0.0);
+            return;
+        }
+        for (row, yrow) in self
+            .data
+            .chunks_exact(self.cols)
+            .zip(y.chunks_exact_mut(batch))
+        {
+            yrow.fill(0.0);
+            for (xcol, &w) in x.chunks_exact(batch).zip(row) {
+                for (yv, xv) in yrow.iter_mut().zip(xcol) {
+                    *yv += w * xv;
+                }
+            }
+        }
+    }
+
     /// `y = selfᵀ · x` (transposed matrix-vector product, used to
     /// back-propagate deltas).
     ///

@@ -278,6 +278,51 @@ impl Mlp {
         acts
     }
 
+    /// Batched forward pass: one output vector per input, bit-identical
+    /// to calling [`Mlp::forward`] on each input separately.
+    ///
+    /// The whole batch moves through the network together in column-major
+    /// sample lanes ([`Matrix::matvec_lanes_into`]), amortizing each
+    /// weight-matrix traversal across all samples; every sample's
+    /// floating-point accumulation order is still the per-sample
+    /// reference order, so the equality is exact, not approximate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's length differs from the input-layer width.
+    pub fn forward_batch(&self, inputs: &[&[f64]]) -> Vec<Vec<f64>> {
+        let b = inputs.len();
+        if b == 0 {
+            return Vec::new();
+        }
+        let width0 = self.spec.layers[0];
+        // Interleave the inputs into column-major lanes: cur[c*b + s].
+        let mut cur = vec![0.0; width0 * b];
+        for (s, input) in inputs.iter().enumerate() {
+            assert_eq!(input.len(), width0, "input width mismatch");
+            for (c, &x) in input.iter().enumerate() {
+                cur[c * b + s] = x;
+            }
+        }
+        let mut next = Vec::new();
+        for l in 0..self.spec.depth() {
+            let rows = self.weights[l].rows();
+            next.resize(rows * b, 0.0);
+            self.weights[l].matvec_lanes_into(&cur, b, &mut next);
+            let act = self.spec.activation(l);
+            for (zrow, &bias) in next.chunks_exact_mut(b).zip(&self.biases[l]) {
+                for zv in zrow.iter_mut() {
+                    *zv = act.apply(*zv + bias);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let fan_out = *self.spec.layers.last().unwrap();
+        (0..b)
+            .map(|s| (0..fan_out).map(|c| cur[c * b + s]).collect())
+            .collect()
+    }
+
     /// Computes the loss of one sample.
     pub fn sample_loss(&self, sample: &Sample) -> f64 {
         let out = self.forward(&sample.input);
@@ -285,11 +330,25 @@ impl Mlp {
     }
 
     /// Mean loss over a dataset.
+    ///
+    /// Runs the forward passes through [`Mlp::forward_batch`] in chunks,
+    /// summing the per-sample losses in dataset order — the same values
+    /// in the same order as a per-sample loop, so the result is
+    /// bit-identical while each weight traversal amortizes across the
+    /// chunk.
     pub fn mean_loss(&self, samples: &[Sample]) -> f64 {
         if samples.is_empty() {
             return 0.0;
         }
-        samples.iter().map(|s| self.sample_loss(s)).sum::<f64>() / samples.len() as f64
+        let mut sum = 0.0;
+        for chunk in samples.chunks(64) {
+            let inputs: Vec<&[f64]> = chunk.iter().map(|s| s.input.as_slice()).collect();
+            let outs = self.forward_batch(&inputs);
+            for (out, s) in outs.iter().zip(chunk) {
+                sum += loss_value(self.spec.loss, out, &s.target);
+            }
+        }
+        sum / samples.len() as f64
     }
 
     /// Forward pass into caller-owned activation buffers (the scratch form
@@ -733,6 +792,31 @@ mod tests {
                 net.gradients_indexed(&data, &indices, &mut total, &mut scratch);
                 assert_eq!(total, reference);
             }
+        }
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_to_forward() {
+        for spec in [
+            NetSpec::classifier(&[5, 7, 3]),
+            NetSpec::regressor(&[4, 6, 2]),
+        ] {
+            let net = Mlp::init(spec.clone(), 19);
+            let inputs: Vec<Vec<f64>> = (0..11)
+                .map(|i| {
+                    (0..spec.layers[0])
+                        .map(|c| ((i * 13 + c * 5) % 23) as f64 / 23.0 - 0.5)
+                        .collect()
+                })
+                .collect();
+            for b in [1usize, 2, 5, 11] {
+                let refs: Vec<&[f64]> = inputs[..b].iter().map(|v| v.as_slice()).collect();
+                let batched = net.forward_batch(&refs);
+                for (input, out) in refs.iter().zip(&batched) {
+                    assert_eq!(out, &net.forward(input), "spec {spec:?} batch {b}");
+                }
+            }
+            assert!(net.forward_batch(&[]).is_empty());
         }
     }
 

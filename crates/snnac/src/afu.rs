@@ -7,6 +7,7 @@
 //! the same structure a synthesized PWL AFU uses.
 
 use matic_fixed::{Fx, QFormat};
+use matic_nn::kernel::{kernel_tier, KernelTier};
 use matic_nn::Activation;
 use serde::{Deserialize, Serialize};
 
@@ -100,6 +101,91 @@ impl Afu {
         }
     }
 
+    /// Applies an activation function to a lane of raw pre-activation
+    /// codes (input-format scale), appending raw activation codes
+    /// (output-format scale) to `out`.
+    ///
+    /// **Bit-identical to [`Afu::apply`] per value** — enforced
+    /// exhaustively over the entire input-format raw range by the
+    /// `lane_matches_scalar_exhaustively` test — with the activation
+    /// dispatch, format bookkeeping and PWL constants hoisted out of the
+    /// inner loop. Batched inference drains whole sample lanes through
+    /// this instead of constructing an [`Fx`] per value.
+    pub fn apply_lane_raw(&self, activation: Activation, zs: &[i32], out: &mut Vec<i32>) {
+        out.reserve(zs.len());
+        let inv_in = self.in_fmt.inv_scale();
+        match activation {
+            Activation::Sigmoid => {
+                let params = self.sigmoid_lane_params();
+                let start = out.len();
+                out.resize(start + zs.len(), 0);
+                let dst = &mut out[start..];
+                // Same Rust body compiled twice: the AVX2 clone lets the
+                // compiler vectorize the (exact, contraction-free) IEEE
+                // arithmetic; results are bit-identical by construction
+                // and re-checked exhaustively by the parity test below.
+                // Honour the forced-scalar tier so the differential CI
+                // leg really runs baseline code.
+                if kernel_tier() == KernelTier::Simd {
+                    // SAFETY: `KernelTier::Simd` is only ever selected by
+                    // the dispatcher when AVX2 is available at runtime.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        sigmoid_lane_avx2(&params, zs, dst)
+                    }
+                } else {
+                    sigmoid_lane_baseline(&params, zs, dst);
+                }
+            }
+            Activation::Relu if self.in_fmt == self.out_fmt => {
+                for &z in zs {
+                    out.push(z.max(0));
+                }
+            }
+            Activation::Relu => {
+                for &z in zs {
+                    out.push(matic_fixed::quantize(
+                        z.max(0) as f64 * inv_in,
+                        self.out_fmt,
+                    ));
+                }
+            }
+            Activation::Linear if self.in_fmt == self.out_fmt => {
+                out.extend_from_slice(zs);
+            }
+            Activation::Linear => {
+                for &z in zs {
+                    out.push(matic_fixed::quantize(z as f64 * inv_in, self.out_fmt));
+                }
+            }
+            Activation::Tanh => {
+                // Not a hot path (the paper's nets use sigmoid): take the
+                // scalar route per value.
+                for &z in zs {
+                    out.push(self.apply(activation, Fx::from_raw(z, self.in_fmt)).raw());
+                }
+            }
+        }
+    }
+
+    fn sigmoid_lane_params(&self) -> SigmoidLane {
+        // Breakpoints pre-converted to f64 in a fixed-size stack array:
+        // the clamped index proves the accesses in range, so the inner
+        // loop carries no bounds checks or int-to-float conversions.
+        let mut lut = [0.0f64; SEGMENTS + 1];
+        for (dst, &src) in lut.iter_mut().zip(&self.sigmoid_lut) {
+            *dst = src as f64;
+        }
+        SigmoidLane {
+            inv_in: self.in_fmt.inv_scale(),
+            last: *self.sigmoid_lut.last().unwrap(),
+            out_max: self.out_fmt.raw_max() as i64,
+            out_min: self.out_fmt.raw_min() as i64,
+            one_raw: matic_fixed::quantize(1.0, self.out_fmt) as i64,
+            lut,
+        }
+    }
+
     fn sigmoid(&self, x: Fx) -> Fx {
         let xf = x.to_f64();
         let (mag, negate) = if xf < 0.0 { (-xf, true) } else { (xf, false) };
@@ -143,6 +229,75 @@ impl Default for Afu {
     fn default() -> Self {
         Self::snnac()
     }
+}
+
+/// Constants of the branch-free sigmoid lane loop, hoisted once per
+/// dispatch so both compilations of the body share them.
+struct SigmoidLane {
+    inv_in: f64,
+    last: i32,
+    out_max: i64,
+    out_min: i64,
+    one_raw: i64,
+    /// σ breakpoints as f64, one slot past [`SEGMENTS`] for the lerp's
+    /// upper endpoint.
+    lut: [f64; SEGMENTS + 1],
+}
+
+/// Branch-free sigmoid lane: preactivation signs and saturation are
+/// data-dependent, so every `if` below is written to lower to a select
+/// rather than a mispredicted branch. The saturated-input case still
+/// evaluates the lerp (with the LUT index clamped into range — `pos` is
+/// finite and at most `2 * in_fmt.max_value()`) and then selects the
+/// last breakpoint, exactly what the scalar branch produces.
+///
+/// Every floating-point operation here is an exact IEEE operation (no
+/// fused multiply-add is emitted: Rust never enables floating-point
+/// contraction), so recompiling this body under a wider target feature
+/// cannot change a single result bit.
+#[inline(always)]
+fn sigmoid_lane_body(p: &SigmoidLane, zs: &[i32], out: &mut [i32]) {
+    for (o, &z) in out.iter_mut().zip(zs) {
+        let xf = z as f64 * p.inv_in;
+        let negate = xf < 0.0;
+        let mag = xf.abs();
+        let pos = mag * SEGMENTS as f64 / X_MAX;
+        let i = (pos as usize).min(SEGMENTS - 1);
+        let frac = pos - i as f64;
+        let y0 = p.lut[i];
+        let y1 = p.lut[i + 1];
+        // `round_half_away` is bit-identical to `f64::round` but
+        // inline, keeping the libm call out of the loop.
+        let lerp = matic_fixed::round_half_away(y0 + frac * (y1 - y0)) as i32;
+        let y_raw = if mag >= X_MAX { p.last } else { lerp };
+        let y = (y_raw as i64).min(p.out_max);
+        // σ(−x) = 1 − σ(x), with the saturating raw subtraction
+        // `Fx::sub` performs.
+        let negated = (p.one_raw - y).clamp(p.out_min, p.out_max);
+        *o = if negate { negated } else { y } as i32;
+    }
+}
+
+fn sigmoid_lane_baseline(p: &SigmoidLane, zs: &[i32], out: &mut [i32]) {
+    sigmoid_lane_body(p, zs, out);
+}
+
+/// The same body recompiled with AVX2 enabled, so the autovectorizer can
+/// use 256-bit lanes (and `vgatherqpd` for the LUT reads). Bit-identical
+/// to the baseline compilation — see [`sigmoid_lane_body`].
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx2")]
+unsafe fn sigmoid_lane_avx2(p: &SigmoidLane, zs: &[i32], out: &mut [i32]) {
+    sigmoid_lane_body(p, zs, out);
+}
+
+/// Non-x86 stand-in: the dispatcher never selects [`KernelTier::Simd`]
+/// here, but the symbol must exist.
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+unsafe fn sigmoid_lane_avx2(p: &SigmoidLane, zs: &[i32], out: &mut [i32]) {
+    sigmoid_lane_body(p, zs, out);
 }
 
 #[cfg(test)]
@@ -220,6 +375,47 @@ mod tests {
         assert!(y.abs() < 0.005);
         let y = afu.apply(Activation::Tanh, Fx::from_f64(3.0, f)).to_f64();
         assert!((y - 3.0f64.tanh()).abs() < 0.01);
+    }
+
+    #[test]
+    fn lane_matches_scalar_exhaustively() {
+        // The lane AFU must be bit-identical to `apply` for EVERY
+        // representable pre-activation code, for every activation. The
+        // input format is 16-bit, so the full range is checkable.
+        let afu = Afu::snnac();
+        let f = afu.input_format();
+        let raws: Vec<i32> = (f.raw_min()..=f.raw_max()).collect();
+        for act in [
+            Activation::Sigmoid,
+            Activation::Relu,
+            Activation::Linear,
+            Activation::Tanh,
+        ] {
+            // Both compilations of the lane body (baseline and the AVX2
+            // retune) must match the scalar oracle bit for bit.
+            for tier in [Some(KernelTier::Scalar), Some(KernelTier::Simd), None] {
+                matic_nn::kernel::set_kernel_tier(tier);
+                let mut lane = Vec::new();
+                afu.apply_lane_raw(act, &raws, &mut lane);
+                for (&z, &got) in raws.iter().zip(&lane) {
+                    let want = afu.apply(act, Fx::from_raw(z, f)).raw();
+                    assert_eq!(got, want, "{act:?} diverges at raw {z} ({tier:?})");
+                }
+            }
+            matic_nn::kernel::set_kernel_tier(None);
+        }
+        // And through a format-preserving AFU, exercising the identity
+        // shortcuts for ReLU and Linear.
+        let same = Afu::new(QFormat::snnac_activation(), QFormat::snnac_activation());
+        let f = same.input_format();
+        let raws: Vec<i32> = (f.raw_min()..=f.raw_max()).step_by(17).collect();
+        for act in [Activation::Relu, Activation::Linear] {
+            let mut lane = Vec::new();
+            same.apply_lane_raw(act, &raws, &mut lane);
+            for (&z, &got) in raws.iter().zip(&lane) {
+                assert_eq!(got, same.apply(act, Fx::from_raw(z, f)).raw());
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::microcode::Program;
 use crate::msp430::{assemble, canary_map, canary_program, Mmio, Msp430};
 use crate::npu::{NpuStats, Snnac};
 use crate::regulator::VoltageRegulator;
-use matic_core::{CanarySet, DeployedModel, DeploymentFlow};
+use matic_core::{CanarySet, DeployedModel, DeploymentFlow, FaultedWeights};
 use matic_energy::{EnergyModel, OperatingPoint};
 use matic_fixed::QFormat;
 use matic_nn::{NetSpec, Sample};
@@ -106,6 +106,11 @@ impl DeployedNetwork {
     /// The compiled microcode.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The NPU datapath parameterization this deployment was compiled for.
+    pub fn npu(&self) -> &Snnac {
+        &self.npu
     }
 }
 
@@ -281,6 +286,37 @@ impl Chip {
         (output, self.account_inference(npu_stats))
     }
 
+    /// Composes the array's current post-disturb contents into the dense
+    /// [`FaultedWeights`] artifact for `net` at the chip's current
+    /// operating point — the same physical reads [`Chip::infer`] issues
+    /// internally. Read-disturb flips are deterministic and idempotent
+    /// (a marginal cell settles to its preferred state on the first read
+    /// at this voltage), so composing once and evaluating many inputs
+    /// with [`Chip::infer_batch`] is bit-identical to repeated
+    /// per-sample [`Chip::infer`] calls.
+    pub fn compose(&mut self, net: &DeployedNetwork) -> FaultedWeights {
+        FaultedWeights::from_array(
+            net.model.model().layout(),
+            net.npu.weight_format(),
+            &mut self.array,
+        )
+    }
+
+    /// Batched [`Chip::infer`]: composes the weights once and runs every
+    /// input through the NPU's batched kernel. Outputs are bit-identical
+    /// to a per-sample `infer` loop; the returned stats are the
+    /// per-inference counters every sample shares (the NPU schedule is
+    /// data-independent), booked at the current operating point.
+    pub fn infer_batch(
+        &mut self,
+        net: &DeployedNetwork,
+        inputs: &[&[f64]],
+    ) -> (Vec<Vec<f64>>, InferenceStats) {
+        let weights = self.compose(net);
+        let (outputs, npu_stats) = net.npu.execute_batch(&net.program, &weights, inputs);
+        (outputs, self.account_inference(npu_stats))
+    }
+
     /// Polls the in-situ canaries with the pure-Rust controller
     /// (fast path) and syncs the regulator to the settled voltage.
     pub fn poll_canaries(&mut self, net: &mut DeployedNetwork) -> f64 {
@@ -443,6 +479,31 @@ mod tests {
             (npu_err - float_err).abs() < 0.01,
             "npu {npu_err} vs float view {float_err}"
         );
+    }
+
+    #[test]
+    fn infer_batch_matches_per_sample_infer_at_overscaled_voltage() {
+        let spec = NetSpec::regressor(&[1, 4, 1]);
+        // Two identical dice: one evaluated sample-by-sample (each infer
+        // re-reads the array, settling read-disturb flips), one through
+        // compose-once + batched execution. Idempotent disturb makes the
+        // two bit-identical.
+        let mut chip_a = small_chip(11);
+        let net_a = chip_a.deploy(&quick_flow(0.50), &spec, &toy_data());
+        chip_a.set_sram_voltage(0.48);
+        let mut chip_b = small_chip(11);
+        let net_b = chip_b.deploy(&quick_flow(0.50), &spec, &toy_data());
+        chip_b.set_sram_voltage(0.48);
+
+        let inputs: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 / 9.0]).collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let (batched, bstats) = chip_b.infer_batch(&net_b, &refs);
+        assert_eq!(batched.len(), refs.len());
+        for (input, out) in refs.iter().zip(&batched) {
+            let (single, sstats) = chip_a.infer(&net_a, input);
+            assert_eq!(out, &single);
+            assert_eq!(bstats, sstats, "stats are per-inference");
+        }
     }
 
     #[test]

@@ -20,8 +20,8 @@
 use crate::afu::Afu;
 use crate::microcode::{MicroOp, Program};
 use matic_core::{FaultedWeights, ParamRef, WeightLayout};
-use matic_fixed::{Accumulator, Fx, QFormat};
-use matic_nn::kernel::{fx_matvec, fx_matvec_dropped, MacDropSpec};
+use matic_fixed::{dequantize, narrow_lane, quantize_lane, Accumulator, Fx, QFormat};
+use matic_nn::kernel::{fx_matmul, fx_matmul_dropped, fx_matvec, fx_matvec_dropped, MacDropSpec};
 use matic_sram::SramArray;
 use serde::{Deserialize, Serialize};
 
@@ -253,6 +253,160 @@ impl Snnac {
             }
         }
         (current.iter().map(|fx| fx.to_f64()).collect(), stats)
+    }
+
+    /// Batched [`Snnac::execute_composed`]: runs every input through the
+    /// program in one pass, re-reading each composed weight row once per
+    /// MACC group instead of once per sample.
+    ///
+    /// Outputs are bit-identical to calling [`Snnac::execute_composed`]
+    /// per input (each sample's lane accumulates the same exact integer
+    /// sum). The returned [`NpuStats`] are **per-inference**: the modeled
+    /// hardware runs the identical schedule for every sample regardless
+    /// of the data, so each sample's counters are equal and the batch
+    /// reports them once — the same stats any single `execute_composed`
+    /// call would return. An empty batch returns `(vec![], NpuStats::default())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's width does not match the program's first
+    /// layer or the artifact's shapes disagree with the program.
+    pub fn execute_batch(
+        &self,
+        program: &Program,
+        weights: &FaultedWeights,
+        inputs: &[&[f64]],
+    ) -> (Vec<Vec<f64>>, NpuStats) {
+        self.execute_batch_dropped(program, weights, inputs, None)
+    }
+
+    /// [`Snnac::execute_batch`] with TE-Drop error injection. The drop
+    /// verdict is a pure function of `(layer, row, col)` — never of the
+    /// sample — so a flagged MAC squashes that weight's product in every
+    /// sample lane, exactly as [`Snnac::execute_composed_dropped`] does
+    /// sample by sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Snnac::execute_batch`].
+    pub fn execute_batch_dropped(
+        &self,
+        program: &Program,
+        weights: &FaultedWeights,
+        inputs: &[&[f64]],
+        drops: Option<&MacDropSpec>,
+    ) -> (Vec<Vec<f64>>, NpuStats) {
+        let b = inputs.len();
+        if b == 0 {
+            return (Vec::new(), NpuStats::default());
+        }
+        let mut stats = NpuStats::default();
+        // Quantize each input row through the activation format exactly as
+        // the per-sample path quantizes its input FIFO (the lane quantizer
+        // is bit-identical to `Fx::from_f64`), then transpose into
+        // sample-major lanes: current_raw[c*b + s] holds input c of
+        // sample s. The whole batched pipeline stays in the raw integer
+        // domain; formats are hoisted, never carried per value.
+        let width0 = inputs[0].len();
+        let mut rows_raw: Vec<i32> = Vec::with_capacity(width0 * b);
+        for input in inputs {
+            assert_eq!(input.len(), width0, "ragged batch input widths");
+            quantize_lane(input, self.act_fmt, &mut rows_raw);
+        }
+        let mut current_raw = vec![0i32; width0 * b];
+        for (s, row) in rows_raw.chunks_exact(width0.max(1)).enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                current_raw[c * b + s] = v;
+            }
+        }
+        let mut next_raw: Vec<i32> = Vec::new();
+        let mut fan_in = 0usize;
+        let mut layer = 0usize;
+        let mut activation = matic_nn::Activation::Sigmoid;
+        let mut pending_raw: Vec<i32> = Vec::new(); // narrowed group lanes
+        let mut group_dots = vec![0i64; self.pes * b];
+        let act_frac = self.act_fmt.frac_bits();
+        let afu_in = self.afu.input_format();
+
+        for op in program.ops() {
+            match *op {
+                MicroOp::SetLayer {
+                    layer: l,
+                    fan_in: fi,
+                    fan_out: fo,
+                    activation: act,
+                } => {
+                    layer = l as usize;
+                    fan_in = fi as usize;
+                    activation = act;
+                    next_raw = Vec::with_capacity(fo as usize * b);
+                }
+                MicroOp::LoadInput => {
+                    assert_eq!(
+                        current_raw.len(),
+                        fan_in * b,
+                        "input width mismatch at layer {layer}"
+                    );
+                    // Streaming the input vector costs one cycle per
+                    // element — per inference, so counted once.
+                    stats.cycles += fan_in as u64;
+                }
+                MicroOp::Macc {
+                    neuron_base,
+                    active,
+                } => {
+                    // Per-inference schedule cost, identical for every
+                    // sample: counted once.
+                    stats.cycles += fan_in as u64 + 1 + self.group_overhead;
+                    let tensor = weights.layer(layer);
+                    let biases = weights.bias(layer);
+                    let base = neuron_base as usize;
+                    let group = active as usize;
+                    let rows =
+                        &tensor.as_raw()[base * tensor.cols()..(base + group) * tensor.cols()];
+                    let dots = &mut group_dots[..group * b];
+                    match drops {
+                        None => fx_matmul(rows, &current_raw, b, dots),
+                        Some(d) => fx_matmul_dropped(rows, &current_raw, b, dots, d, layer, base),
+                    }
+                    // Fold each PE's bias into its sample lane, then
+                    // narrow the whole group through the hoisted lane
+                    // narrower (bit-identical to the per-value
+                    // `Accumulator::narrow_from` chain).
+                    pending_raw.clear();
+                    for (pe, pe_dots) in dots.chunks_exact_mut(b).enumerate() {
+                        stats.sram_reads += fan_in as u64 + 1;
+                        stats.macs += fan_in as u64;
+                        let bias_raw = (biases[base + pe] as i64) << act_frac;
+                        for dot in pe_dots.iter_mut() {
+                            *dot += bias_raw;
+                        }
+                    }
+                    narrow_lane(dots, self.weight_fmt, act_frac, afu_in, &mut pending_raw);
+                }
+                MicroOp::Activate => {
+                    // One AFU drain cycle per neuron, per inference.
+                    stats.cycles += (pending_raw.len() / b) as u64;
+                    self.afu
+                        .apply_lane_raw(activation, &pending_raw, &mut next_raw);
+                    pending_raw.clear();
+                }
+                MicroOp::StoreOutput => {
+                    stats.cycles += 1;
+                    std::mem::swap(&mut current_raw, &mut next_raw);
+                    next_raw.clear();
+                }
+            }
+        }
+        let fan_out = current_raw.len() / b;
+        let outputs = (0..b)
+            .map(|s| {
+                (0..fan_out)
+                    .map(|c| dequantize(current_raw[c * b + s], self.act_fmt))
+                    .collect()
+            })
+            .collect();
+        (outputs, stats)
     }
 
     /// The per-MAC reference path: locate, fetch and decode every weight
@@ -518,6 +672,54 @@ mod tests {
         let (none, _) = npu.execute_composed_dropped(&program, &weights, &input, None);
         assert_eq!(plain, none);
         assert_ne!(plain, composed, "a 30 % drop rate must perturb the output");
+    }
+
+    #[test]
+    fn batched_execute_matches_per_sample_outputs_and_stats() {
+        let spec = NetSpec::classifier(&[9, 14, 3]);
+        let data: Vec<Sample> = (0..16)
+            .map(|i| Sample::new(vec![i as f64 / 16.0; 9], vec![0.5; 3]))
+            .collect();
+        let cfg = MatConfig {
+            sgd: SgdConfig {
+                epochs: 3,
+                ..SgdConfig::default()
+            },
+            ..MatConfig::paper()
+        };
+        let model = train_naive(&spec, &data, &cfg, 8, 576);
+        let npu = Snnac::snnac(model.format());
+        let program = Program::compile(&spec, npu.pe_count());
+        let mut arr = array(8, 576, 17);
+        matic_core::upload_weights(&model, &mut arr);
+        let weights = FaultedWeights::from_array(model.layout(), model.format(), &mut arr);
+
+        let inputs: Vec<Vec<f64>> = (0..7)
+            .map(|i| {
+                (0..9)
+                    .map(|c| ((i * 5 + c) % 11) as f64 / 11.0 - 0.3)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let drops = MacDropSpec::new(55, 0.25);
+        for d in [None, Some(&drops)] {
+            for b in [1usize, 2, 3, 7] {
+                let (batched, bstats) =
+                    npu.execute_batch_dropped(&program, &weights, &refs[..b], d);
+                for (input, out) in refs[..b].iter().zip(&batched) {
+                    let (single, sstats) =
+                        npu.execute_composed_dropped(&program, &weights, input, d);
+                    assert_eq!(out, &single, "batch {b} drops {}", d.is_some());
+                    // Stats are data-independent, so the batch reports the
+                    // per-inference counters every sample shares.
+                    assert_eq!(bstats, sstats, "batch {b} drops {}", d.is_some());
+                }
+            }
+        }
+        let (empty, stats) = npu.execute_batch(&program, &weights, &[]);
+        assert!(empty.is_empty());
+        assert_eq!(stats, NpuStats::default());
     }
 
     #[test]

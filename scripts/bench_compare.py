@@ -21,10 +21,12 @@ equally is absorbed (it is indistinguishable from slower hardware
 without a runner-native baseline); the uploaded artifact keeps the raw
 numbers for trend inspection.
 
-Benches present in the fresh run but absent from the baseline are
-reported informationally (a new kernel has no history yet). Benches in
-the baseline but missing from the fresh run fail: that means a bench was
-deleted or the harness silently stopped measuring something we gate on.
+Mismatched bench sets fail in BOTH directions. A bench in the baseline
+but missing from the fresh run means a bench was deleted or the harness
+silently stopped measuring something we gate on. A bench in the fresh
+run but absent from the baseline means someone added a kernel entry
+without regenerating and committing `BENCH_kernel.json` — the new
+kernel would otherwise ride along ungated forever.
 """
 
 import json
@@ -94,7 +96,11 @@ def main():
     for name in sorted(set(fresh) - set(baseline)):
         print(
             f"{name:<36} {'-':>12} {fresh[name]['median_ns']:>10}ns "
-            f"{'-':>7} {'-':>6}  new (no baseline)"
+            f"{'-':>7} {'-':>6}  NOT IN BASELINE"
+        )
+        failures.append(
+            f"{name}: present in fresh results but not in the baseline — "
+            f"regenerate and commit BENCH_kernel.json to gate the new bench"
         )
 
     if failures:
