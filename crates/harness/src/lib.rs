@@ -77,6 +77,7 @@ mod report;
 pub mod scenario;
 pub mod sched;
 pub mod seeds;
+pub mod shard;
 
 pub use cache::{
     write_atomic, CacheStats, CacheUsage, CellCoords, CellKey, SweepCache, UnitKeyPrefix,
@@ -99,6 +100,9 @@ pub use scenario::{builtin_scenarios, scenario_by_name, BenchmarkScenario, Scena
 pub use sched::{
     par_chunked, CancelToken, CancelledSweep, CellOrigin, ExecContext, Inflight, ProgressSink,
     Resolution, SweepOutcome, UnitOutcome,
+};
+pub use shard::{
+    assemble_sharded, merge_shard_units, shard_chip_ranges, shard_units, ShardMergeError,
 };
 
 #[cfg(test)]

@@ -12,7 +12,10 @@
 //! precisely because of that invariant; the overrides are restored to
 //! auto after every case regardless.
 
-use crate::{run_sweep, set_eval_chunk, SweepPlan, TrainingMode};
+use crate::{
+    assemble_sharded, run_sweep, run_unit_observed, set_eval_chunk, shard_units, sweep_splits,
+    ExecContext, SweepOutcome, SweepPlan, TrainingMode,
+};
 use matic_nn::kernel::{set_kernel_tier, KernelTier};
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -80,6 +83,86 @@ proptest! {
             got, expected,
             "report must not depend on threads={} chunk={} tier={:?}",
             threads, chunk, tier
+        );
+    }
+}
+
+/// A plan with enough chips to shard unevenly (`shard-sweep`'s unit of
+/// distribution is the chip index).
+fn shard_plan() -> SweepPlan {
+    SweepPlan::builder()
+        .chips(5)
+        .voltages(&[0.9, 0.52])
+        .benchmark("inversek2j")
+        .expect("builtin benchmark")
+        .modes(&[TrainingMode::Naive, TrainingMode::Mat])
+        .data_scale(0.05)
+        .epoch_scale(0.1)
+        .seed(29)
+        .build()
+        .expect("plan is valid")
+}
+
+/// The unsharded reference report for [`shard_plan`].
+fn shard_baseline() -> &'static String {
+    static BASELINE: OnceLock<String> = OnceLock::new();
+    BASELINE.get_or_init(|| run_sweep(&shard_plan()).to_json_pretty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Distributed determinism: any contiguous partition of the chip
+    /// seeds into 1..=8 shards — balanced, uneven, or single-chip —
+    /// merges back to a report byte-identical to the unsharded sweep,
+    /// regardless of the order shard results arrive in. This is the
+    /// invariant the `matic shard-sweep` coordinator relies on.
+    #[test]
+    fn sharded_partition_merges_byte_identical(
+        balanced_shards in 1usize..=8,
+        use_balanced in 0usize..2,
+        cut_mask in proptest::collection::vec(0usize..2, 4),
+        rotate in 0usize..8,
+    ) {
+        let plan = shard_plan();
+        let ranges = if use_balanced == 1 {
+            crate::shard_chip_ranges(plan.chips, balanced_shards)
+        } else {
+            // Cut between chips i and i+1 wherever the mask is set:
+            // every contiguous partition of 5 chips is reachable.
+            let mut ranges = Vec::new();
+            let mut start = 0;
+            for (i, &cut) in cut_mask.iter().enumerate() {
+                if cut == 1 {
+                    ranges.push((start, i + 1));
+                    start = i + 1;
+                }
+            }
+            ranges.push((start, plan.chips));
+            ranges
+        };
+        let splits = sweep_splits(&plan);
+        let ctx = ExecContext::batch(None);
+        let mut parts = Vec::new();
+        for &range in &ranges {
+            for (s, c) in shard_units(&plan, range) {
+                parts.push(((s, c), run_unit_observed(&plan, s, c, &splits[s], &ctx)));
+            }
+        }
+        // Arrival order of shard results must not matter.
+        let k = rotate % parts.len().max(1);
+        parts.rotate_left(k);
+        let outcome = assemble_sharded(&plan, parts, false)
+            .expect("shard ranges form an exact cover");
+        let got = match outcome {
+            SweepOutcome::Complete(run) => run.report.to_json_pretty(),
+            SweepOutcome::Cancelled(_) => unreachable!("batch context cannot cancel"),
+        };
+        prop_assert_eq!(
+            &got,
+            shard_baseline(),
+            "merge must be byte-exact for ranges {:?} rotated by {}",
+            ranges, k
         );
     }
 }

@@ -1,0 +1,239 @@
+//! Chip-range sharding: split a sweep across processes, merge it back
+//! byte-exactly.
+//!
+//! A *shard* is a contiguous half-open range of chip indices run against
+//! the **full** [`SweepPlan`]. Because every random quantity in a sweep
+//! derives from `(base_seed, grid position)` — never from execution
+//! order or from which process runs the cell — a shard computes exactly
+//! the cells the single-process sweep would have computed for those
+//! chips. Reassembling the per-unit outcomes into [`sweep_units`] order
+//! and handing them to [`assemble_sweep`] therefore reproduces the
+//! unsharded report byte for byte.
+//!
+//! The functions here are pure bookkeeping (no I/O): the serve crate's
+//! coordinator uses them to cut shard descriptors and to merge the
+//! partial results daemons ship back.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::engine::{assemble_sweep, sweep_units};
+use crate::plan::SweepPlan;
+use crate::sched::{SweepOutcome, UnitOutcome};
+
+/// Splits `chips` chip indices into at most `shards` contiguous
+/// half-open ranges whose sizes differ by at most one. Ranges that
+/// would be empty (more shards than chips) are dropped, so every
+/// returned range is non-empty and the ranges exactly cover
+/// `0..chips` in order.
+pub fn shard_chip_ranges(chips: usize, shards: usize) -> Vec<(usize, usize)> {
+    if chips == 0 || shards == 0 {
+        return Vec::new();
+    }
+    let shards = shards.min(chips);
+    let base = chips / shards;
+    let extra = chips % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// The subset of [`sweep_units`] whose chip index falls in the
+/// half-open `range`, in grid (scenario-major) order.
+pub fn shard_units(plan: &SweepPlan, range: (usize, usize)) -> Vec<(usize, usize)> {
+    sweep_units(plan)
+        .into_iter()
+        .filter(|&(_, c)| c >= range.0 && c < range.1)
+        .collect()
+}
+
+/// A merge rejected its inputs: the shard parts do not form an exact
+/// cover of the plan's work units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardMergeError {
+    /// No shard supplied this `(scenario, chip)` unit.
+    MissingUnit(usize, usize),
+    /// Two shards supplied the same `(scenario, chip)` unit.
+    DuplicateUnit(usize, usize),
+    /// A shard supplied a unit outside the plan's grid.
+    UnknownUnit(usize, usize),
+}
+
+impl fmt::Display for ShardMergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardMergeError::MissingUnit(s, c) => {
+                write!(f, "no shard covered unit (scenario {s}, chip {c})")
+            }
+            ShardMergeError::DuplicateUnit(s, c) => {
+                write!(
+                    f,
+                    "unit (scenario {s}, chip {c}) was supplied by two shards"
+                )
+            }
+            ShardMergeError::UnknownUnit(s, c) => {
+                write!(
+                    f,
+                    "unit (scenario {s}, chip {c}) is outside the plan's grid"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardMergeError {}
+
+/// Reorders per-shard unit outcomes into [`sweep_units`] order,
+/// verifying the parts form an exact cover (every unit present exactly
+/// once). Parts may arrive in any order — shard completion order never
+/// affects the merge.
+pub fn merge_shard_units(
+    plan: &SweepPlan,
+    parts: Vec<((usize, usize), UnitOutcome)>,
+) -> Result<Vec<UnitOutcome>, ShardMergeError> {
+    let units = sweep_units(plan);
+    let index: HashMap<(usize, usize), usize> =
+        units.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+    let mut slots: Vec<Option<UnitOutcome>> = (0..units.len()).map(|_| None).collect();
+    for ((s, c), outcome) in parts {
+        let Some(&i) = index.get(&(s, c)) else {
+            return Err(ShardMergeError::UnknownUnit(s, c));
+        };
+        if slots[i].is_some() {
+            return Err(ShardMergeError::DuplicateUnit(s, c));
+        }
+        slots[i] = Some(outcome);
+    }
+    slots
+        .into_iter()
+        .zip(units)
+        .map(|(slot, (s, c))| slot.ok_or(ShardMergeError::MissingUnit(s, c)))
+        .collect()
+}
+
+/// Merges shard parts and assembles the final sweep outcome in one
+/// step: [`merge_shard_units`] followed by [`assemble_sweep`].
+pub fn assemble_sharded(
+    plan: &SweepPlan,
+    parts: Vec<((usize, usize), UnitOutcome)>,
+    cache_enabled: bool,
+) -> Result<SweepOutcome, ShardMergeError> {
+    let merged = merge_shard_units(plan, parts)?;
+    Ok(assemble_sweep(plan, merged, cache_enabled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_sweep_with_cache, run_unit_observed, sweep_splits};
+    use crate::plan::{SweepPlan, TrainingMode};
+    use crate::sched::ExecContext;
+
+    fn tiny_plan(chips: usize) -> SweepPlan {
+        SweepPlan::builder()
+            .chips(chips)
+            .voltages(&[0.9, 0.52])
+            .benchmark("inversek2j")
+            .unwrap()
+            .modes(&[TrainingMode::Naive, TrainingMode::Mat])
+            .data_scale(0.05)
+            .epoch_scale(0.1)
+            .seed(23)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ranges_cover_contiguously_with_balanced_sizes() {
+        for chips in 0..=9 {
+            for shards in 0..=9 {
+                let ranges = shard_chip_ranges(chips, shards);
+                if chips == 0 || shards == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert_eq!(ranges.len(), shards.min(chips));
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges.last().unwrap().1, chips);
+                let mut sizes = Vec::new();
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+                }
+                for &(a, b) in &ranges {
+                    assert!(a < b, "ranges must be non-empty");
+                    sizes.push(b - a);
+                }
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "sizes differ by at most one");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_units_partition_the_grid() {
+        let plan = tiny_plan(5);
+        let all = sweep_units(&plan);
+        let mut seen = Vec::new();
+        for range in shard_chip_ranges(plan.chips, 3) {
+            seen.extend(shard_units(&plan, range));
+        }
+        seen.sort_unstable();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted);
+    }
+
+    #[test]
+    fn merge_detects_missing_duplicate_and_unknown_units() {
+        let plan = tiny_plan(2);
+        let splits = sweep_splits(&plan);
+        let ctx = ExecContext::batch(None);
+        let outcome = |s: usize, c: usize| run_unit_observed(&plan, s, c, &splits[s], &ctx);
+
+        let missing = merge_shard_units(&plan, vec![((0, 0), outcome(0, 0))]);
+        assert_eq!(missing.unwrap_err(), ShardMergeError::MissingUnit(0, 1));
+
+        let dup = merge_shard_units(
+            &plan,
+            vec![
+                ((0, 0), outcome(0, 0)),
+                ((0, 1), outcome(0, 1)),
+                ((0, 1), outcome(0, 1)),
+            ],
+        );
+        assert_eq!(dup.unwrap_err(), ShardMergeError::DuplicateUnit(0, 1));
+
+        let unknown = merge_shard_units(&plan, vec![((7, 0), outcome(0, 0))]);
+        assert_eq!(unknown.unwrap_err(), ShardMergeError::UnknownUnit(7, 0));
+    }
+
+    #[test]
+    fn sharded_merge_is_byte_identical_to_unsharded() {
+        let plan = tiny_plan(4);
+        let baseline = run_sweep_with_cache(&plan, None).report.to_json_pretty();
+        let splits = sweep_splits(&plan);
+        let ctx = ExecContext::batch(None);
+        for shards in [1, 2, 3, 4] {
+            let mut parts = Vec::new();
+            for range in shard_chip_ranges(plan.chips, shards) {
+                for (s, c) in shard_units(&plan, range) {
+                    parts.push(((s, c), run_unit_observed(&plan, s, c, &splits[s], &ctx)));
+                }
+            }
+            // Shard completion order must not matter.
+            parts.reverse();
+            let merged = assemble_sharded(&plan, parts, false).unwrap();
+            let run = match merged {
+                SweepOutcome::Complete(run) => run,
+                SweepOutcome::Cancelled(_) => panic!("batch merge cannot cancel"),
+            };
+            assert_eq!(run.report.to_json_pretty(), baseline, "{shards} shards");
+        }
+    }
+}

@@ -1,29 +1,14 @@
-//! Client helpers for the serve protocol: connect, send one request,
-//! stream the events back.
+//! Client helpers for the serve protocol: open a transport, send one
+//! request, stream the events back.
 
-use crate::protocol::{read_message, write_message, Event, JobSpec, Request};
-use std::io::BufReader;
-use std::os::unix::net::UnixStream;
-use std::path::Path;
-
-fn connect(socket: &Path) -> Result<UnixStream, String> {
-    UnixStream::connect(socket).map_err(|e| {
-        format!(
-            "connecting to {} ({e}); is `matic serve --listen {}` running?",
-            socket.display(),
-            socket.display()
-        )
-    })
-}
+use crate::protocol::{Event, JobSpec, Request};
+use crate::transport::{Endpoint, Transport};
 
 /// Sends one request and returns the single event it answers with
 /// (`Status`, `Cancel`, `Shutdown`).
-pub fn roundtrip(socket: &Path, request: &Request) -> Result<Event, String> {
-    let stream = connect(socket)?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut writer = stream;
-    write_message(&mut writer, request).map_err(|e| format!("sending request: {e}"))?;
-    match read_message::<Event>(&mut reader) {
+pub fn roundtrip(endpoint: &Endpoint, request: &Request) -> Result<Event, String> {
+    let mut stream = endpoint.open(request)?;
+    match stream.next_event() {
         Ok(Some(event)) => Ok(event),
         Ok(None) => Err("the daemon closed the connection without answering".into()),
         Err(e) => Err(format!("reading the daemon's answer: {e}")),
@@ -31,20 +16,17 @@ pub fn roundtrip(socket: &Path, request: &Request) -> Result<Event, String> {
 }
 
 /// Submits a job and streams its events, invoking `on_event` for each
-/// non-terminal event (`Accepted`, `Progress`). Returns the terminal
-/// event (`Done`, `Cancelled`, `Rejected` or `Failed`).
+/// non-terminal event (`Accepted`, `Progress`, `Heartbeat`). Returns
+/// the terminal event (`Done`, `ShardDone`, `Cancelled`, `Rejected` or
+/// `Failed`).
 pub fn submit(
-    socket: &Path,
+    endpoint: &Endpoint,
     spec: &JobSpec,
     mut on_event: impl FnMut(&Event),
 ) -> Result<Event, String> {
-    let stream = connect(socket)?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut writer = stream;
-    write_message(&mut writer, &Request::Submit(spec.clone()))
-        .map_err(|e| format!("sending the job: {e}"))?;
+    let mut stream = endpoint.open(&Request::Submit(spec.clone()))?;
     loop {
-        match read_message::<Event>(&mut reader) {
+        match stream.next_event() {
             Ok(Some(event)) if event.is_terminal() => return Ok(event),
             Ok(Some(event)) => on_event(&event),
             Ok(None) => return Err("the daemon hung up mid-job".into()),

@@ -20,17 +20,19 @@
 //! atomic writer) the cell they are on — nothing computed is lost — then
 //! the queue closes, the workers join, and the socket file is removed.
 
+use crate::http::{read_body, read_head, ChunkWriter, PROTOCOL_PATH};
 use crate::job::Job;
 use crate::pool::{spawn_workers, SharedExec, WorkQueue};
 use crate::protocol::{read_message, write_message, Event, JobStatusInfo, Request};
 use matic_harness::SweepCache;
 use std::collections::BTreeMap;
-use std::io::{BufReader, ErrorKind};
+use std::io::{BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Progress ticks are coalesced to this cadence per connection: a slow
 /// client throttles only its own stream, never the workers.
@@ -38,6 +40,11 @@ const PROGRESS_TICK: Duration = Duration::from_millis(100);
 
 /// How often the accept loop polls for shutdown.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// A submit stream with nothing to say for this long sends a
+/// `Heartbeat`, so client read timeouts never mistake a slow cell for
+/// a dead daemon.
+const HEARTBEAT_IDLE: Duration = Duration::from_secs(2);
 
 /// Everything `matic serve` needs to start.
 #[derive(Debug, Clone)]
@@ -52,6 +59,9 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Suppress the daemon's stderr narration.
     pub quiet: bool,
+    /// Also listen for HTTP clients on this `host:port` (port 0 picks a
+    /// free one; the bound address is published in `<socket>.http`).
+    pub http: Option<String>,
 }
 
 impl ServeConfig {
@@ -64,7 +74,17 @@ impl ServeConfig {
             cache_dir: None,
             queue_depth: workers.max(1) * 2,
             quiet: false,
+            http: None,
         }
+    }
+
+    /// The file the bound HTTP address is published in while the daemon
+    /// runs (`--http 127.0.0.1:0` binds an ephemeral port; scripts read
+    /// the real one from here).
+    pub fn http_addr_file(&self) -> PathBuf {
+        let mut name = self.socket.as_os_str().to_os_string();
+        name.push(".http");
+        PathBuf::from(name)
     }
 }
 
@@ -149,6 +169,35 @@ pub fn serve(cfg: ServeConfig) -> Result<(), String> {
             .unwrap_or_else(|| "off".into()),
     ));
 
+    // The optional HTTP listener runs its own accept loop on the same
+    // daemon state; the dispatch below never knows which wire a request
+    // arrived on.
+    let http_accept = match &daemon.cfg.http {
+        Some(addr) => {
+            let tcp = TcpListener::bind(addr).map_err(|e| format!("binding http://{addr}: {e}"))?;
+            tcp.set_nonblocking(true)
+                .map_err(|e| format!("configuring the http listener: {e}"))?;
+            let bound = tcp
+                .local_addr()
+                .map_err(|e| format!("resolving the bound http address: {e}"))?;
+            let addr_file = daemon.cfg.http_addr_file();
+            std::fs::write(&addr_file, format!("{bound}\n"))
+                .map_err(|e| format!("writing {}: {e}", addr_file.display()))?;
+            daemon.note(format_args!(
+                "http on {bound} (published in {})",
+                addr_file.display()
+            ));
+            let daemon = Arc::clone(&daemon);
+            Some(
+                std::thread::Builder::new()
+                    .name("matic-serve-http".into())
+                    .spawn(move || http_accept_loop(&daemon, tcp))
+                    .map_err(|e| format!("spawning the http accept thread: {e}"))?,
+            )
+        }
+        None => None,
+    };
+
     let mut connections = Vec::new();
     while !daemon.stop.load(Ordering::Acquire) {
         match listener.accept() {
@@ -175,9 +224,40 @@ pub fn serve(cfg: ServeConfig) -> Result<(), String> {
     for c in connections {
         let _ = c.join();
     }
+    if let Some(accept) = http_accept {
+        let _ = accept.join();
+        let _ = std::fs::remove_file(daemon.cfg.http_addr_file());
+    }
     let _ = std::fs::remove_file(&daemon.cfg.socket);
     daemon.note(format_args!("shut down cleanly"));
     Ok(())
+}
+
+/// The HTTP accept loop: mirrors the Unix one, joining its connection
+/// threads before exiting so shutdown stays orderly.
+fn http_accept_loop(daemon: &Arc<Daemon>, listener: TcpListener) {
+    let mut connections = Vec::new();
+    while !daemon.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = Arc::clone(daemon);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("matic-serve-http-conn".into())
+                    .spawn(move || handle_http_connection(&daemon, stream))
+                {
+                    connections.push(handle);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) => {
+                daemon.note(format_args!("http accept failed: {e}"));
+                break;
+            }
+        }
+    }
+    for c in connections {
+        let _ = c.join();
+    }
 }
 
 /// Binds the socket, recovering a stale file from a dead daemon (a
@@ -220,12 +300,80 @@ fn handle_connection(daemon: &Arc<Daemon>, stream: UnixStream) {
             return;
         }
     };
+    dispatch(daemon, &mut writer, request);
+}
+
+/// One HTTP exchange: parse the POSTed request line, stream the events
+/// back as the chunked response body, terminate the chunked framing.
+fn handle_http_connection(daemon: &Arc<Daemon>, stream: TcpStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut raw_writer = stream;
+    let parsed = read_head(&mut reader).and_then(|head| {
+        let body = read_body(&mut reader, head.content_length()?)?;
+        Ok((head, body))
+    });
+    let (head, body) = match parsed {
+        Ok(parts) => parts,
+        Err(e) => {
+            let _ = write!(
+                raw_writer,
+                "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+            );
+            daemon.note(format_args!("http request unreadable: {e}"));
+            return;
+        }
+    };
+    let post_ok = {
+        let mut parts = head.line.split_whitespace();
+        parts.next() == Some("POST") && parts.next() == Some(PROTOCOL_PATH)
+    };
+    if !post_ok {
+        let _ = write!(
+            raw_writer,
+            "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+        );
+        return;
+    }
+    if write!(
+        raw_writer,
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: application/x-ndjson\r\n\
+         Transfer-Encoding: chunked\r\n\
+         Connection: close\r\n\r\n"
+    )
+    .is_err()
+    {
+        return;
+    }
+    let mut writer = ChunkWriter::new(raw_writer);
+    let request = std::str::from_utf8(&body)
+        .map_err(|e| e.to_string())
+        .and_then(|text| serde_json::from_str::<Request>(text.trim()).map_err(|e| e.to_string()));
     match request {
-        Request::Submit(spec) => handle_submit(daemon, &mut writer, spec),
+        Ok(request) => dispatch(daemon, &mut writer, request),
+        Err(e) => {
+            let _ = write_message(
+                &mut writer,
+                &Event::Error {
+                    reason: format!("unreadable request: {e}"),
+                },
+            );
+        }
+    }
+    let _ = writer.finish();
+}
+
+/// Serves one request, whatever wire it came in on.
+fn dispatch(daemon: &Arc<Daemon>, writer: &mut impl Write, request: Request) {
+    match request {
+        Request::Submit(spec) => handle_submit(daemon, writer, spec),
         Request::Status => {
             let jobs: Vec<JobStatusInfo> =
                 daemon.job_snapshot().iter().map(|j| j.status()).collect();
-            let _ = write_message(&mut writer, &Event::Status { jobs });
+            let _ = write_message(writer, &Event::Status { jobs });
         }
         Request::Cancel(id) => {
             let event = match daemon.job(id) {
@@ -241,13 +389,13 @@ fn handle_connection(daemon: &Arc<Daemon>, stream: UnixStream) {
                     reason: format!("no job with id {id}"),
                 },
             };
-            let _ = write_message(&mut writer, &event);
+            let _ = write_message(writer, &event);
         }
-        Request::Shutdown => handle_shutdown(daemon, &mut writer),
+        Request::Shutdown => handle_shutdown(daemon, writer),
     }
 }
 
-fn handle_submit(daemon: &Arc<Daemon>, writer: &mut UnixStream, spec: crate::protocol::JobSpec) {
+fn handle_submit(daemon: &Arc<Daemon>, writer: &mut impl Write, spec: crate::protocol::JobSpec) {
     if daemon.draining.load(Ordering::Acquire) {
         let _ = write_message(
             writer,
@@ -306,13 +454,14 @@ fn handle_submit(daemon: &Arc<Daemon>, writer: &mut UnixStream, spec: crate::pro
     stream_progress(daemon, writer, &job);
 }
 
-/// Streams coalesced progress ticks until the job settles, then the
-/// terminal event. A dead client cancels its own job (the cache keeps
-/// everything already computed).
-fn stream_progress(daemon: &Arc<Daemon>, writer: &mut UnixStream, job: &Arc<Job>) {
+/// Streams coalesced progress ticks (and idle heartbeats) until the
+/// job settles, then the terminal event. A dead client cancels its own
+/// job (the cache keeps everything already computed).
+fn stream_progress(daemon: &Arc<Daemon>, writer: &mut impl Write, job: &Arc<Job>) {
     let id = job.id;
     let total = job.cells_total();
     let mut last_done = usize::MAX;
+    let mut last_write = Instant::now();
     loop {
         let phase = job.phase();
         if phase.is_terminal() {
@@ -329,6 +478,25 @@ fn stream_progress(daemon: &Arc<Daemon>, writer: &mut UnixStream, job: &Arc<Job>
                     Event::Done {
                         id,
                         report,
+                        hits,
+                        deduped,
+                        misses,
+                    }
+                }
+                crate::job::JobPhase::ShardDone {
+                    units,
+                    hits,
+                    deduped,
+                    misses,
+                } => {
+                    daemon.note(format_args!(
+                        "job {id} shard done ({} units, {hits} hits, {deduped} deduped, \
+                         {misses} misses)",
+                        units.len()
+                    ));
+                    Event::ShardDone {
+                        id,
+                        units,
                         hits,
                         deduped,
                         misses,
@@ -354,31 +522,34 @@ fn stream_progress(daemon: &Arc<Daemon>, writer: &mut UnixStream, job: &Arc<Job>
             return;
         }
         let (done, hits, deduped, misses) = job.progress.snapshot();
-        if done != last_done {
+        let event = if done != last_done {
             last_done = done;
-            if write_message(
-                writer,
-                &Event::Progress {
-                    id,
-                    done,
-                    total,
-                    hits,
-                    deduped,
-                    misses,
-                },
-            )
-            .is_err()
-            {
+            Some(Event::Progress {
+                id,
+                done,
+                total,
+                hits,
+                deduped,
+                misses,
+            })
+        } else if last_write.elapsed() >= HEARTBEAT_IDLE {
+            Some(Event::Heartbeat { id })
+        } else {
+            None
+        };
+        if let Some(event) = event {
+            if write_message(writer, &event).is_err() {
                 job.cancel.cancel();
                 daemon.note(format_args!("job {id} client vanished; cancelling"));
                 return;
             }
+            last_write = Instant::now();
         }
         job.wait_changed(PROGRESS_TICK);
     }
 }
 
-fn handle_shutdown(daemon: &Arc<Daemon>, writer: &mut UnixStream) {
+fn handle_shutdown(daemon: &Arc<Daemon>, writer: &mut impl Write) {
     daemon.draining.store(true, Ordering::Release);
     let jobs = daemon.job_snapshot();
     let mut drained = 0usize;

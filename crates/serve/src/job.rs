@@ -8,7 +8,7 @@
 //! report is byte-identical to a batch run of the same plan no matter
 //! how jobs interleave on the pool.
 
-use crate::protocol::{JobKind, JobSpec, JobStatusInfo};
+use crate::protocol::{JobKind, JobSpec, JobStatusInfo, ShardUnit};
 use matic_datasets::Split;
 use matic_harness::{
     assemble_sweep, energy_report, AccuracyBudget, CancelToken, CellOrigin, ProgressSink,
@@ -36,6 +36,19 @@ pub fn build_plan(spec: &JobSpec) -> Result<SweepPlan, String> {
     }
     if !spec.budget_percent.is_finite() || !spec.budget_mse.is_finite() {
         return Err("accuracy budgets must be finite numbers".into());
+    }
+    if let Some((start, end)) = spec.chip_range {
+        if spec.kind != JobKind::Sweep {
+            return Err("shard jobs are sweep-only; the coordinator derives energy \
+                 reports locally from the merged sweep"
+                .into());
+        }
+        if start >= end || end > spec.chips {
+            return Err(format!(
+                "chip_range {start}..{end} is not a non-empty subrange of 0..{}",
+                spec.chips
+            ));
+        }
     }
     let modes: Vec<TrainingMode> = spec
         .modes
@@ -115,6 +128,18 @@ pub enum JobPhase {
         /// Fresh computations.
         misses: usize,
     },
+    /// Every unit of a shard job finished; the coordinator merges the
+    /// per-unit cells into the full-plan report.
+    ShardDone {
+        /// Each covered `(scenario, chip)` unit with its cells.
+        units: Vec<ShardUnit>,
+        /// Cache replays.
+        hits: usize,
+        /// In-flight dedup replays.
+        deduped: usize,
+        /// Fresh computations.
+        misses: usize,
+    },
     /// Cancelled at a cell boundary; finished cells are checkpointed.
     Cancelled {
         /// Cells finished before the stop.
@@ -130,7 +155,7 @@ impl JobPhase {
         match self {
             JobPhase::Queued => "queued",
             JobPhase::Running => "running",
-            JobPhase::Done { .. } => "done",
+            JobPhase::Done { .. } | JobPhase::ShardDone { .. } => "done",
             JobPhase::Cancelled { .. } => "cancelled",
             JobPhase::Failed(_) => "failed",
         }
@@ -140,7 +165,10 @@ impl JobPhase {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            JobPhase::Done { .. } | JobPhase::Cancelled { .. } | JobPhase::Failed(_)
+            JobPhase::Done { .. }
+                | JobPhase::ShardDone { .. }
+                | JobPhase::Cancelled { .. }
+                | JobPhase::Failed(_)
         )
     }
 }
@@ -161,7 +189,8 @@ pub struct Job {
     pub spec: JobSpec,
     /// The validated plan.
     pub plan: SweepPlan,
-    /// The plan's `(scenario, chip)` units, scenario-major.
+    /// The job's `(scenario, chip)` units, scenario-major — the full
+    /// grid, or the `chip_range` slice of it for shard jobs.
     pub units: Vec<(usize, usize)>,
     /// Per-scenario datasets, generated once at admission.
     pub splits: Vec<Split>,
@@ -182,7 +211,10 @@ impl Job {
     pub fn admit(id: u64, spec: JobSpec, cache_enabled: bool) -> Result<Job, String> {
         let plan = build_plan(&spec)?;
         let splits = matic_harness::sweep_splits(&plan);
-        let units = matic_harness::sweep_units(&plan);
+        let units = match spec.chip_range {
+            Some(range) => matic_harness::shard_units(&plan, range),
+            None => matic_harness::sweep_units(&plan),
+        };
         let slots = units.iter().map(|_| None).collect::<Vec<_>>();
         let remaining = units.len();
         Ok(Job {
@@ -203,9 +235,11 @@ impl Job {
         })
     }
 
-    /// Cells the plan produces in total.
+    /// Cells this job produces in total (the whole plan, or the
+    /// `chip_range` slice of it for shard jobs).
     pub fn cells_total(&self) -> usize {
-        self.plan.cell_count()
+        let full_units = self.plan.scenarios.len() * self.plan.chips;
+        self.plan.cell_count() / full_units * self.units.len()
     }
 
     /// Marks the first unit pickup (idempotent).
@@ -251,6 +285,9 @@ impl Job {
     }
 
     fn finalize(&self, per_unit: Vec<UnitOutcome>) -> JobPhase {
+        if self.spec.chip_range.is_some() {
+            return self.finalize_shard(per_unit);
+        }
         match assemble_sweep(&self.plan, per_unit, self.cache_enabled) {
             SweepOutcome::Cancelled(c) => JobPhase::Cancelled {
                 cells_done: c.cells_done,
@@ -276,6 +313,43 @@ impl Job {
                     misses: run.cache.misses,
                 }
             }
+        }
+    }
+
+    /// Shard jobs skip report assembly: the coordinator owns the merge,
+    /// so the terminal payload is the raw per-unit cells in this job's
+    /// unit order.
+    fn finalize_shard(&self, per_unit: Vec<UnitOutcome>) -> JobPhase {
+        if per_unit.iter().any(|u| u.cancelled) {
+            let cells_done = per_unit.iter().map(|u| u.cells.len()).sum();
+            return JobPhase::Cancelled { cells_done };
+        }
+        let (mut hits, mut deduped, mut misses) = (0usize, 0usize, 0usize);
+        let units = self
+            .units
+            .iter()
+            .zip(per_unit)
+            .map(|(&(scen, chip), unit)| {
+                let cells = unit
+                    .cells
+                    .into_iter()
+                    .map(|(cell, origin)| {
+                        match origin {
+                            CellOrigin::CacheHit => hits += 1,
+                            CellOrigin::Deduped => deduped += 1,
+                            CellOrigin::Computed => misses += 1,
+                        }
+                        cell
+                    })
+                    .collect();
+                ShardUnit { scen, chip, cells }
+            })
+            .collect();
+        JobPhase::ShardDone {
+            units,
+            hits,
+            deduped,
+            misses,
         }
     }
 

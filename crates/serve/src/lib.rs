@@ -2,11 +2,18 @@
 //!
 //! Where `matic sweep` is a batch script (one plan, run to completion,
 //! exit), this crate turns the harness into a **daemon**: jobs arrive as
-//! JSON-lines over a local Unix-domain socket ([`protocol`]), multiplex
-//! onto one shared, bounded worker pool ([`pool`]), stream per-cell
-//! progress back to their clients, and share a single content-addressed
-//! cell cache — with an in-flight claim table so two jobs covering the
-//! same cell trigger **one** computation ([`matic_harness::Inflight`]).
+//! JSON-lines over a local Unix-domain socket or the vendored HTTP/1.1
+//! shim ([`protocol`], [`transport`]), multiplex onto one shared,
+//! bounded worker pool ([`pool`]), stream per-cell progress back to
+//! their clients, and share a single content-addressed cell cache —
+//! with an in-flight claim table so two jobs covering the same cell
+//! trigger **one** computation ([`matic_harness::Inflight`]).
+//!
+//! On top of single daemons, the [`coordinator`] scales a sweep *out*:
+//! `matic shard-sweep` splits the chip population into chip-seed-range
+//! shards, dispatches them to N daemons (local or remote), retries and
+//! fails shards over between daemons, and merges the partial results
+//! back in grid order — byte-identical to the single-process run.
 //!
 //! The service guarantees (enforced by `tests/serve_e2e.rs` and the CI
 //! serve smoke job):
@@ -33,11 +40,16 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod coordinator;
 pub mod daemon;
+mod http;
 pub mod job;
 pub mod pool;
 pub mod protocol;
+pub mod transport;
 
+pub use coordinator::{shard_sweep, ShardOutcome, ShardProgress, ShardSweepConfig};
 pub use daemon::{serve, ServeConfig};
 pub use job::{Job, JobPhase};
-pub use protocol::{Event, JobKind, JobSpec, JobStatusInfo, Request, SERVE_SCHEMA};
+pub use protocol::{Event, JobKind, JobSpec, JobStatusInfo, Request, ShardUnit, SERVE_SCHEMA};
+pub use transport::{Endpoint, EventStream, HttpTransport, Transport, UnixTransport};

@@ -205,6 +205,7 @@ mod tests {
             no_reuse: false,
             budget_percent: 2.0,
             budget_mse: 0.02,
+            chip_range: None,
         };
         let job = Arc::new(Job::admit(1, spec, false).expect("valid spec"));
         assert!(q.push((Arc::clone(&job), 0)));
@@ -232,6 +233,7 @@ mod tests {
             no_reuse: false,
             budget_percent: 2.0,
             budget_mse: 0.02,
+            chip_range: None,
         };
         let job = Arc::new(Job::admit(1, spec, false).expect("valid spec"));
         assert!(q.push((Arc::clone(&job), 0)));

@@ -1,23 +1,33 @@
-//! The wire protocol of the serve subsystem: JSON-lines over a local
-//! Unix-domain socket.
+//! The wire protocol of the serve subsystem: JSON-lines, carried over a
+//! local Unix-domain socket or the chunked-HTTP transport.
 //!
 //! A connection carries exactly **one** request (the first line the
 //! client writes) followed by a stream of [`Event`] lines from the
 //! daemon. `Status`, `Cancel` and `Shutdown` answer with a single event;
-//! `Submit` streams `Accepted`, coalesced `Progress` ticks, and finally
-//! one terminal event (`Done`, `Cancelled`, `Rejected` or `Failed`).
+//! `Submit` streams `Accepted`, coalesced `Progress` ticks, idle
+//! `Heartbeat`s, and finally one terminal event (`Done`, `ShardDone`,
+//! `Cancelled`, `Rejected` or `Failed`).
 //!
 //! Every message is one line of compact JSON (the serializer escapes
 //! embedded newlines, so line framing is unambiguous). The `Done` event
 //! carries the **exact pretty-printed report text** as a JSON string —
 //! shipping the bytes rather than a re-serialized value tree is what
 //! lets a served report stay byte-identical to `matic sweep` output.
+//!
+//! **v2** adds chip-range sharding: a submission may carry a
+//! `chip_range` descriptor, marking it one shard of a larger sweep. A
+//! shard job answers with [`Event::ShardDone`] — the per-unit
+//! [`CellRecord`]s instead of an assembled report — and the
+//! `shard-sweep` coordinator merges the parts in grid order.
+//! `CellRecord`'s JSON round-trip is byte-lossless (the cache-replay
+//! suites prove it), so the coordinator's merged report is byte-exact.
 
+use matic_harness::CellRecord;
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, Write};
 
 /// Protocol schema tag, bumped on incompatible changes.
-pub const SERVE_SCHEMA: &str = "matic.serve/v1";
+pub const SERVE_SCHEMA: &str = "matic.serve/v2";
 
 /// What a submitted job computes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,6 +76,26 @@ pub struct JobSpec {
     /// Energy only: accuracy-loss budget for regression benchmarks,
     /// absolute MSE.
     pub budget_mse: f64,
+    /// Half-open chip-index range this submission covers — `None` runs
+    /// the whole plan; `Some` marks the job one shard of a larger sweep
+    /// (same spec, same seeds) and switches the terminal event to
+    /// [`Event::ShardDone`]. Grid-position seeding makes the shard's
+    /// cells identical to the same cells of an unsharded run.
+    pub chip_range: Option<(usize, usize)>,
+}
+
+/// One work unit's results inside a [`Event::ShardDone`] payload: the
+/// cells of a single `(scenario, chip)` grid position, in the order the
+/// unsharded engine emits them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardUnit {
+    /// Scenario (benchmark) index in the plan.
+    pub scen: usize,
+    /// Chip index in the plan.
+    pub chip: usize,
+    /// The unit's finished cells, point-major then mode-major — the
+    /// exact order `assemble_sweep` expects.
+    pub cells: Vec<CellRecord>,
 }
 
 /// The one request a client opens its connection with.
@@ -143,6 +173,28 @@ pub enum Event {
         /// Fresh computations.
         misses: usize,
     },
+    /// Terminal: a shard job finished. Carries the raw per-unit cells
+    /// for the coordinator to merge — grid-order assembly (and the
+    /// report serialization) happens coordinator-side.
+    ShardDone {
+        /// The finished shard job.
+        id: u64,
+        /// Every unit the shard covered, with its cells.
+        units: Vec<ShardUnit>,
+        /// Cache replays.
+        hits: usize,
+        /// In-flight dedup replays.
+        deduped: usize,
+        /// Fresh computations.
+        misses: usize,
+    },
+    /// Keep-alive on an otherwise idle submit stream, so coordinators
+    /// can run read timeouts without mistaking a slow cell for a dead
+    /// daemon.
+    Heartbeat {
+        /// The job whose stream this keeps alive.
+        id: u64,
+    },
     /// Terminal: the job was cancelled at a cell boundary.
     Cancelled {
         /// The cancelled job.
@@ -195,6 +247,7 @@ impl Event {
         matches!(
             self,
             Event::Done { .. }
+                | Event::ShardDone { .. }
                 | Event::Cancelled { .. }
                 | Event::Rejected { .. }
                 | Event::Failed { .. }
@@ -244,6 +297,7 @@ mod tests {
             no_reuse: false,
             budget_percent: 2.0,
             budget_mse: 0.02,
+            chip_range: None,
         }
     }
 
@@ -285,6 +339,64 @@ mod tests {
             Event::Done { report: r, .. } => assert_eq!(r, report, "byte-exact payload"),
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn shard_submission_and_shard_done_roundtrip() {
+        let mut spec = sample_spec();
+        spec.chip_range = Some((1, 2));
+        let line = serde_json::to_string(&Request::Submit(spec)).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        match back {
+            Request::Submit(s) => assert_eq!(s.chip_range, Some((1, 2))),
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        // Cells must survive the trip value-exact: the coordinator
+        // re-serializes them into the merged report, so any drift here
+        // would break byte-identity with the unsharded sweep.
+        let cell = CellRecord {
+            scenario: "inversek2j".into(),
+            chip_index: 1,
+            chip_seed: 0xDEAD_BEEF,
+            mode: "mat".into(),
+            fault_model: "sram-voltage".into(),
+            voltage: Some(0.52),
+            ber_target: None,
+            clock_stress: None,
+            error: 0.03062,
+            nominal_error: 0.011,
+            metric: "mse".into(),
+            energy: None,
+            measured_ber: 1.25e-4,
+            fault_count: 19,
+            settled_voltage: None,
+            reused_model: false,
+            failed: true,
+        };
+        let ev = Event::ShardDone {
+            id: 4,
+            units: vec![ShardUnit {
+                scen: 0,
+                chip: 1,
+                cells: vec![cell.clone()],
+            }],
+            hits: 1,
+            deduped: 0,
+            misses: 3,
+        };
+        assert!(ev.is_terminal());
+        let line = serde_json::to_string(&ev).unwrap();
+        assert!(!line.contains('\n'), "line framing: {line}");
+        let back: Event = serde_json::from_str(&line).unwrap();
+        match back {
+            Event::ShardDone { units, .. } => {
+                assert_eq!(units.len(), 1);
+                assert_eq!(units[0].cells[0], cell, "value-exact cell roundtrip");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(!Event::Heartbeat { id: 4 }.is_terminal());
     }
 
     #[test]

@@ -5,40 +5,64 @@
 
 use matic_harness::run_sweep_with_cache;
 use matic_serve::job::build_plan;
-use matic_serve::{client, serve, Event, JobKind, JobSpec, Request, ServeConfig};
+use matic_serve::{
+    client, serve, shard_sweep, Endpoint, Event, JobKind, JobSpec, Request, ServeConfig,
+    ShardProgress, ShardSweepConfig,
+};
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// One in-process daemon on a fresh socket with a fresh cache dir.
+/// A fresh scratch directory, unique per test invocation.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "matic-serve-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// One in-process daemon on a fresh socket.
 struct TestDaemon {
     dir: PathBuf,
+    /// Clusters share a scratch dir; only the daemon that made it
+    /// removes it.
+    owns_dir: bool,
     socket: PathBuf,
+    http_addr: Option<String>,
     handle: Option<JoinHandle<Result<(), String>>>,
 }
 
 impl TestDaemon {
     fn start(tag: &str, workers: usize) -> TestDaemon {
-        let dir = std::env::temp_dir().join(format!(
-            "matic-serve-{tag}-{}-{}",
-            std::process::id(),
-            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        let _ = fs::remove_dir_all(&dir);
-        fs::create_dir_all(&dir).expect("scratch dir");
-        let socket = dir.join("serve.sock");
+        let dir = scratch_dir(tag);
+        let cache = dir.join("cache");
+        let mut daemon = Self::start_in(&dir, "serve", workers, &cache, false);
+        daemon.owns_dir = true;
+        daemon
+    }
+
+    /// A daemon inside a (possibly shared) scratch dir, with an
+    /// explicit cache dir and an optional loopback HTTP listener.
+    fn start_in(dir: &Path, name: &str, workers: usize, cache: &Path, http: bool) -> TestDaemon {
+        let socket = dir.join(format!("{name}.sock"));
         let cfg = ServeConfig {
             socket: socket.clone(),
             workers,
-            cache_dir: Some(dir.join("cache")),
+            cache_dir: Some(cache.to_path_buf()),
             queue_depth: 8,
             quiet: true,
+            http: http.then(|| "127.0.0.1:0".to_string()),
         };
+        let addr_file = cfg.http_addr_file();
         let handle = std::thread::spawn(move || serve(cfg));
         // The daemon binds before accepting; the socket file appearing
         // means clients can connect.
@@ -47,16 +71,38 @@ impl TestDaemon {
             assert!(Instant::now() < deadline, "daemon never bound its socket");
             std::thread::sleep(Duration::from_millis(10));
         }
+        let http_addr = http.then(|| {
+            // The bound address is published once the HTTP listener is
+            // up; `--http 127.0.0.1:0` means the port is ephemeral.
+            loop {
+                if let Ok(addr) = fs::read_to_string(&addr_file) {
+                    break addr.trim().to_string();
+                }
+                assert!(Instant::now() < deadline, "daemon never published http");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
         TestDaemon {
-            dir,
+            dir: dir.to_path_buf(),
+            owns_dir: false,
             socket,
+            http_addr,
             handle: Some(handle),
         }
     }
 
+    fn endpoint(&self) -> Endpoint {
+        Endpoint::unix(&self.socket)
+    }
+
+    fn http_endpoint(&self) -> Endpoint {
+        Endpoint::Http(self.http_addr.clone().expect("daemon has http enabled"))
+    }
+
     /// Requests shutdown, joins the daemon, and checks the clean exit.
     fn shutdown(mut self) {
-        let event = client::roundtrip(&self.socket, &Request::Shutdown).expect("shutdown answered");
+        let event =
+            client::roundtrip(&self.endpoint(), &Request::Shutdown).expect("shutdown answered");
         assert!(
             matches!(event, Event::ShutdownOk { .. }),
             "shutdown must be acknowledged, got {event:?}"
@@ -72,7 +118,9 @@ impl TestDaemon {
             !self.socket.exists(),
             "a clean shutdown removes the socket file"
         );
-        let _ = fs::remove_dir_all(&self.dir);
+        if self.owns_dir {
+            let _ = fs::remove_dir_all(&self.dir);
+        }
     }
 }
 
@@ -93,6 +141,7 @@ fn spec(seed: u64) -> JobSpec {
         no_reuse: false,
         budget_percent: 2.0,
         budget_mse: 0.02,
+        chip_range: None,
     }
 }
 
@@ -109,7 +158,7 @@ fn submitted_report_is_byte_identical_to_batch_and_resubmit_replays() {
     let total = build_plan(&spec).expect("valid").cell_count();
 
     let mut accepted = None;
-    let terminal = client::submit(&daemon.socket, &spec, |event| {
+    let terminal = client::submit(&daemon.endpoint(), &spec, |event| {
         if let Event::Accepted { id, cells_total } = event {
             accepted = Some((*id, *cells_total));
         }
@@ -135,7 +184,7 @@ fn submitted_report_is_byte_identical_to_batch_and_resubmit_replays() {
     );
 
     // Resubmitting the same plan replays everything from the shared cache.
-    let rerun = client::submit(&daemon.socket, &spec, |_| {}).expect("resubmit");
+    let rerun = client::submit(&daemon.endpoint(), &spec, |_| {}).expect("resubmit");
     let Event::Done {
         report: rerun_report,
         hits,
@@ -149,7 +198,7 @@ fn submitted_report_is_byte_identical_to_batch_and_resubmit_replays() {
     assert_eq!(rerun_report, report);
 
     // The registry remembers both jobs as done.
-    let status = client::roundtrip(&daemon.socket, &Request::Status).expect("status");
+    let status = client::roundtrip(&daemon.endpoint(), &Request::Status).expect("status");
     let Event::Status { jobs } = status else {
         panic!("status must answer with the job table, got {status:?}");
     };
@@ -171,7 +220,9 @@ fn concurrent_identical_jobs_compute_each_cell_once() {
         let submit = || {
             let socket = daemon.socket.clone();
             let spec = spec_a.clone();
-            scope.spawn(move || client::submit(&socket, &spec, |_| {}).expect("submit"))
+            scope.spawn(move || {
+                client::submit(&Endpoint::unix(&socket), &spec, |_| {}).expect("submit")
+            })
         };
         let a = submit();
         let b = submit();
@@ -221,7 +272,7 @@ fn cancelled_job_resumes_from_its_checkpoints_on_resubmit() {
             let socket = daemon.socket.clone();
             let id_tx = id_tx.clone();
             scope.spawn(move || {
-                client::submit(&socket, &spec, |event| {
+                client::submit(&Endpoint::unix(&socket), &spec, |event| {
                     if let Event::Accepted { id, .. } = event {
                         id_tx.send(*id).expect("id channel");
                     }
@@ -240,7 +291,7 @@ fn cancelled_job_resumes_from_its_checkpoints_on_resubmit() {
         assert_ne!(id_a, id_b);
 
         let answer =
-            client::roundtrip(&daemon.socket, &Request::Cancel(id_b)).expect("cancel answered");
+            client::roundtrip(&daemon.endpoint(), &Request::Cancel(id_b)).expect("cancel answered");
         assert!(
             matches!(answer, Event::CancelOk { id, .. } if id == id_b),
             "cancel must be acknowledged, got {answer:?}"
@@ -277,7 +328,7 @@ fn cancelled_job_resumes_from_its_checkpoints_on_resubmit() {
 
     // Resubmission resumes: exactly the checkpointed prefix replays and
     // the report still matches the uninterrupted batch bytes.
-    let resumed = client::submit(&daemon.socket, &spec_b, |_| {}).expect("resubmit");
+    let resumed = client::submit(&daemon.endpoint(), &spec_b, |_| {}).expect("resubmit");
     let Event::Done {
         report,
         hits,
@@ -314,6 +365,7 @@ fn draining_daemon_rejects_new_submissions_then_exits_cleanly() {
         no_reuse: false,
         budget_percent: 2.0,
         budget_mse: 0.02,
+        chip_range: None,
     };
 
     std::thread::scope(|scope| {
@@ -322,7 +374,7 @@ fn draining_daemon_rejects_new_submissions_then_exits_cleanly() {
             let socket = daemon.socket.clone();
             let spec = slow.clone();
             scope.spawn(move || {
-                client::submit(&socket, &spec, |event| {
+                client::submit(&Endpoint::unix(&socket), &spec, |event| {
                     if let Event::Accepted { id, .. } = event {
                         id_tx.send(*id).expect("id channel");
                     }
@@ -338,11 +390,13 @@ fn draining_daemon_rejects_new_submissions_then_exits_cleanly() {
         // waits for the worker to finish (and checkpoint) its cell.
         let shutdown = {
             let socket = daemon.socket.clone();
-            scope.spawn(move || client::roundtrip(&socket, &Request::Shutdown).expect("shutdown"))
+            scope.spawn(move || {
+                client::roundtrip(&Endpoint::unix(&socket), &Request::Shutdown).expect("shutdown")
+            })
         };
         // Give the drain a moment to take effect, then try to submit.
         std::thread::sleep(Duration::from_millis(50));
-        match client::submit(&daemon.socket, &spec(11), |_| {}) {
+        match client::submit(&daemon.endpoint(), &spec(11), |_| {}) {
             Ok(Event::Rejected { reason }) => {
                 assert!(
                     reason.contains("draining"),
@@ -372,4 +426,189 @@ fn draining_daemon_rejects_new_submissions_then_exits_cleanly() {
     assert_eq!(result, Ok(()), "the daemon must exit cleanly");
     assert!(!daemon.socket.exists());
     let _ = fs::remove_dir_all(&daemon.dir);
+}
+
+#[test]
+fn stale_socket_is_unlinked_and_reported_as_a_rejection() {
+    let dir = scratch_dir("stale");
+    let socket = dir.join("serve.sock");
+    // Bind and immediately drop the listener: the socket file persists
+    // but nobody answers on it — exactly what a SIGKILLed daemon leaves.
+    drop(std::os::unix::net::UnixListener::bind(&socket).expect("bind"));
+    assert!(socket.exists(), "the dead daemon's socket file lingers");
+
+    let err = client::submit(&Endpoint::unix(&socket), &spec(11), |_| {})
+        .expect_err("a stale socket must not look like a working daemon");
+    assert!(
+        err.starts_with("rejected: stale socket"),
+        "the error must be the structured stale-socket rejection, got {err:?}"
+    );
+    assert!(
+        err.contains("matic serve --listen"),
+        "the error must say how to recover, got {err:?}"
+    );
+    assert!(
+        !socket.exists(),
+        "the stale socket file must be unlinked so the next daemon binds cleanly"
+    );
+
+    // With the leftover gone, a fresh daemon binds the same path and works.
+    let daemon = TestDaemon::start_in(&dir, "serve", 1, &dir.join("cache"), false);
+    let terminal = client::submit(&daemon.endpoint(), &spec(11), |_| {}).expect("submit");
+    assert!(matches!(terminal, Event::Done { .. }));
+    daemon.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shard_sweep_across_three_daemons_matches_batch_bytes() {
+    let dir = scratch_dir("shard");
+    let cache = dir.join("cache");
+    let daemons: Vec<TestDaemon> = (0..3)
+        .map(|i| TestDaemon::start_in(&dir, &format!("d{i}"), 2, &cache, false))
+        .collect();
+    let spec = JobSpec {
+        chips: 5,
+        ..spec(17)
+    };
+    let total = build_plan(&spec).expect("valid").cell_count();
+
+    let cfg = ShardSweepConfig::new(daemons.iter().map(|d| d.endpoint()).collect());
+    let outcome = shard_sweep(&spec, &cfg, &|_| {}).expect("sharded sweep");
+    assert_eq!(outcome.shards, 3, "one shard per endpoint by default");
+    assert_eq!(outcome.failovers, 0, "healthy daemons need no retries");
+    assert_eq!(
+        (outcome.hits, outcome.deduped, outcome.misses),
+        (0, 0, total),
+        "disjoint shards on a cold cache compute every cell exactly once"
+    );
+    assert_eq!(
+        outcome.report,
+        batch_bytes(&spec),
+        "the merged shard report must be byte-identical to the batch run"
+    );
+
+    // A rerun replays every cell from the shared cache, still byte-exact.
+    let rerun = shard_sweep(&spec, &cfg, &|_| {}).expect("warm sharded sweep");
+    assert_eq!((rerun.hits, rerun.misses), (total, 0), "warm shards replay");
+    assert_eq!(rerun.report, outcome.report);
+
+    for daemon in daemons {
+        daemon.shutdown();
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shard_sweep_fails_over_from_a_dead_endpoint() {
+    let dir = scratch_dir("failover");
+    let cache = dir.join("cache");
+    let daemons: Vec<TestDaemon> = (0..2)
+        .map(|i| TestDaemon::start_in(&dir, &format!("d{i}"), 2, &cache, false))
+        .collect();
+    // The first endpoint is a daemon that never existed: every shard
+    // that starts there must rotate to a survivor and still finish.
+    let mut endpoints = vec![Endpoint::unix(dir.join("dead.sock"))];
+    endpoints.extend(daemons.iter().map(|d| d.endpoint()));
+    let spec = JobSpec {
+        chips: 5,
+        ..spec(19)
+    };
+
+    let mut cfg = ShardSweepConfig::new(endpoints);
+    cfg.backoff = Duration::from_millis(10);
+    let failovers = Mutex::new(Vec::new());
+    let outcome = shard_sweep(&spec, &cfg, &|progress| {
+        if let ShardProgress::Failover {
+            shard, from, to, ..
+        } = progress
+        {
+            failovers.lock().unwrap().push((shard, from, to));
+        }
+    })
+    .expect("the sweep must survive a dead endpoint");
+
+    let failovers = failovers.into_inner().unwrap();
+    assert!(
+        !failovers.is_empty(),
+        "the shard homed on the dead endpoint must have failed over"
+    );
+    assert!(
+        failovers
+            .iter()
+            .all(|(_, from, _)| from.ends_with("dead.sock")),
+        "only the dead endpoint fails, got {failovers:?}"
+    );
+    assert_eq!(outcome.failovers, failovers.len());
+    assert_eq!(
+        outcome.report,
+        batch_bytes(&spec),
+        "failover must not change a single byte of the merged report"
+    );
+
+    for daemon in daemons {
+        daemon.shutdown();
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn http_transport_streams_the_same_bytes_as_the_socket() {
+    let daemon = TestDaemon::start("http", 2);
+    let dir = daemon.dir.clone();
+    let http = TestDaemon::start_in(&dir, "http", 2, &dir.join("cache"), true);
+    let spec = spec(23);
+    let total = build_plan(&spec).expect("valid").cell_count();
+
+    // Submit over HTTP: the chunked response streams the same protocol
+    // events, down to the terminal report bytes.
+    let mut accepted = false;
+    let terminal = client::submit(&http.http_endpoint(), &spec, |event| {
+        if matches!(event, Event::Accepted { .. }) {
+            accepted = true;
+        }
+    })
+    .expect("http submit");
+    assert!(accepted, "the HTTP stream carries the Accepted event");
+    let Event::Done {
+        report,
+        hits,
+        misses,
+        ..
+    } = terminal
+    else {
+        panic!("the HTTP job must finish, got {terminal:?}");
+    };
+    assert_eq!((hits, misses), (0, total), "cold cache over HTTP");
+    assert_eq!(report, batch_bytes(&spec));
+
+    // Control-plane round-trips work over HTTP too.
+    let status = client::roundtrip(&http.http_endpoint(), &Request::Status).expect("status");
+    assert!(
+        matches!(status, Event::Status { ref jobs } if jobs.len() == 1),
+        "HTTP status must list the finished job, got {status:?}"
+    );
+
+    // The same daemon serves its Unix socket concurrently with HTTP,
+    // replaying from the same cache.
+    let rerun = client::submit(&http.endpoint(), &spec, |_| {}).expect("socket resubmit");
+    assert!(
+        matches!(rerun, Event::Done { report: ref r, hits, .. } if *r == report && hits == total),
+        "the socket path replays what HTTP computed, got {rerun:?}"
+    );
+
+    // A sharded sweep over HTTP endpoints merges byte-exactly as well.
+    let wide = JobSpec {
+        chips: 3,
+        ..spec.clone()
+    };
+    let cfg = ShardSweepConfig::new(vec![http.http_endpoint(), http.http_endpoint()]);
+    let outcome = shard_sweep(&wide, &cfg, &|_| {}).expect("http sharded sweep");
+    assert_eq!(outcome.report, batch_bytes(&wide));
+
+    let addr_file = dir.join("http.sock.http");
+    assert!(addr_file.exists(), "the daemon publishes its bound address");
+    http.shutdown();
+    assert!(!addr_file.exists(), "shutdown removes the address file");
+    daemon.shutdown();
 }

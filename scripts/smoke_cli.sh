@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# CLI smoke: the report is byte-identical for every --threads value.
+set -euo pipefail
+MATIC=${MATIC:-./target/release/matic}
+
+"$MATIC" list
+"$MATIC" sweep --chips 2 --voltages 0.50,0.90 \
+  --benchmarks inversek2j --scale 0.2 --epochs 0.3 \
+  --threads 1 --quiet --out sweep-t1.json
+"$MATIC" sweep --chips 2 --voltages 0.50,0.90 \
+  --benchmarks inversek2j --scale 0.2 --epochs 0.3 \
+  --threads 4 --quiet --out sweep-t4.json
+cmp sweep-t1.json sweep-t4.json

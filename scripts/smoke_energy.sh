@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The accuracy-energy analysis is a pure function of the sweep report,
+# so a cold sweep, a fully cached replay, and the --report path over
+# the sweep's own JSON must all emit byte-identical energy reports.
+set -euo pipefail
+MATIC=${MATIC:-./target/release/matic}
+
+"$MATIC" energy --chips 2 --voltages 0.90,0.65,0.55,0.50 \
+  --benchmarks inversek2j --modes mat --scale 0.2 --epochs 0.3 \
+  --cache-dir energy-cache --threads 2 --quiet --out energy-cold.json
+"$MATIC" energy --chips 2 --voltages 0.90,0.65,0.55,0.50 \
+  --benchmarks inversek2j --modes mat --scale 0.2 --epochs 0.3 \
+  --cache-dir energy-cache --threads 4 --out energy-warm.json \
+  2> energy-warm-stderr.txt
+cat energy-warm-stderr.txt
+grep -q "cache: 8 hits, 0 misses" energy-warm-stderr.txt
+cmp energy-cold.json energy-warm.json
+"$MATIC" sweep --chips 2 --voltages 0.90,0.65,0.55,0.50 \
+  --benchmarks inversek2j --modes mat --scale 0.2 --epochs 0.3 \
+  --cache-dir energy-cache --threads 3 --quiet --out energy-sweep.json
+"$MATIC" energy --report energy-sweep.json \
+  --quiet --out energy-from-report.json
+cmp energy-cold.json energy-from-report.json

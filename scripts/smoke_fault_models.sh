@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Every fault model honors the same contracts: a cold cached run, a
+# warm replay, and a fresh uncached run of the same plan must all emit
+# byte-identical reports.
+set -euo pipefail
+MATIC=${MATIC:-./target/release/matic}
+
+for leg in "voltage:--voltages 0.50,0.90" \
+           "ber:--bers 0.001,0.004" \
+           "clock:--clock-stress 0.4,0.8"; do
+  name="${leg%%:*}"; axis="${leg#*:}"
+  "$MATIC" sweep --chips 2 $axis \
+    --benchmarks inversek2j --scale 0.2 --epochs 0.3 \
+    --cache-dir "model-cache-$name" --threads 2 --quiet \
+    --out "model-$name-cold.json"
+  "$MATIC" sweep --chips 2 $axis \
+    --benchmarks inversek2j --scale 0.2 --epochs 0.3 \
+    --cache-dir "model-cache-$name" --threads 4 \
+    --out "model-$name-warm.json" 2> "model-$name-warm-stderr.txt"
+  grep -q "cache: 8 hits, 0 misses" "model-$name-warm-stderr.txt"
+  cmp "model-$name-cold.json" "model-$name-warm.json"
+  "$MATIC" sweep --chips 2 $axis \
+    --benchmarks inversek2j --scale 0.2 --epochs 0.3 \
+    --no-cache --threads 3 --quiet --out "model-$name-fresh.json"
+  cmp "model-$name-cold.json" "model-$name-fresh.json"
+done

@@ -37,6 +37,8 @@ USAGE:
     matic status [OPTIONS]   list the service's jobs and their progress
     matic cancel ID [OPTS]   cancel a running job at the next cell boundary
     matic shutdown [OPTS]    drain the service and stop the daemon
+    matic shard-sweep [OPTS] split a sweep into chip-range shards across
+                             several daemons and merge the byte-identical report
     matic compare-models [OPTS]  sweep all three fault models at matched
                              stress and print the naive/MAT/MAT+canary table
     matic cache stats        show persistent sweep-cache contents
@@ -76,6 +78,9 @@ SWEEP OPTIONS (matic sweep; also accepted by matic energy):
 
 SERVE OPTIONS (matic serve):
     --listen PATH       Unix socket to serve on      [default: .matic-serve.sock]
+    --http ADDR         additionally serve the same protocol over HTTP/1.1 on
+                        ADDR (host:port; port 0 picks one); the bound address
+                        is published to <socket>.http
     --workers N         shared worker-pool threads   [default: all cores]
     --queue-depth N     bounded unit queue (backpressure) [default: 2x workers]
     --cache-dir PATH / --resume / --no-cache
@@ -83,7 +88,8 @@ SERVE OPTIONS (matic serve):
     --quiet             suppress daemon narration
 
 CLIENT OPTIONS (matic submit/status/cancel/shutdown):
-    --socket PATH       daemon socket (also --listen) [default: .matic-serve.sock]
+    --socket ADDR       daemon address: a socket path or http://host:port
+                        (also --listen)           [default: .matic-serve.sock]
     matic submit additionally takes the sweep grid options above
     (--chips/--voltages/--bers/--benchmarks/--modes/--scale/--epochs/
     --seed/--no-reuse/--out/--quiet) plus:
@@ -91,6 +97,21 @@ CLIENT OPTIONS (matic submit/status/cancel/shutdown):
     --budget-percent X / --budget-mse X   energy accuracy budgets
     Execution knobs (--threads, --cache-dir, --resume, --no-cache, --csv)
     are daemon-side and rejected by submit.
+
+SHARD-SWEEP OPTIONS (matic shard-sweep; plus the sweep grid options above):
+    --daemons LIST      comma list of daemon addresses: socket paths and/or
+                        http://host:port URLs
+    --spawn N           spawn N local daemons (sharing one scratch cache) for
+                        this run instead, and shut them down afterwards
+    --workers N         worker threads per spawned daemon [default: cores/N]
+    --shards N          shard count               [default: one per daemon]
+    --retries N         re-attempts per shard after a failure   [default: 2]
+    --backoff-ms MS     base retry backoff, doubling per retry  [default: 250]
+    --timeout-secs S    per-event read timeout, 0 waits forever [default: 60]
+    --energy            derive the energy analysis from the merged sweep
+    --budget-percent X / --budget-mse X   energy accuracy budgets
+    --out/--csv/--quiet as for matic sweep; the merged report (and CSV) is
+    byte-identical to the single-process `matic sweep` of the same grid.
 
 COMPARE OPTIONS (matic compare-models):
     --voltage V         sram-voltage model stress point     [default: 0.50]
@@ -136,6 +157,7 @@ fn main() -> ExitCode {
         Some("status") => run(run_status_command(&args[1..])),
         Some("cancel") => run(run_cancel_command(&args[1..])),
         Some("shutdown") => run(run_shutdown_command(&args[1..])),
+        Some("shard-sweep") => run(run_shard_sweep_command(&args[1..])),
         Some("compare-models") => run(run_compare_command(&args[1..])),
         Some("cache") => run(run_cache_command(&args[1..])),
         Some("list") => {
@@ -676,6 +698,7 @@ fn resolve_cache(cache_dir: Option<String>, resume: bool, no_cache: bool) -> Opt
 /// request drains it.
 fn run_serve_command(args: &[String]) -> Result<(), String> {
     let mut socket = DEFAULT_SOCKET.to_string();
+    let mut http: Option<String> = None;
     let mut workers = rayon::current_num_threads();
     let mut queue_depth: Option<usize> = None;
     let mut cache_dir: Option<String> = None;
@@ -689,6 +712,7 @@ fn run_serve_command(args: &[String]) -> Result<(), String> {
         };
         match arg.as_str() {
             "--listen" | "--socket" => socket = value(arg)?,
+            "--http" => http = Some(value("--http")?),
             "--workers" => workers = parse_nonzero(&value("--workers")?, "--workers")?,
             "--queue-depth" => {
                 queue_depth = Some(parse_nonzero(&value("--queue-depth")?, "--queue-depth")?);
@@ -706,8 +730,38 @@ fn run_serve_command(args: &[String]) -> Result<(), String> {
         cache_dir: resolve_cache(cache_dir, resume, no_cache).map(Into::into),
         queue_depth: queue_depth.unwrap_or(workers * 2),
         quiet,
+        http,
     };
     matic_serve::serve(cfg)
+}
+
+/// The wire job a parsed sweep-argument set describes (shared by
+/// `matic submit` and `matic shard-sweep`).
+fn job_spec(sweep: &SweepArgs, energy: bool, budget: AccuracyBudget) -> matic_serve::JobSpec {
+    matic_serve::JobSpec {
+        kind: if energy {
+            matic_serve::JobKind::Energy
+        } else {
+            matic_serve::JobKind::Sweep
+        },
+        chips: sweep.chips,
+        voltages: sweep.voltages.clone(),
+        bers: sweep.bers.clone(),
+        clock: sweep.clock.clone(),
+        benchmarks: sweep
+            .benchmarks
+            .split(',')
+            .map(|b| b.trim().to_string())
+            .collect(),
+        modes: sweep.modes.iter().map(|m| m.name().to_string()).collect(),
+        data_scale: sweep.scale,
+        epoch_scale: sweep.epochs,
+        seed: sweep.seed,
+        no_reuse: matches!(sweep.reuse, ReusePolicy::PerPoint),
+        budget_percent: budget.percent,
+        budget_mse: budget.mse,
+        chip_range: None,
+    }
 }
 
 /// `matic submit`: send one job to the service, stream its progress,
@@ -748,32 +802,10 @@ fn run_submit_command(args: &[String]) -> Result<(), String> {
     if sweep.csv.is_some() {
         return Err("submit streams the JSON report only; use `matic sweep --csv` locally".into());
     }
-    let spec = matic_serve::JobSpec {
-        kind: if energy {
-            matic_serve::JobKind::Energy
-        } else {
-            matic_serve::JobKind::Sweep
-        },
-        chips: sweep.chips,
-        voltages: sweep.voltages.clone(),
-        bers: sweep.bers.clone(),
-        clock: sweep.clock.clone(),
-        benchmarks: sweep
-            .benchmarks
-            .split(',')
-            .map(|b| b.trim().to_string())
-            .collect(),
-        modes: sweep.modes.iter().map(|m| m.name().to_string()).collect(),
-        data_scale: sweep.scale,
-        epoch_scale: sweep.epochs,
-        seed: sweep.seed,
-        no_reuse: matches!(sweep.reuse, ReusePolicy::PerPoint),
-        budget_percent: budget.percent,
-        budget_mse: budget.mse,
-    };
+    let spec = job_spec(&sweep, energy, budget);
     let quiet = sweep.quiet;
-    let socket = Path::new(&socket);
-    let outcome = matic_serve::client::submit(socket, &spec, |event| match event {
+    let endpoint = matic_serve::Endpoint::parse(&socket);
+    let outcome = matic_serve::client::submit(&endpoint, &spec, |event| match event {
         matic_serve::Event::Accepted { id, cells_total } => {
             narrate(
                 quiet,
@@ -837,8 +869,9 @@ fn run_submit_command(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Parses the one option every client command shares.
-fn parse_socket_only(args: &[String], command: &str) -> Result<String, String> {
+/// Parses the one option every client command shares: the daemon
+/// address (a Unix socket path or an `http://host:port` URL).
+fn parse_socket_only(args: &[String], command: &str) -> Result<matic_serve::Endpoint, String> {
     let mut socket = DEFAULT_SOCKET.to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -852,13 +885,13 @@ fn parse_socket_only(args: &[String], command: &str) -> Result<String, String> {
             other => return Err(format!("unknown option `{other}` for matic {command}")),
         }
     }
-    Ok(socket)
+    Ok(matic_serve::Endpoint::parse(&socket))
 }
 
 /// `matic status`: one line per job the daemon knows about.
 fn run_status_command(args: &[String]) -> Result<(), String> {
-    let socket = parse_socket_only(args, "status")?;
-    match matic_serve::client::roundtrip(Path::new(&socket), &matic_serve::Request::Status)? {
+    let endpoint = parse_socket_only(args, "status")?;
+    match matic_serve::client::roundtrip(&endpoint, &matic_serve::Request::Status)? {
         matic_serve::Event::Status { jobs } => {
             if jobs.is_empty() {
                 println!("no jobs");
@@ -898,8 +931,8 @@ fn run_cancel_command(args: &[String]) -> Result<(), String> {
         Some(first) if !first.starts_with("--") => parse(first, "job id")?,
         _ => return Err("cancel needs a job id: matic cancel ID [--socket PATH]".into()),
     };
-    let socket = parse_socket_only(&args[1..], "cancel")?;
-    match matic_serve::client::roundtrip(Path::new(&socket), &matic_serve::Request::Cancel(id))? {
+    let endpoint = parse_socket_only(&args[1..], "cancel")?;
+    match matic_serve::client::roundtrip(&endpoint, &matic_serve::Request::Cancel(id))? {
         matic_serve::Event::CancelOk { id, phase } => {
             println!("job {id}: cancel requested (was {phase})");
             Ok(())
@@ -911,8 +944,8 @@ fn run_cancel_command(args: &[String]) -> Result<(), String> {
 
 /// `matic shutdown`: drain in-flight cells and stop the daemon.
 fn run_shutdown_command(args: &[String]) -> Result<(), String> {
-    let socket = parse_socket_only(args, "shutdown")?;
-    match matic_serve::client::roundtrip(Path::new(&socket), &matic_serve::Request::Shutdown)? {
+    let endpoint = parse_socket_only(args, "shutdown")?;
+    match matic_serve::client::roundtrip(&endpoint, &matic_serve::Request::Shutdown)? {
         matic_serve::Event::ShutdownOk { jobs_drained } => {
             println!("daemon drained ({jobs_drained} live jobs stopped) and exiting");
             Ok(())
@@ -920,6 +953,305 @@ fn run_shutdown_command(args: &[String]) -> Result<(), String> {
         matic_serve::Event::Error { reason } => Err(reason),
         other => Err(format!("unexpected shutdown answer: {other:?}")),
     }
+}
+
+/// A scratch cluster of `matic serve` children backing one
+/// `shard-sweep --spawn` run: unique sockets in a temp dir, one shared
+/// content-addressed cache, drained and removed when the merge lands.
+struct SpawnedCluster {
+    dir: std::path::PathBuf,
+    sockets: Vec<std::path::PathBuf>,
+    children: Vec<std::process::Child>,
+}
+
+impl SpawnedCluster {
+    fn launch(
+        n: usize,
+        workers: Option<usize>,
+        cache_dir: Option<String>,
+        no_cache: bool,
+        quiet: bool,
+    ) -> Result<SpawnedCluster, String> {
+        let exe = std::env::current_exe().map_err(|e| format!("locating the matic binary: {e}"))?;
+        let dir = std::env::temp_dir().join(format!("matic-shard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("creating scratch dir {}: {e}", dir.display()))?;
+        // The shared cache is what makes failover cheap: cells a dying
+        // daemon checkpointed replay on the survivor instead of
+        // recomputing. --no-cache turns that off for cold-timing runs.
+        let cache = (!no_cache)
+            .then(|| cache_dir.unwrap_or_else(|| dir.join("cache").display().to_string()));
+        let workers = workers.unwrap_or_else(|| (rayon::current_num_threads() / n).max(1));
+        let mut cluster = SpawnedCluster {
+            dir: dir.clone(),
+            sockets: Vec::new(),
+            children: Vec::new(),
+        };
+        for i in 0..n {
+            let socket = dir.join(format!("d{i}.sock"));
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("serve")
+                .arg("--listen")
+                .arg(&socket)
+                .arg("--workers")
+                .arg(workers.to_string())
+                .arg("--quiet");
+            if let Some(cache) = &cache {
+                cmd.arg("--cache-dir").arg(cache);
+            }
+            match cmd.spawn() {
+                Ok(child) => {
+                    cluster.children.push(child);
+                    cluster.sockets.push(socket);
+                }
+                Err(e) => {
+                    cluster.teardown(quiet);
+                    return Err(format!("spawning daemon {i}: {e}"));
+                }
+            }
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        for socket in &cluster.sockets {
+            while !socket.exists() {
+                if std::time::Instant::now() >= deadline {
+                    let socket = socket.display().to_string();
+                    cluster.teardown(quiet);
+                    return Err(format!("spawned daemon never bound {socket}"));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+        narrate(
+            quiet,
+            format_args!(
+                "shard-sweep: spawned {n} daemons x {workers} workers under {}",
+                dir.display()
+            ),
+        );
+        Ok(cluster)
+    }
+
+    fn endpoints(&self) -> Vec<matic_serve::Endpoint> {
+        self.sockets
+            .iter()
+            .map(matic_serve::Endpoint::unix)
+            .collect()
+    }
+
+    /// Drains every daemon, reaps the children (killing any that
+    /// ignores the drain), and removes the scratch dir. A user-supplied
+    /// --cache-dir lives outside the scratch dir and survives.
+    fn teardown(mut self, quiet: bool) {
+        for socket in &self.sockets {
+            let _ = matic_serve::client::roundtrip(
+                &matic_serve::Endpoint::unix(socket),
+                &matic_serve::Request::Shutdown,
+            );
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        for child in &mut self.children {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) | Err(_) => break,
+                    Ok(None) if std::time::Instant::now() >= deadline => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                    Ok(None) => std::thread::sleep(std::time::Duration::from_millis(25)),
+                }
+            }
+        }
+        narrate(quiet, format_args!("shard-sweep: cluster drained"));
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// `matic shard-sweep`: split one sweep into chip-range shards, farm
+/// them out to several daemons, and merge the byte-identical report.
+fn run_shard_sweep_command(args: &[String]) -> Result<(), String> {
+    let mut sweep = SweepArgs::default();
+    let mut daemons: Vec<String> = Vec::new();
+    let mut spawn: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut retries: Option<usize> = None;
+    let mut backoff_ms: Option<u64> = None;
+    let mut timeout_secs: Option<u64> = None;
+    let mut energy = false;
+    let mut budget = AccuracyBudget::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--daemons" => {
+                daemons = value("--daemons")?
+                    .split(',')
+                    .map(|d| d.trim().to_string())
+                    .filter(|d| !d.is_empty())
+                    .collect();
+            }
+            "--spawn" => spawn = Some(parse_nonzero(&value("--spawn")?, "--spawn")?),
+            "--workers" => workers = Some(parse_nonzero(&value("--workers")?, "--workers")?),
+            "--shards" => shards = Some(parse_nonzero(&value("--shards")?, "--shards")?),
+            "--retries" => retries = Some(parse(&value("--retries")?, "--retries")?),
+            "--backoff-ms" => backoff_ms = Some(parse(&value("--backoff-ms")?, "--backoff-ms")?),
+            "--timeout-secs" => {
+                timeout_secs = Some(parse(&value("--timeout-secs")?, "--timeout-secs")?);
+            }
+            "--energy" => energy = true,
+            "--budget-percent" => {
+                budget.percent = parse(&value("--budget-percent")?, "--budget-percent")?;
+            }
+            "--budget-mse" => budget.mse = parse(&value("--budget-mse")?, "--budget-mse")?,
+            other => {
+                if !sweep.try_parse(other, &mut it)? {
+                    return Err(format!("unknown option `{other}` (see `matic help`)"));
+                }
+            }
+        }
+    }
+    if sweep.threads.is_some() {
+        return Err(
+            "--threads is a daemon-side knob; use --workers for spawned daemons \
+             or set it on each `matic serve`"
+                .into(),
+        );
+    }
+    match (daemons.is_empty(), spawn) {
+        (false, Some(_)) => return Err("--daemons and --spawn are mutually exclusive".into()),
+        (true, None) => return Err("shard-sweep needs daemons: --daemons LIST or --spawn N".into()),
+        _ => {}
+    }
+    if spawn.is_none() {
+        if sweep.cache_dir.is_some() || sweep.resume || sweep.no_cache {
+            return Err(
+                "--cache-dir/--resume/--no-cache configure spawned daemons; with \
+                 --daemons the cache belongs to each `matic serve`"
+                    .into(),
+            );
+        }
+        if workers.is_some() {
+            return Err(
+                "--workers sizes spawned daemons; with --daemons set it on each \
+                 `matic serve`"
+                    .into(),
+            );
+        }
+    }
+
+    let spec = job_spec(&sweep, energy, budget);
+    let quiet = sweep.quiet;
+    let mut cluster: Option<SpawnedCluster> = None;
+    let endpoints: Vec<matic_serve::Endpoint> = match spawn {
+        Some(n) => {
+            let c = SpawnedCluster::launch(n, workers, sweep.cache_path(), sweep.no_cache, quiet)?;
+            let eps = c.endpoints();
+            cluster = Some(c);
+            eps
+        }
+        None => daemons
+            .iter()
+            .map(|d| matic_serve::Endpoint::parse(d))
+            .collect(),
+    };
+
+    let mut cfg = matic_serve::ShardSweepConfig::new(endpoints);
+    cfg.shards = shards;
+    if let Some(n) = retries {
+        cfg.retries = n;
+    }
+    if let Some(ms) = backoff_ms {
+        cfg.backoff = std::time::Duration::from_millis(ms);
+    }
+    if let Some(secs) = timeout_secs {
+        cfg.timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+    }
+
+    let start = std::time::Instant::now();
+    let result = matic_serve::shard_sweep(&spec, &cfg, &|progress| match progress {
+        matic_serve::ShardProgress::Event {
+            shard,
+            endpoint,
+            event,
+        } => match event {
+            matic_serve::Event::Accepted { id, cells_total } => narrate(
+                quiet,
+                format_args!(
+                    "shard {shard}: job {id} accepted on {endpoint} ({cells_total} cells)"
+                ),
+            ),
+            matic_serve::Event::Progress {
+                id, done, total, ..
+            } => narrate(
+                quiet,
+                format_args!("shard {shard}: job {id} {done}/{total} cells on {endpoint}"),
+            ),
+            _ => {}
+        },
+        matic_serve::ShardProgress::Failover {
+            shard,
+            from,
+            to,
+            reason,
+            delay,
+        } => narrate(
+            quiet,
+            format_args!("shard {shard}: {from} failed ({reason}); retrying on {to} in {delay:?}"),
+        ),
+    });
+    if let Some(cluster) = cluster {
+        cluster.teardown(quiet);
+    }
+    let outcome = result?;
+    let elapsed = start.elapsed();
+
+    let out = sweep.out.clone().unwrap_or_else(|| {
+        if energy {
+            "matic-energy.json".to_string()
+        } else {
+            "matic-sweep.json".to_string()
+        }
+    });
+    matic_harness::write_atomic(Path::new(&out), &outcome.report)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    if let Some(path) = &sweep.csv {
+        // The merged run is local, so (unlike submit) the CSV views are
+        // available — and byte-identical to the single-process ones.
+        let csv = if energy {
+            matic_harness::energy_report(&outcome.run.report, budget)
+                .map_err(|e| e.to_string())?
+                .to_csv()
+        } else {
+            outcome.run.report.to_csv()
+        };
+        matic_harness::write_atomic(Path::new(path), &csv)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    narrate(
+        quiet,
+        format_args!(
+            "shard-sweep: {} shards, {} failovers, {} hits, {} deduped, {} misses \
+             in {:.1}s -> {out}{}",
+            outcome.shards,
+            outcome.failovers,
+            outcome.hits,
+            outcome.deduped,
+            outcome.misses,
+            elapsed.as_secs_f64(),
+            sweep
+                .csv
+                .as_ref()
+                .map(|p| format!(" + {p}"))
+                .unwrap_or_default(),
+        ),
+    );
+    Ok(())
 }
 
 /// `matic cache stats|clear [--cache-dir PATH]`.
@@ -1327,6 +1659,69 @@ mod tests {
             no_selection_reason("EnOpt_joint", &feasible_low),
             "unclockable"
         );
+    }
+
+    #[test]
+    fn shard_sweep_requires_a_daemon_mode() {
+        let err = run_shard_sweep_command(&[]).unwrap_err();
+        assert!(err.contains("--daemons LIST or --spawn N"), "{err}");
+        let args: Vec<String> = ["--daemons", "a.sock", "--spawn", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run_shard_sweep_command(&args).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn shard_sweep_rejects_misplaced_execution_knobs() {
+        // --threads belongs to the daemons in either mode.
+        let args: Vec<String> = ["--spawn", "2", "--threads", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run_shard_sweep_command(&args).unwrap_err();
+        assert!(err.contains("daemon-side"), "{err}");
+        // Cache and worker knobs only make sense for daemons this
+        // command spawns itself.
+        for extra in [
+            vec!["--cache-dir", "c"],
+            vec!["--resume"],
+            vec!["--no-cache"],
+            vec!["--workers", "2"],
+        ] {
+            let mut args = vec!["--daemons".to_string(), "a.sock,b.sock".to_string()];
+            args.extend(extra.iter().map(|s| s.to_string()));
+            let err = run_shard_sweep_command(&args).unwrap_err();
+            assert!(err.contains("spawned daemons"), "{extra:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn shard_sweep_counts_reject_zero() {
+        for (args, what) in [
+            (vec!["--spawn", "0"], "--spawn"),
+            (vec!["--daemons", "a.sock", "--shards", "0"], "--shards"),
+        ] {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let err = run_shard_sweep_command(&args).unwrap_err();
+            assert!(err.contains("at least 1"), "{what}: {err}");
+        }
+    }
+
+    #[test]
+    fn client_addresses_parse_to_endpoints() {
+        let args: Vec<String> = ["--socket", "http://10.0.0.7:4500"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let endpoint = parse_socket_only(&args, "status").unwrap();
+        assert_eq!(
+            endpoint,
+            matic_serve::Endpoint::Http("10.0.0.7:4500".to_string())
+        );
+        let endpoint = parse_socket_only(&[], "status").unwrap();
+        assert_eq!(endpoint, matic_serve::Endpoint::unix(DEFAULT_SOCKET));
     }
 
     #[test]
