@@ -5,10 +5,27 @@
 //! over-parameterization (Figure 9b)" — each point in the figure is a
 //! unique DNN topology; the chosen ones sit at the knee of the error-vs-
 //! size curve.
+//!
+//! Beyond the paper's hidden-width axis, this sweep also walks the two
+//! axes the layer-chain core opened: deeper MLPs (two hidden layers) and
+//! conv chains over the image-shaped inputs (MNIST's 10x10, FaceDet's
+//! 20x20) — showing the Table I shapes stay at the knee even against
+//! structurally different candidates.
 
 use matic_bench::{header, Effort};
 use matic_datasets::Benchmark;
-use matic_nn::{classification_error_percent, mean_squared_error, Mlp};
+use matic_nn::{classification_error_percent, mean_squared_error, Mlp, NetSpec};
+
+/// Builds a candidate topology from the DSL, adopting the benchmark's
+/// output activation and loss so every candidate trains under the same
+/// metric as its Table I reference.
+fn candidate(bench: Benchmark, dsl: &str) -> NetSpec {
+    let reference = bench.topology();
+    NetSpec::parse_topology(dsl)
+        .expect("valid topology DSL")
+        .with_output_activation(reference.output)
+        .with_loss(reference.loss)
+}
 
 fn main() {
     let effort = Effort::from_env();
@@ -17,23 +34,57 @@ fn main() {
         "the Table I topologies sit at the knee (compact, not overparameterized)",
     );
 
-    let hidden_sweep: &[(Benchmark, &[usize], usize)] = &[
-        (Benchmark::Mnist, &[4, 8, 16, 24, 32, 48, 64], 32),
-        (Benchmark::FaceDet, &[2, 4, 8, 16, 32], 8),
-        (Benchmark::InverseK2j, &[2, 4, 8, 16, 32], 16),
-        (Benchmark::BScholes, &[2, 4, 8, 16, 32], 16),
+    // (benchmark, candidate DSLs, the Table I selection).
+    let sweeps: &[(Benchmark, &[&str], &str)] = &[
+        (
+            Benchmark::Mnist,
+            &[
+                "100;4;10",
+                "100;8;10",
+                "100;16;10",
+                "100;32;10",
+                "100;64;10",
+                "100;32;16;10",
+                "100;48;24;10",
+                "10x10x1;conv3x2;pool2;dense10",
+                "10x10x1;conv3x4;pool2;dense10",
+                "10x10x1;conv3x8;pool2;dense10",
+            ],
+            "100;32;10",
+        ),
+        (
+            Benchmark::FaceDet,
+            &[
+                "400;2;1",
+                "400;4;1",
+                "400;8;1",
+                "400;16;1",
+                "400;32;1",
+                "400;16;8;1",
+                "20x20x1;conv3x2;pool2;dense1",
+                "20x20x1;conv3x4;pool2;dense1",
+            ],
+            "400;8;1",
+        ),
+        (
+            Benchmark::InverseK2j,
+            &["2;2;2", "2;4;2", "2;8;2", "2;16;2", "2;32;2", "2;16;8;2"],
+            "2;16;2",
+        ),
+        (
+            Benchmark::BScholes,
+            &["6;2;1", "6;4;1", "6;8;1", "6;16;1", "6;32;1", "6;16;8;1"],
+            "6;16;1",
+        ),
     ];
 
-    for &(bench, widths, chosen) in hidden_sweep {
+    for &(bench, dsls, chosen) in sweeps {
         let split = bench.generate_scaled(effort.seed, effort.data_scale);
-        println!("\n[{bench}]  (paper-selected hidden width: {chosen})");
-        println!("{:>8} | {:>9} | {:>10}", "hidden", "params", "test err");
-        println!("{:-<8}-+-{:-<9}-+-{:-<10}", "", "", "");
-        for &h in widths {
-            // Same activations/loss as the benchmark's reference topology,
-            // with the hidden width swept.
-            let mut spec = bench.topology();
-            spec.layers[1] = h;
+        println!("\n[{bench}]  (paper-selected topology: {chosen})");
+        println!("{:>30} | {:>9} | {:>10}", "topology", "params", "test err");
+        println!("{:-<30}-+-{:-<9}-+-{:-<10}", "", "", "");
+        for &dsl in dsls {
+            let spec = candidate(bench, dsl);
             let params = spec.param_count();
             let mut net = Mlp::init(spec, effort.seed);
             net.train(&split.train, &effort.mat_config(bench).sgd, effort.seed + 1);
@@ -42,10 +93,11 @@ fn main() {
             } else {
                 format!("{:>10.4}", mean_squared_error(&net, &split.test))
             };
-            let marker = if h == chosen { "  <= selected" } else { "" };
-            println!("{h:>8} | {params:>9} | {err}{marker}");
+            let marker = if dsl == chosen { "  <= selected" } else { "" };
+            println!("{dsl:>30} | {params:>9} | {err}{marker}");
         }
     }
-    println!("\nshape check: error flattens near the selected width; larger");
-    println!("topologies buy little accuracy while inflating SRAM footprint.");
+    println!("\nshape check: error flattens near the selected topology; larger,");
+    println!("deeper, or convolutional candidates buy little accuracy while");
+    println!("inflating SRAM footprint.");
 }

@@ -176,6 +176,53 @@ fn bench_inference(c: &mut Criterion) {
     });
 }
 
+/// A trained conv-chain model on the same overscaled chip: MNIST's
+/// 100-pixel input viewed as a 10x10 image through
+/// `conv3x4 -> pool2 -> dense10`. The layer-chain counterpart of
+/// [`inference_fixture`], at matched input width and fault pressure.
+fn conv_fixture() -> (TrainedModel, Chip, Snnac, Program, Vec<Sample>) {
+    let spec =
+        matic_nn::NetSpec::parse_topology("10x10x1;conv3x4;pool2;dense10").expect("valid chain");
+    let split = Benchmark::Mnist.generate_scaled(1, 0.05);
+    let cfg = MatConfig {
+        sgd: SgdConfig {
+            epochs: 2,
+            ..SgdConfig::default()
+        },
+        ..MatConfig::paper()
+    };
+    let model = train_naive(&spec, &split.train, &cfg, 8, 576);
+    let mut chip = Chip::synthesize(ChipConfig::snnac(), 5);
+    upload_weights(&model, chip.array_mut());
+    chip.set_sram_voltage(0.50);
+    let npu = Snnac::snnac(model.format());
+    let program = Program::compile(model.master().spec(), npu.pe_count());
+    (model, chip, npu, program, split.test)
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let (model, mut chip, npu, program, test) = conv_fixture();
+    let input = test[0].input.clone();
+
+    // Whole-layer conv/pool micro-ops over the composed artifact: the
+    // extended-topology inference hot path.
+    let weights = FaultedWeights::from_array(model.layout(), model.format(), chip.array_mut());
+    c.bench_function("npu_inference_conv_composed", |b| {
+        b.iter(|| black_box(npu.execute_composed(&program, &weights, black_box(&input))))
+    });
+
+    // The chain backward pass (conv/pool gradients via the per-sample
+    // fallback), per 8-sample batch.
+    let master = model.master().clone();
+    let batch: Vec<Sample> = test.iter().take(8).cloned().collect();
+    c.bench_function("chain_gradients_conv_batch8", |b| {
+        b.iter(|| {
+            let grads = master.gradients(black_box(&batch));
+            black_box(grads.weights[0].get(0, 0))
+        })
+    });
+}
+
 fn bench_quantizer(c: &mut Criterion) {
     let bench = Benchmark::Mnist;
     let spec = bench.topology();
@@ -242,6 +289,7 @@ fn main() {
     bench_masking(&mut c);
     bench_profiling(&mut c);
     bench_inference(&mut c);
+    bench_conv(&mut c);
     bench_quantizer(&mut c);
     bench_mat_step(&mut c);
 

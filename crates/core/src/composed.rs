@@ -73,7 +73,10 @@ impl FaultedWeights {
         let mut layers = Vec::with_capacity(spec.depth());
         let mut biases = Vec::with_capacity(spec.depth());
         for layer in 0..spec.depth() {
-            let (fan_in, fan_out) = (spec.layers[layer], spec.layers[layer + 1]);
+            // Per-layer weight extent: dense (fan_out, fan_in), conv
+            // (filters, kernel taps), pooling (0, 0) — parameterless
+            // stages compose an empty tensor and read nothing.
+            let (fan_out, fan_in) = spec.layer_spec(layer).weight_extent();
             let mut weights = FxTensor::zeros(fan_out, fan_in, fmt);
             let mut bias = Vec::with_capacity(fan_out);
             for row in 0..fan_out {

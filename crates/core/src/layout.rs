@@ -84,13 +84,15 @@ impl WeightLayout {
         assert!(banks > 0, "need at least one bank");
         let mut layer_base = vec![Vec::with_capacity(spec.depth()); banks];
         let mut used = vec![0usize; banks];
-        for l in 0..spec.depth() {
-            let fan_in = spec.layers[l];
-            let fan_out = spec.layers[l + 1];
+        // Geometry comes from the per-layer weight extents (neurons ×
+        // fan-in per neuron), so dense and convolutional layers place
+        // identically — a conv filter is one neuron whose weights are its
+        // kernel taps — and parameterless stages occupy zero words.
+        for (rows, cols) in spec.param_extents() {
             for (b, base) in layer_base.iter_mut().enumerate() {
                 base.push(used[b]);
-                let neurons = neurons_in_bank(fan_out, b, banks);
-                used[b] += neurons * (fan_in + 1);
+                let neurons = neurons_in_bank(rows, b, banks);
+                used[b] += neurons * (cols + 1);
             }
         }
         for (b, &u) in used.iter().enumerate() {
@@ -142,8 +144,7 @@ impl WeightLayout {
             ParamRef::Bias { layer, row } => (layer, row, None),
         };
         assert!(layer < self.spec.depth(), "layer {layer} out of range");
-        let fan_in = self.spec.layers[layer];
-        let fan_out = self.spec.layers[layer + 1];
+        let (fan_out, fan_in) = self.spec.layer_spec(layer).weight_extent();
         assert!(row < fan_out, "row {row} out of range");
         let bank = row % self.banks;
         let slot = row / self.banks; // how many earlier neurons share the bank
@@ -162,8 +163,7 @@ impl WeightLayout {
     /// Iterates over every parameter with its location, in storage order.
     pub fn entries(&self) -> impl Iterator<Item = (ParamRef, Location)> + '_ {
         (0..self.spec.depth()).flat_map(move |layer| {
-            let fan_in = self.spec.layers[layer];
-            let fan_out = self.spec.layers[layer + 1];
+            let (fan_out, fan_in) = self.spec.layer_spec(layer).weight_extent();
             (0..fan_out).flat_map(move |row| {
                 (0..=fan_in).map(move |c| {
                     let param = if c < fan_in {
@@ -281,6 +281,32 @@ mod tests {
         let locs: Vec<usize> = layout.entries().map(|(_, l)| l.word).collect();
         let expected: Vec<usize> = (0..layout.param_count()).collect();
         assert_eq!(locs, expected);
+    }
+
+    #[test]
+    fn conv_chain_places_filters_as_neurons_and_pools_nothing() {
+        let spec = NetSpec::parse_topology("10x10x1;conv3x4;pool2;dense10").unwrap();
+        let layout = WeightLayout::new(&spec, 8, 576).unwrap();
+        // Filter f of the conv layer behaves like neuron f: bank f % 8,
+        // 9 kernel taps then the bias.
+        let w = layout.location_of(ParamRef::Weight {
+            layer: 0,
+            row: 3,
+            col: 8,
+        });
+        let b = layout.location_of(ParamRef::Bias { layer: 0, row: 3 });
+        assert_eq!(w.bank, 3);
+        assert_eq!(b.word, w.word + 1);
+        // Every parameter (conv taps + dense) lands on a unique word;
+        // the pool stage contributes none.
+        let mut seen = HashSet::new();
+        let mut count = 0;
+        for (_, loc) in layout.entries() {
+            assert!(seen.insert(loc), "duplicate location {loc:?}");
+            count += 1;
+        }
+        assert_eq!(count, spec.param_count());
+        assert_eq!(count, 4 * 10 + 10 * 65);
     }
 
     #[test]

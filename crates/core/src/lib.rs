@@ -67,7 +67,8 @@ pub use flow::{upload_weights, DeployedModel, DeploymentFlow};
 pub use layout::{LayoutError, Location, ParamRef, WeightLayout};
 pub use mat::{train_naive, MatConfig, MatTrainer, TrainedModel, UpdateRule};
 pub use models::{
-    drop_surrogate_map, CellFaults, FaultContext, FaultModel, RandomBer, SramVoltage, TimingError,
+    drop_surrogate_map, fitted_array_config, CellFaults, FaultContext, FaultModel, RandomBer,
+    SramVoltage, TimingError,
 };
 pub use quantizer::{ComposedQuantizer, MaskedQuantizer};
 

@@ -30,9 +30,10 @@
 use crate::layout::WeightLayout;
 use matic_fixed::QFormat;
 use matic_nn::kernel::MacDropSpec;
+use matic_nn::NetSpec;
 use matic_sram::fingerprint::{fingerprint_of, Fingerprint};
 use matic_sram::inject::random_flip_map;
-use matic_sram::{ArrayConfig, FaultMap};
+use matic_sram::{ArrayConfig, FaultMap, SramConfig};
 use std::fmt;
 
 /// Everything a model may key its per-cell fault content on. All fields
@@ -202,7 +203,13 @@ impl RandomBer {
 
     /// SNNAC geometry with the robust Q1.14 weight range.
     pub fn snnac() -> Self {
-        Self::new(ArrayConfig::default(), QFormat::snnac_weight_robust())
+        Self::snnac_sized(ArrayConfig::default())
+    }
+
+    /// The SNNAC recipe (robust Q1.14 weights) over a custom geometry —
+    /// e.g. one grown by [`fitted_array_config`] for a larger topology.
+    pub fn snnac_sized(array: ArrayConfig) -> Self {
+        Self::new(array, QFormat::snnac_weight_robust())
     }
 }
 
@@ -290,7 +297,13 @@ impl TimingError {
 
     /// SNNAC geometry with the default 0.25 timing-slack onset.
     pub fn snnac() -> Self {
-        Self::new(ArrayConfig::default(), 0.25)
+        Self::snnac_sized(ArrayConfig::default())
+    }
+
+    /// The SNNAC recipe (0.25 onset) over a custom geometry — e.g. one
+    /// grown by [`fitted_array_config`] for a larger topology.
+    pub fn snnac_sized(array: ArrayConfig) -> Self {
+        Self::new(array, 0.25)
     }
 
     /// Per-MAC drop probability at normalized clock stress `s`.
@@ -358,6 +371,40 @@ impl FaultModel for TimingError {
         f.write_u128(fingerprint_of(&self.array));
         f.write_u64(self.onset.to_bits());
         f.finish()
+    }
+}
+
+/// Derives an array geometry fitted to a topology's per-layer weight
+/// extents: keeps the template's bank count, word width and cell
+/// statistics, and — only when the network does not fit — grows each
+/// bank by whole macros of the template's word depth (adding another
+/// weight-SRAM macro per PE, the way a larger SNNAC variant would be
+/// floorplanned).
+///
+/// Returns the template **unchanged** whenever the network fits, so
+/// every topology that fits the stock 8 × 576 × 16 complex (all four
+/// paper benchmarks) keeps its exact chip-config fingerprint — and with
+/// it every cache key.
+pub fn fitted_array_config(spec: &NetSpec, template: &ArrayConfig) -> ArrayConfig {
+    let banks = template.banks.max(1);
+    // Round-robin placement: bank b holds ⌈(rows − b)/banks⌉ neurons of
+    // each layer, each occupying fan-in + 1 (bias) words. Bank 0 is
+    // always the fullest.
+    let worst: usize = spec
+        .param_extents()
+        .iter()
+        .map(|&(rows, cols)| (rows.div_ceil(banks)) * (cols + 1))
+        .sum();
+    if worst <= template.bank.words {
+        return template.clone();
+    }
+    let macro_words = template.bank.words.max(1);
+    ArrayConfig {
+        banks,
+        bank: SramConfig {
+            words: worst.div_ceil(macro_words) * macro_words,
+            ..template.bank.clone()
+        },
     }
 }
 
@@ -524,6 +571,39 @@ mod tests {
                 assert_eq!(faults.map.banks().len(), dynref.geometry().banks);
             }
         }
+    }
+
+    #[test]
+    fn fitted_geometry_keeps_fitting_topologies_verbatim() {
+        let template = ArrayConfig::snnac();
+        for layers in [
+            vec![100, 32, 10],
+            vec![400, 8, 1],
+            vec![2, 16, 2],
+            vec![6, 16, 1],
+        ] {
+            let spec = NetSpec::classifier(&layers);
+            assert_eq!(
+                fitted_array_config(&spec, &template),
+                template,
+                "{layers:?} fits the stock complex and must not re-size it"
+            );
+        }
+        let conv = NetSpec::parse_topology("10x10x1;conv3x4;pool2;dense10").unwrap();
+        assert_eq!(fitted_array_config(&conv, &template), template);
+    }
+
+    #[test]
+    fn fitted_geometry_grows_by_whole_macros() {
+        let template = ArrayConfig::snnac();
+        let big = NetSpec::classifier(&[1000, 64, 10]);
+        let fitted = fitted_array_config(&big, &template);
+        assert_eq!(fitted.banks, 8);
+        assert_eq!(fitted.bank.word_bits, 16);
+        // Bank 0 holds 8 hidden neurons × 1001 words + 2 output neurons
+        // × 65 words = 8138 words → 15 macros of 576.
+        assert_eq!(fitted.bank.words, 8138usize.div_ceil(576) * 576);
+        assert!(WeightLayout::new(&big, fitted.banks, fitted.bank.words).is_ok());
     }
 
     #[test]

@@ -201,7 +201,7 @@ impl ComposedQuantizer {
             None => clean,
         };
         for layer in 0..spec.depth() {
-            let (fan_in, fan_out) = (spec.layers[layer], spec.layers[layer + 1]);
+            let (fan_out, fan_in) = spec.layer_spec(layer).weight_extent();
             let mut masks = LayerMasks {
                 w_or: Vec::with_capacity(fan_out * fan_in),
                 w_and: Vec::with_capacity(fan_out * fan_in),

@@ -68,6 +68,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// model) are orphaned.
 pub const CACHE_SCHEMA: &str = "matic.sweep-cache/v3";
 
+/// Key-schema tag for cells of extended (conv/pool) topologies. Plain
+/// dense MLP scenarios keep keying under [`CACHE_SCHEMA`] — every v3
+/// entry stays a valid hit through the layer-chain refactor — while
+/// extended-topology cells (whose records are summarized under report
+/// schema v4) are namespaced apart so a v3-era reader never replays
+/// them. The on-disk entry envelope is unchanged (same [`CellRecord`]
+/// layout), so both generations share one cache directory.
+pub const CACHE_SCHEMA_V4: &str = "matic.sweep-cache/v4";
+
 /// The grid position of one cell, as the cache key builder consumes it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CellCoords {
@@ -185,9 +194,14 @@ impl UnitKeyPrefix {
     pub fn new(plan: &SweepPlan, scen_idx: usize, chip_idx: usize) -> UnitKeyPrefix {
         let scen = &*plan.scenarios[scen_idx];
         let mut key = CellKey::new();
+        let schema = if scen.topology().is_plain_dense() {
+            CACHE_SCHEMA
+        } else {
+            CACHE_SCHEMA_V4
+        };
         key.push(
             "schema",
-            format!("{CACHE_SCHEMA};pkg={}", env!("CARGO_PKG_VERSION")),
+            format!("{schema};pkg={}", env!("CARGO_PKG_VERSION")),
         );
         // Benchmark identity: name, topology, metric and the dataset's
         // exact provenance (seed + scale).

@@ -61,7 +61,9 @@
 
 use crate::cache::{CacheUsage, CellKey, SweepCache, UnitKeyPrefix};
 use crate::plan::{ReusePolicy, StressAxis, SweepPlan, TrainingMode};
-use crate::report::{CellEnergy, CellRecord, PlanSummary, SweepReport, REPORT_SCHEMA};
+use crate::report::{
+    CellEnergy, CellRecord, PlanSummary, SweepReport, REPORT_SCHEMA, REPORT_SCHEMA_V4,
+};
 use crate::scenario::Scenario;
 use crate::sched::{
     par_chunked, CancelledSweep, CellOrigin, ExecContext, Resolution, SweepOutcome, UnitOutcome,
@@ -208,9 +210,34 @@ pub fn assemble_sweep(
         });
     }
     let points = SweepReport::summarize(&cells);
+    // Plans sweeping only plain dense MLPs keep the exact v3 byte layout;
+    // an extended (conv/pool) topology upgrades the report to v4 and adds
+    // the per-scenario topology echo.
+    let extended = plan
+        .scenarios
+        .iter()
+        .any(|s| !s.topology().is_plain_dense());
+    let schema = if extended {
+        REPORT_SCHEMA_V4
+    } else {
+        REPORT_SCHEMA
+    };
+    let topologies = extended.then(|| {
+        plan.scenarios
+            .iter()
+            .map(|s| {
+                let topo = s.topology();
+                format!(
+                    "{}:{:032x}",
+                    topo.tag(),
+                    matic_sram::fingerprint::fingerprint_of(&topo)
+                )
+            })
+            .collect()
+    });
     SweepOutcome::Complete(SweepRun {
         report: SweepReport {
-            schema: REPORT_SCHEMA.to_string(),
+            schema: schema.to_string(),
             plan: PlanSummary {
                 chips: plan.chips,
                 fault_model: plan.model.name().to_string(),
@@ -225,6 +252,7 @@ pub fn assemble_sweep(
                 data_scale: plan.data_scale,
                 epoch_scale: plan.epoch_scale,
                 base_seed: plan.base_seed,
+                topologies,
             },
             cells,
             points,

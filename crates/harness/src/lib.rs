@@ -81,6 +81,7 @@ pub mod shard;
 
 pub use cache::{
     write_atomic, CacheStats, CacheUsage, CellCoords, CellKey, SweepCache, UnitKeyPrefix,
+    CACHE_SCHEMA_V4,
 };
 pub use engine::{
     assemble_sweep, eval_composed_set, eval_on_chip, run_sweep, run_sweep_observed,
@@ -95,8 +96,11 @@ pub use plan::{
 };
 pub use report::{
     CellEnergy, CellRecord, PlanSummary, PointSummary, Stats, SweepReport, REPORT_SCHEMA,
+    REPORT_SCHEMA_V4,
 };
-pub use scenario::{builtin_scenarios, scenario_by_name, BenchmarkScenario, Scenario};
+pub use scenario::{
+    builtin_scenarios, scenario_by_name, BenchmarkScenario, Scenario, TopologyScenario,
+};
 pub use sched::{
     par_chunked, CancelToken, CancelledSweep, CellOrigin, ExecContext, Inflight, ProgressSink,
     Resolution, SweepOutcome, UnitOutcome,

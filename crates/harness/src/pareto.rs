@@ -478,6 +478,7 @@ mod tests {
                 data_scale: 1.0,
                 epoch_scale: 1.0,
                 base_seed: 42,
+                topologies: None,
             },
             cells,
             points,

@@ -1,7 +1,9 @@
 //! [`SweepPlan`]: the declarative description of a chip-population sweep.
 
-use crate::scenario::{builtin_scenarios, scenario_by_name, Scenario};
-use matic_core::{FaultModel, MatConfig, RandomBer, SramVoltage, TimingError};
+use crate::scenario::{builtin_scenarios, scenario_by_name, Scenario, TopologyScenario};
+use matic_core::{fitted_array_config, FaultModel, MatConfig, RandomBer, SramVoltage, TimingError};
+use matic_nn::NetSpec;
+use matic_sram::ArrayConfig;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -316,6 +318,7 @@ pub struct SweepPlanBuilder {
     axis: Option<StressAxis>,
     model: Option<Arc<dyn FaultModel>>,
     scenarios: Vec<Arc<dyn Scenario>>,
+    topology: Option<NetSpec>,
     modes: Vec<TrainingMode>,
     data_scale: f64,
     epoch_scale: f64,
@@ -334,6 +337,7 @@ impl Default for SweepPlanBuilder {
             axis: None,
             model: None,
             scenarios: Vec::new(),
+            topology: None,
             modes: vec![TrainingMode::Naive, TrainingMode::Mat],
             data_scale: 1.0,
             epoch_scale: 1.0,
@@ -419,15 +423,31 @@ impl SweepPlanBuilder {
                 self.scenarios.push(s);
                 Ok(self)
             }
-            None => Err(PlanError(format!(
-                "unknown benchmark `{name}` (expected one of mnist, facedet, inversek2j, bscholes, all)"
-            ))),
+            None => {
+                let builtins = builtin_scenarios();
+                let known: Vec<&str> = builtins.iter().map(|s| s.name()).collect();
+                Err(PlanError(format!(
+                    "unknown benchmark `{name}` (expected one of {}, all)",
+                    known.join(", ")
+                )))
+            }
         }
     }
 
     /// Adds all four paper benchmarks.
     pub fn all_benchmarks(mut self) -> Self {
         self.scenarios.extend(builtin_scenarios());
+        self
+    }
+
+    /// Replaces every scenario's network topology with `spec` (the CLI's
+    /// `--topology` axis). Each scenario is wrapped in a
+    /// [`TopologyScenario`] at build time — mismatched input/output
+    /// widths surface as a [`PlanError`] there — and, when no explicit
+    /// fault model was set, the default model's weight-memory geometry
+    /// is grown with [`fitted_array_config`] so larger chains fit.
+    pub fn topology(mut self, spec: NetSpec) -> Self {
+        self.topology = Some(spec);
         self
     }
 
@@ -507,15 +527,53 @@ impl SweepPlanBuilder {
                 "stress points must be finite numbers, got `{bad}`"
             )));
         }
+        // Apply the topology override before anything geometry-dependent.
+        let scenarios: Vec<Arc<dyn Scenario>> = match &self.topology {
+            None => self.scenarios,
+            Some(spec) => self
+                .scenarios
+                .into_iter()
+                .map(|s| {
+                    let name = s.name().to_string();
+                    TopologyScenario::new(s, spec.clone())
+                        .map(|t| Arc::new(t) as Arc<dyn Scenario>)
+                        .map_err(|e| PlanError(format!("topology override for `{name}`: {e}")))
+                })
+                .collect::<Result<_, _>>()?,
+        };
         // The axis's natural fault model, unless the builder overrode it.
+        // Default models size their weight memory to the largest swept
+        // topology (the SNNAC geometry verbatim whenever everything fits,
+        // so stock-benchmark fingerprints and cache keys are unchanged).
         let model: Arc<dyn FaultModel> = match self.model {
             Some(m) => m,
-            None => match &axis {
-                StressAxis::Voltage(_) => Arc::new(SramVoltage::snnac()),
-                StressAxis::BitErrorRate(_) => Arc::new(RandomBer::snnac()),
-                StressAxis::ClockStress(_) => Arc::new(TimingError::snnac()),
-            },
+            None => {
+                let geom = scenarios.iter().fold(ArrayConfig::default(), |g, s| {
+                    fitted_array_config(&s.topology(), &g)
+                });
+                match &axis {
+                    StressAxis::Voltage(_) => Arc::new(SramVoltage::new(geom)),
+                    StressAxis::BitErrorRate(_) => Arc::new(RandomBer::snnac_sized(geom)),
+                    StressAxis::ClockStress(_) => Arc::new(TimingError::snnac_sized(geom)),
+                }
+            }
         };
+        // An explicitly chosen model pins its geometry; reject topologies
+        // it cannot hold instead of panicking in the weight layout.
+        for s in &scenarios {
+            let topo = s.topology();
+            if fitted_array_config(&topo, &model.geometry()) != model.geometry() {
+                return Err(PlanError(format!(
+                    "topology `{}` of scenario `{}` does not fit the {}-bank x {}-word \
+                     weight memory of fault model `{}`",
+                    topo.tag(),
+                    s.name(),
+                    model.geometry().banks,
+                    model.geometry().bank.words,
+                    model.name()
+                )));
+            }
+        }
         if model.stress_kind() != axis.kind() {
             return Err(PlanError(format!(
                 "fault model `{}` sweeps a {} axis, but the plan's stress axis is {}",
@@ -566,7 +624,7 @@ impl SweepPlanBuilder {
         if self.chips == 0 {
             return Err(PlanError("at least one chip is required".into()));
         }
-        if self.scenarios.is_empty() {
+        if scenarios.is_empty() {
             return Err(PlanError("at least one scenario is required".into()));
         }
         if self.modes.is_empty() {
@@ -585,7 +643,7 @@ impl SweepPlanBuilder {
             chips: self.chips,
             axis,
             model,
-            scenarios: self.scenarios,
+            scenarios,
             modes: self.modes,
             data_scale: self.data_scale,
             epoch_scale: self.epoch_scale,
@@ -820,6 +878,74 @@ mod tests {
                 .fingerprint(),
             "reuse policy is a result input"
         );
+    }
+
+    #[test]
+    fn topology_override_wraps_scenarios_and_keeps_stock_geometry() {
+        let spec = NetSpec::parse_topology("10x10x1;conv3x4;pool2;dense10").unwrap();
+        let plan = SweepPlan::builder()
+            .voltages(&[0.9])
+            .benchmark("mnist")
+            .unwrap()
+            .topology(spec)
+            .build()
+            .unwrap();
+        assert_eq!(plan.scenarios[0].name(), "mnist@conv3x4-pool2-dense10");
+        // The conv chain fits the stock SNNAC memory: geometry (and with
+        // it the chip-config fingerprint) is unchanged.
+        assert_eq!(plan.model.geometry(), ArrayConfig::default());
+    }
+
+    #[test]
+    fn topology_override_grows_default_geometry() {
+        let spec = NetSpec::parse_topology("100;600;10").unwrap();
+        let plan = SweepPlan::builder()
+            .voltages(&[0.9])
+            .benchmark("mnist")
+            .unwrap()
+            .topology(spec)
+            .build()
+            .unwrap();
+        let geom = plan.model.geometry();
+        assert_eq!(geom.banks, 8);
+        // Bank-0 demand: 75×101 + 2×601 = 8777 words, grown to whole
+        // 576-word macros.
+        assert_eq!(geom.bank.words, 8777usize.div_ceil(576) * 576);
+        // The plan fingerprint tracks the override (geometry + topology).
+        let stock = SweepPlan::builder()
+            .voltages(&[0.9])
+            .benchmark("mnist")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_ne!(plan.fingerprint(), stock.fingerprint());
+    }
+
+    #[test]
+    fn topology_override_validates_dataset_shape() {
+        let spec = NetSpec::parse_topology("9x9x1;conv2x2;dense10").unwrap();
+        let err = SweepPlan::builder()
+            .voltages(&[0.9])
+            .benchmark("mnist")
+            .unwrap()
+            .topology(spec)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("topology override"), "{err}");
+    }
+
+    #[test]
+    fn explicit_model_rejects_oversized_topology() {
+        let spec = NetSpec::parse_topology("100;600;10").unwrap();
+        let err = SweepPlan::builder()
+            .voltages(&[0.9])
+            .fault_model(Arc::new(SramVoltage::snnac()))
+            .benchmark("mnist")
+            .unwrap()
+            .topology(spec)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("does not fit"), "{err}");
     }
 
     #[test]

@@ -87,6 +87,88 @@ proptest! {
     }
 }
 
+/// A conv-chain plan: the same invariance contract as [`tiny_plan`],
+/// but through the extended-topology pipeline — whole-layer conv/pool
+/// micro-ops, the per-sample batch fallback, and the v4 report schema.
+fn conv_plan(threads: usize) -> SweepPlan {
+    let topo =
+        matic_nn::NetSpec::parse_topology("10x10x1;conv3x2;pool2;dense10").expect("valid chain");
+    SweepPlan::builder()
+        .chips(1)
+        .voltages(&[0.9, 0.52])
+        .benchmark("mnist")
+        .expect("builtin benchmark")
+        .topology(topo)
+        .modes(&[TrainingMode::Naive, TrainingMode::Mat])
+        .data_scale(0.05)
+        .epoch_scale(0.1)
+        .seed(17)
+        .threads(threads)
+        .build()
+        .expect("plan is valid")
+}
+
+/// The conv reference report: one worker, scalar kernels, chunk size 1.
+fn conv_baseline() -> &'static String {
+    static BASELINE: OnceLock<String> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        set_kernel_tier(Some(KernelTier::Scalar));
+        set_eval_chunk(Some(1));
+        let report = run_sweep(&conv_plan(1)).to_json_pretty();
+        set_kernel_tier(None);
+        set_eval_chunk(None);
+        report
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The extended-topology pipeline honors the same invariant as the
+    /// dense one: a conv-chain sweep report is byte-identical across
+    /// worker-thread counts, eval chunk sizes and kernel tiers.
+    #[test]
+    fn conv_report_invariant_under_threads_and_kernel_tier(
+        threads in 1usize..4,
+        chunk_pick in 0usize..3,
+        tier_pick in 0usize..4,
+    ) {
+        let chunk = [1, 7, 1024][chunk_pick];
+        let tier = [
+            None,
+            Some(KernelTier::Scalar),
+            Some(KernelTier::Lanes),
+            Some(KernelTier::Simd),
+        ][tier_pick];
+        let expected = baseline_conv_checked();
+        set_kernel_tier(tier);
+        set_eval_chunk(Some(chunk));
+        let got = run_sweep(&conv_plan(threads)).to_json_pretty();
+        set_kernel_tier(None);
+        set_eval_chunk(None);
+        prop_assert_eq!(
+            got, expected,
+            "conv report must not depend on threads={} chunk={} tier={:?}",
+            threads, chunk, tier
+        );
+    }
+}
+
+/// The conv baseline, with its schema and scenario naming asserted once
+/// (an extended topology must leave the v3 namespace and carry its tag).
+fn baseline_conv_checked() -> String {
+    let report = conv_baseline().clone();
+    assert!(
+        report.contains("\"matic.sweep-report/v4\""),
+        "conv-chain sweeps must report under the v4 schema"
+    );
+    assert!(
+        report.contains("mnist@conv3x2-pool2-dense10"),
+        "the overridden scenario must carry its topology tag"
+    );
+    report
+}
+
 /// A plan with enough chips to shard unevenly (`shard-sweep`'s unit of
 /// distribution is the chip index).
 fn shard_plan() -> SweepPlan {

@@ -14,7 +14,7 @@
 //! [`SweepRun`](crate::SweepRun) outcome instead, aligned with
 //! [`SweepReport::cells`] by index.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::fmt::Write as _;
 
 /// Schema identifier embedded in every JSON report.
@@ -27,6 +27,14 @@ use std::fmt::Write as _;
 /// and a `clock_stress` column (the TE-Drop axis), and the plan summary
 /// echoes the swept model. `stress_kind` may now also be `"clock"`.
 pub const REPORT_SCHEMA: &str = "matic.sweep-report/v3";
+
+/// Schema identifier of reports whose plan sweeps at least one extended
+/// (conv/pool) topology: the plan summary then carries a `topologies`
+/// echo (per-scenario `tag:fingerprint`). Plans whose every scenario is
+/// a plain dense MLP keep emitting [`REPORT_SCHEMA`] v3 bytes verbatim —
+/// pre-existing reports stay byte-identical through the layer-chain
+/// refactor (enforced by the golden-report test and in CI).
+pub const REPORT_SCHEMA_V4: &str = "matic.sweep-report/v4";
 
 /// The energy accounting of one cell's inference: the cell's operating
 /// point, the calibrated per-cycle costs there, and the resulting
@@ -54,7 +62,12 @@ pub struct CellEnergy {
 
 /// The plan echo embedded in a report (everything that determined the
 /// numbers; no execution detail).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written: the `topologies` field — present only
+/// under [`REPORT_SCHEMA_V4`] — is appended after the v3 fields when
+/// `Some`, and omitted entirely when `None`, so all-MLP plans keep their
+/// exact v3 byte layout.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanSummary {
     /// Chip-population size.
     pub chips: usize,
@@ -75,6 +88,53 @@ pub struct PlanSummary {
     pub epoch_scale: f64,
     /// Root seed.
     pub base_seed: u64,
+    /// Per-scenario topology echo (`tag:fingerprint`, sweep order), set
+    /// exactly when the plan sweeps an extended (conv/pool) topology.
+    pub topologies: Option<Vec<String>>,
+}
+
+impl Serialize for PlanSummary {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("chips".to_string(), self.chips.to_value()),
+            ("fault_model".to_string(), self.fault_model.to_value()),
+            ("stress_kind".to_string(), self.stress_kind.to_value()),
+            ("stress_points".to_string(), self.stress_points.to_value()),
+            ("scenarios".to_string(), self.scenarios.to_value()),
+            ("modes".to_string(), self.modes.to_value()),
+            ("data_scale".to_string(), self.data_scale.to_value()),
+            ("epoch_scale".to_string(), self.epoch_scale.to_value()),
+            ("base_seed".to_string(), self.base_seed.to_value()),
+        ];
+        if let Some(t) = &self.topologies {
+            fields.push(("topologies".to_string(), t.to_value()));
+        }
+        Value::Map(fields)
+    }
+}
+
+impl Deserialize for PlanSummary {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| Error::custom(format!("PlanSummary: missing field `{name}`")))
+        };
+        Ok(PlanSummary {
+            chips: usize::from_value(field("chips")?)?,
+            fault_model: String::from_value(field("fault_model")?)?,
+            stress_kind: String::from_value(field("stress_kind")?)?,
+            stress_points: Vec::<f64>::from_value(field("stress_points")?)?,
+            scenarios: Vec::<String>::from_value(field("scenarios")?)?,
+            modes: Vec::<String>::from_value(field("modes")?)?,
+            data_scale: f64::from_value(field("data_scale")?)?,
+            epoch_scale: f64::from_value(field("epoch_scale")?)?,
+            base_seed: u64::from_value(field("base_seed")?)?,
+            topologies: match v.get("topologies") {
+                Some(t) => Some(Vec::<String>::from_value(t)?),
+                None => None,
+            },
+        })
+    }
 }
 
 /// One evaluated grid cell.
@@ -383,6 +443,7 @@ mod tests {
                 data_scale: 1.0,
                 epoch_scale: 1.0,
                 base_seed: 42,
+                topologies: None,
             },
             cells: vec![cell("mnist", 0, "mat", 0.5, 5.0, false)],
             points: vec![],
@@ -408,6 +469,7 @@ mod tests {
                 data_scale: 0.25,
                 epoch_scale: 0.5,
                 base_seed: 42,
+                topologies: None,
             },
             cells: vec![cell("mnist", 0, "mat", 0.5, 5.0, false)],
             points: vec![],

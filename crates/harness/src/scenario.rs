@@ -6,7 +6,7 @@
 
 use matic_core::MatConfig;
 use matic_datasets::{Benchmark, Split};
-use matic_nn::{NetSpec, SgdConfig};
+use matic_nn::{NetSpec, SgdConfig, SpecError};
 use std::sync::Arc;
 
 /// A sweep workload: dataset generator, topology and training recipe.
@@ -89,6 +89,68 @@ impl From<Benchmark> for BenchmarkScenario {
     }
 }
 
+/// A [`Scenario`] whose network topology has been replaced (the
+/// `--topology` sweep axis): dataset, metric and training recipe come
+/// from the base scenario, the layer chain from the override.
+///
+/// The override adopts the base topology's loss and output activation
+/// (they belong to the dataset's metric, not the chain), and its
+/// input/output widths are validated against the base topology — whose
+/// widths match the dataset sample shape by construction — so a
+/// mismatched chain surfaces as a structured [`SpecError`] instead of a
+/// panic deep inside training.
+pub struct TopologyScenario {
+    base: Arc<dyn Scenario>,
+    spec: NetSpec,
+    name: String,
+}
+
+impl std::fmt::Debug for TopologyScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopologyScenario")
+            .field("name", &self.name)
+            .field("spec", &self.spec)
+            .finish()
+    }
+}
+
+impl TopologyScenario {
+    /// Wraps `base` with `spec` as its topology. The scenario's name
+    /// becomes `{base}@{topology tag}` so reports and cache keys never
+    /// alias the stock benchmark.
+    pub fn new(base: Arc<dyn Scenario>, spec: NetSpec) -> Result<Self, SpecError> {
+        let reference = base.topology();
+        spec.validate_io(reference.layers[0], *reference.layers.last().unwrap())?;
+        let spec = spec
+            .with_output_activation(reference.output)
+            .with_loss(reference.loss);
+        let name = format!("{}@{}", base.name(), spec.tag());
+        Ok(TopologyScenario { base, spec, name })
+    }
+}
+
+impl Scenario for TopologyScenario {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn topology(&self) -> NetSpec {
+        self.spec.clone()
+    }
+
+    fn is_classification(&self) -> bool {
+        self.base.is_classification()
+    }
+
+    fn generate(&self, seed: u64, scale: f64) -> Split {
+        self.base.generate(seed, scale)
+    }
+
+    fn sgd(&self) -> SgdConfig {
+        self.base.sgd()
+    }
+}
+
 /// All four paper benchmarks, in Table I order.
 pub fn builtin_scenarios() -> Vec<Arc<dyn Scenario>> {
     Benchmark::ALL
@@ -141,5 +203,35 @@ mod tests {
     fn epoch_scale_floors_at_two() {
         let cfg = BenchmarkScenario(Benchmark::Mnist).train_config(0.001);
         assert_eq!(cfg.sgd.epochs, 2);
+    }
+
+    #[test]
+    fn topology_override_adopts_metric_and_names_itself() {
+        let base = scenario_by_name("mnist").unwrap();
+        let spec = NetSpec::parse_topology("10x10x1;conv3x4;pool2;dense10").unwrap();
+        let wrapped = TopologyScenario::new(base.clone(), spec).unwrap();
+        assert_eq!(wrapped.name(), "mnist@conv3x4-pool2-dense10");
+        let topo = wrapped.topology();
+        assert_eq!(topo.loss, base.topology().loss);
+        assert_eq!(topo.output, base.topology().output);
+        assert!(wrapped.is_classification());
+        // Dataset comes from the base benchmark, unchanged.
+        let split = wrapped.generate(7, 0.05);
+        assert_eq!(split.train[0].input.len(), 100);
+    }
+
+    #[test]
+    fn topology_override_rejects_mismatched_dataset_shape() {
+        let base = scenario_by_name("mnist").unwrap();
+        // 81 inputs / 10 outputs against mnist's 100-wide samples.
+        let spec = NetSpec::parse_topology("9x9x1;conv2x2;dense10").unwrap();
+        let err = TopologyScenario::new(base.clone(), spec).unwrap_err();
+        assert!(
+            matches!(err, matic_nn::SpecError::IoMismatch { .. }),
+            "{err}"
+        );
+        // Wrong output width is caught the same way.
+        let spec = NetSpec::parse_topology("100;32;9").unwrap();
+        assert!(TopologyScenario::new(base, spec).is_err());
     }
 }

@@ -85,4 +85,73 @@ mod tests {
         let s = Sample::new(vec![0.5, -0.5, 0.25], vec![0.0, 1.0]);
         assert!(max_gradient_gap(&net, &s) < 1e-6);
     }
+
+    fn image_sample(n: usize, targets: Vec<f64>) -> Sample {
+        // Distinct, irregular pixel values so max-pool argmaxes sit far
+        // from ties and central differences stay on one subgradient.
+        let input = (0..n)
+            .map(|i| ((i * 37 + 11) % 53) as f64 / 53.0 - 0.41)
+            .collect();
+        Sample::new(input, targets)
+    }
+
+    #[test]
+    fn backprop_matches_numerics_conv_dense_chain() {
+        use crate::activation::Activation;
+        let spec = NetSpec::builder()
+            .input_image(4, 4, 1)
+            .conv2d(3, 2, Activation::Sigmoid)
+            .dense(2, Activation::Sigmoid)
+            .loss(Loss::CrossEntropy)
+            .build()
+            .unwrap();
+        let net = Mlp::init(spec, 23);
+        let s = image_sample(16, vec![1.0, 0.0]);
+        assert!(max_gradient_gap(&net, &s) < 1e-5);
+    }
+
+    #[test]
+    fn backprop_matches_numerics_conv_pool_dense_chain() {
+        use crate::activation::Activation;
+        let spec = NetSpec::builder()
+            .input_image(6, 6, 1)
+            .conv2d(2, 3, Activation::Tanh)
+            .max_pool(2)
+            .dense(3, Activation::Linear)
+            .build()
+            .unwrap();
+        let net = Mlp::init(spec, 29);
+        let s = image_sample(36, vec![0.25, -0.5, 0.75]);
+        assert!(max_gradient_gap(&net, &s) < 1e-6);
+    }
+
+    #[test]
+    fn backprop_matches_numerics_multichannel_conv() {
+        use crate::activation::Activation;
+        let spec = NetSpec::builder()
+            .input_image(3, 3, 2)
+            .conv2d(2, 2, Activation::Sigmoid)
+            .dense(2, Activation::Linear)
+            .build()
+            .unwrap();
+        let net = Mlp::init(spec, 31);
+        let s = image_sample(18, vec![0.5, -0.25]);
+        assert!(max_gradient_gap(&net, &s) < 1e-6);
+    }
+
+    #[test]
+    fn backprop_matches_numerics_stacked_pools() {
+        use crate::activation::Activation;
+        let spec = NetSpec::builder()
+            .input_image(8, 8, 1)
+            .max_pool(2)
+            .conv2d(2, 2, Activation::Sigmoid)
+            .dense(2, Activation::Sigmoid)
+            .loss(Loss::CrossEntropy)
+            .build()
+            .unwrap();
+        let net = Mlp::init(spec, 37);
+        let s = image_sample(64, vec![0.0, 1.0]);
+        assert!(max_gradient_gap(&net, &s) < 1e-5);
+    }
 }

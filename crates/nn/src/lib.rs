@@ -8,10 +8,13 @@
 //! backward passes over **effective** (quantized + fault-masked) weights
 //! while keeping float master copies.
 //!
-//! Scope is deliberately matched to the paper: fully-connected layers only
-//! (SNNAC is an FC-DNN accelerator), sigmoid/tanh/ReLU/linear activations
-//! (the AFU supports sigmoid and ReLU, §IV), MSE and cross-entropy losses,
-//! SGD with momentum.
+//! Scope starts from the paper — dense layers (SNNAC is an FC-DNN
+//! accelerator), sigmoid/tanh/ReLU/linear activations (the AFU supports
+//! sigmoid and ReLU, §IV), MSE and cross-entropy losses, SGD with
+//! momentum — and extends along the topology axis: a [`NetSpec`] may
+//! describe a generic layer chain ([`LayerSpec`]) mixing dense, 2-D
+//! convolution and max-pooling stages, built with [`NetSpec::builder`]
+//! and executed by the same [`Mlp`] substrate.
 //!
 //! # Example: learn XOR
 //!
@@ -46,6 +49,7 @@
 mod activation;
 mod gradcheck;
 pub mod kernel;
+pub mod layer;
 mod matrix;
 mod metrics;
 mod mlp;
@@ -54,11 +58,12 @@ mod spec;
 
 pub use activation::Activation;
 pub use gradcheck::numerical_gradients;
+pub use layer::{build_chain, Layer};
 pub use matrix::Matrix;
 pub use metrics::{classification_error_percent, mean_squared_error, Metric};
 pub use mlp::{BatchScratch, Gradients, Mlp, MomentumState, TrainScratch};
 pub use sample::Sample;
-pub use spec::{Loss, NetSpec};
+pub use spec::{LayerSpec, Loss, NetSpec, NetSpecBuilder, SpecError};
 
 /// Stochastic-gradient-descent hyperparameters.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]

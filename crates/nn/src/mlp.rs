@@ -1,5 +1,12 @@
-//! The multilayer perceptron: forward, backward, SGD.
+//! The layer-chain network: forward, backward, SGD.
+//!
+//! Historically a two-layer dense MLP; the struct now walks whatever
+//! [`NetSpec`] layer chain it was built with (dense, conv, pooling),
+//! dispatching per layer through [`crate::layer`]. Plain dense MLPs run
+//! the exact historical operations in the exact historical order — the
+//! paper's four benchmarks are bit-identical across the generalization.
 
+use crate::layer;
 use crate::matrix::Matrix;
 use crate::sample::Sample;
 use crate::spec::{Loss, NetSpec};
@@ -141,9 +148,12 @@ impl MomentumState {
     }
 }
 
-/// A fully-connected network with explicit float weights.
+/// A layer-chain network with explicit float weights.
 ///
-/// Weight matrices use `rows = fan_out`, `cols = fan_in`. The struct is the
+/// Weight matrices use `rows = fan_out`, `cols = fan_in` (per
+/// [`crate::spec::NetSpec::param_extents`]; convolution rows are
+/// filters, columns are kernel taps; pooling stages hold empty
+/// matrices). The struct is the
 /// substrate for both vanilla training and the memory-adaptive loop, which
 /// needs to run passes over *modified* copies of the weights; see
 /// [`Mlp::map_weights`] and [`Mlp::gradients`].
@@ -156,20 +166,25 @@ pub struct Mlp {
 
 impl Mlp {
     /// Initializes a network with Xavier/Glorot-uniform weights and zero
-    /// biases, deterministically from `seed`.
+    /// biases, deterministically from `seed`. Parameterless stages
+    /// (pooling) hold empty matrices and draw nothing from the RNG, so
+    /// the weight stream of every dense layer is independent of how many
+    /// pools sit between them — and identical to the pre-chain stream
+    /// for plain MLPs.
     pub fn init(spec: NetSpec, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut weights = Vec::with_capacity(spec.depth());
         let mut biases = Vec::with_capacity(spec.depth());
-        for pair in spec.layers.windows(2) {
-            let (fan_in, fan_out) = (pair[0], pair[1]);
-            let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
-            let mut m = Matrix::zeros(fan_out, fan_in);
-            for v in m.as_mut_slice() {
-                *v = rng.gen_range(-limit..limit);
+        for (rows, cols) in spec.param_extents() {
+            let mut m = Matrix::zeros(rows, cols);
+            if rows > 0 {
+                let limit = (6.0 / (cols + rows) as f64).sqrt();
+                for v in m.as_mut_slice() {
+                    *v = rng.gen_range(-limit..limit);
+                }
             }
             weights.push(m);
-            biases.push(vec![0.0; fan_out]);
+            biases.push(vec![0.0; rows]);
         }
         Mlp {
             spec,
@@ -186,10 +201,10 @@ impl Mlp {
     pub fn from_params(spec: NetSpec, weights: Vec<Matrix>, biases: Vec<Vec<f64>>) -> Self {
         assert_eq!(weights.len(), spec.depth(), "weight count mismatch");
         assert_eq!(biases.len(), spec.depth(), "bias count mismatch");
-        for (l, pair) in spec.layers.windows(2).enumerate() {
-            assert_eq!(weights[l].cols(), pair[0], "layer {l} fan-in");
-            assert_eq!(weights[l].rows(), pair[1], "layer {l} fan-out");
-            assert_eq!(biases[l].len(), pair[1], "layer {l} bias len");
+        for (l, (rows, cols)) in spec.param_extents().into_iter().enumerate() {
+            assert_eq!(weights[l].cols(), cols, "layer {l} fan-in");
+            assert_eq!(weights[l].rows(), rows, "layer {l} fan-out");
+            assert_eq!(biases[l].len(), rows, "layer {l} bias len");
         }
         Mlp {
             spec,
@@ -268,11 +283,14 @@ impl Mlp {
         let mut acts = Vec::with_capacity(self.spec.depth() + 1);
         acts.push(input.to_vec());
         for l in 0..self.spec.depth() {
-            let mut z = self.weights[l].matvec(acts.last().unwrap());
-            for (zi, bi) in z.iter_mut().zip(&self.biases[l]) {
-                *zi += bi;
-            }
-            self.spec.activation(l).apply_slice(&mut z);
+            let mut z = vec![0.0; self.spec.layers[l + 1]];
+            layer::forward_into(
+                &self.spec.layer_spec(l),
+                &self.weights[l],
+                &self.biases[l],
+                acts.last().unwrap(),
+                &mut z,
+            );
             acts.push(z);
         }
         acts
@@ -294,6 +312,11 @@ impl Mlp {
         let b = inputs.len();
         if b == 0 {
             return Vec::new();
+        }
+        if !self.spec.is_plain_dense() {
+            // Extended chains take the per-sample reference path; the
+            // contract (bit-identity with `forward`) holds trivially.
+            return inputs.iter().map(|x| self.forward(x)).collect();
         }
         let width0 = self.spec.layers[0];
         // Interleave the inputs into column-major lanes: cur[c*b + s].
@@ -361,12 +384,14 @@ impl Mlp {
         for l in 0..self.spec.depth() {
             let (head, tail) = acts.split_at_mut(l + 1);
             let z = &mut tail[0];
-            z.resize(self.weights[l].rows(), 0.0);
-            self.weights[l].matvec_into(&head[l], z);
-            for (zi, bi) in z.iter_mut().zip(&self.biases[l]) {
-                *zi += bi;
-            }
-            self.spec.activation(l).apply_slice(z);
+            z.resize(self.spec.layers[l + 1], 0.0);
+            layer::forward_into(
+                &self.spec.layer_spec(l),
+                &self.weights[l],
+                &self.biases[l],
+                &head[l],
+                z,
+            );
         }
     }
 
@@ -412,17 +437,35 @@ impl Mlp {
         }
 
         for l in (0..depth).rev() {
-            grads.weights[l].add_outer(&scratch.delta, &scratch.acts[l], 1.0);
-            for (g, d) in grads.biases[l].iter_mut().zip(&scratch.delta) {
-                *g += d;
-            }
+            let lspec = self.spec.layer_spec(l);
             if l > 0 {
-                scratch.prev.resize(self.weights[l].cols(), 0.0);
-                self.weights[l].t_matvec_into(&scratch.delta, &mut scratch.prev);
+                scratch.prev.resize(self.spec.layers[l], 0.0);
+                layer::accumulate_gradients(
+                    &lspec,
+                    &self.weights[l],
+                    &scratch.acts[l],
+                    &scratch.delta,
+                    &mut grads.weights[l],
+                    &mut grads.biases[l],
+                    Some(&mut scratch.prev),
+                );
+                // Seam between layers: multiply the propagated delta by
+                // the previous layer's activation derivative (exactly 1
+                // for pooling stages, which report Linear).
                 for (p, a) in scratch.prev.iter_mut().zip(&scratch.acts[l]) {
                     *p *= self.spec.activation(l - 1).derivative_from_output(*a);
                 }
                 std::mem::swap(&mut scratch.delta, &mut scratch.prev);
+            } else {
+                layer::accumulate_gradients(
+                    &lspec,
+                    &self.weights[l],
+                    &scratch.acts[l],
+                    &scratch.delta,
+                    &mut grads.weights[l],
+                    &mut grads.biases[l],
+                    None,
+                );
             }
         }
     }
@@ -459,6 +502,25 @@ impl Mlp {
         total.reset();
         let b = indices.len();
         if b == 0 {
+            return;
+        }
+        if !self.spec.is_plain_dense() {
+            // Extended chains run the per-sample reference backward; the
+            // contract (bit-identity with summed `sample_gradients`)
+            // holds trivially. Scratch vectors are borrowed from the
+            // batch buffers so repeated steps stay allocation-free.
+            let mut ts = TrainScratch {
+                acts: std::mem::take(&mut scratch.acts),
+                delta: std::mem::take(&mut scratch.delta),
+                prev: std::mem::take(&mut scratch.prev),
+            };
+            for &i in indices {
+                self.accumulate_sample_gradients(&data[i], total, &mut ts);
+            }
+            scratch.acts = ts.acts;
+            scratch.delta = ts.delta;
+            scratch.prev = ts.prev;
+            total.scale(1.0 / b as f64);
             return;
         }
         let depth = self.spec.depth();

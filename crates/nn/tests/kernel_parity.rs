@@ -167,6 +167,47 @@ fn forward_batch_parity_with_per_sample_forward() {
 }
 
 #[test]
+fn conv_patch_shapes_parity_across_tiers() {
+    // The NPU lowers a conv layer to fx_matvec over (filters x k²·c)
+    // weight rows against a gathered receptive-field patch. These are
+    // the adversarial shapes that never arise from Table I MLPs: tiny
+    // odd reduction depths (k²·c = 1, 4, 9, 12, 18, 25, 27, 50, 75, …)
+    // crossed with filter counts off the 8-lane grid, plus the dropped
+    // variant at a mid-rate mask.
+    let mut rng = Rng(0xC0A7);
+    for kernel in 1usize..=5 {
+        for in_c in 1usize..=3 {
+            let k2c = kernel * kernel * in_c;
+            for filters in [1usize, 3, 7, 8, 9, 17] {
+                let w = rng.vec(filters * k2c);
+                let patch = rng.vec(k2c);
+                let mut scalar = vec![0i64; filters];
+                fx_matvec_with(KernelTier::Scalar, &w, &patch, &mut scalar);
+                for tier in TIERS {
+                    let mut out = vec![0i64; filters];
+                    fx_matvec_with(tier, &w, &patch, &mut out);
+                    assert_eq!(
+                        out, scalar,
+                        "conv patch {filters}x{k2c} (k={kernel}, c={in_c}) tier {tier:?}"
+                    );
+                }
+                let drops = MacDropSpec::new(91, 0.35);
+                let mut scalar = vec![0i64; filters];
+                fx_matvec_dropped_with(KernelTier::Scalar, &w, &patch, &mut scalar, &drops, 1, 0);
+                for tier in TIERS {
+                    let mut out = vec![0i64; filters];
+                    fx_matvec_dropped_with(tier, &w, &patch, &mut out, &drops, 1, 0);
+                    assert_eq!(
+                        out, scalar,
+                        "dropped conv patch {filters}x{k2c} tier {tier:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn tier_override_controls_dispatch() {
     // The process-wide override must steer the auto-dispatched entry
     // points; since all tiers are bit-identical the only observable is

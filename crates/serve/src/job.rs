@@ -75,6 +75,11 @@ pub fn build_plan(spec: &JobSpec) -> Result<SweepPlan, String> {
     for name in &spec.benchmarks {
         builder = builder.benchmark(name.trim()).map_err(|e| e.to_string())?;
     }
+    if let Some(dsl) = &spec.topology {
+        let topo =
+            matic_nn::NetSpec::parse_topology(dsl).map_err(|e| format!("topology `{dsl}`: {e}"))?;
+        builder = builder.topology(topo);
+    }
     builder.build().map_err(|e| e.to_string())
 }
 

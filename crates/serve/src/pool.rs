@@ -206,6 +206,7 @@ mod tests {
             budget_percent: 2.0,
             budget_mse: 0.02,
             chip_range: None,
+            topology: None,
         };
         let job = Arc::new(Job::admit(1, spec, false).expect("valid spec"));
         assert!(q.push((Arc::clone(&job), 0)));
@@ -234,6 +235,7 @@ mod tests {
             budget_percent: 2.0,
             budget_mse: 0.02,
             chip_range: None,
+            topology: None,
         };
         let job = Arc::new(Job::admit(1, spec, false).expect("valid spec"));
         assert!(q.push((Arc::clone(&job), 0)));

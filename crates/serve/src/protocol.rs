@@ -82,6 +82,11 @@ pub struct JobSpec {
     /// [`Event::ShardDone`]. Grid-position seeding makes the shard's
     /// cells identical to the same cells of an unsharded run.
     pub chip_range: Option<(usize, usize)>,
+    /// Topology-override DSL (e.g. `"10x10x1;conv3x4;pool2;dense10"`)
+    /// applied to every benchmark of the job, exactly like
+    /// `matic sweep --topology`. `None` keeps each benchmark's stock
+    /// Table I MLP.
+    pub topology: Option<String>,
 }
 
 /// One work unit's results inside a [`Event::ShardDone`] payload: the
@@ -99,6 +104,9 @@ pub struct ShardUnit {
 }
 
 /// The one request a client opens its connection with.
+// One Request exists per connection, so the Submit variant's size is
+// irrelevant; boxing it would only complicate every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Request {
     /// Run a job; the connection stays open streaming its events.
@@ -298,6 +306,7 @@ mod tests {
             budget_percent: 2.0,
             budget_mse: 0.02,
             chip_range: None,
+            topology: None,
         }
     }
 

@@ -142,6 +142,7 @@ fn spec(seed: u64) -> JobSpec {
         budget_percent: 2.0,
         budget_mse: 0.02,
         chip_range: None,
+        topology: None,
     }
 }
 
@@ -366,6 +367,7 @@ fn draining_daemon_rejects_new_submissions_then_exits_cleanly() {
         budget_percent: 2.0,
         budget_mse: 0.02,
         chip_range: None,
+        topology: None,
     };
 
     std::thread::scope(|scope| {

@@ -41,6 +41,39 @@ pub enum MicroOp {
     /// Commit the output buffer as the next layer's input (or the final
     /// network output).
     StoreOutput,
+    /// A whole convolutional layer: each filter behaves like one neuron
+    /// whose fan-in weights are its `kernel²·in_c` taps, swept over every
+    /// output position. One op covers the layer (load, MACs, AFU, store);
+    /// filters time-multiplex onto the PE ring like dense neurons do.
+    Conv {
+        /// Parameterized layer index.
+        layer: u16,
+        /// Input height.
+        in_h: u16,
+        /// Input width.
+        in_w: u16,
+        /// Input channels.
+        in_c: u16,
+        /// Filters (output channels).
+        filters: u16,
+        /// Square kernel side.
+        kernel: u16,
+        /// Activation routed through the AFU.
+        activation: Activation,
+    },
+    /// A whole non-overlapping max-pooling layer. Raw fixed-point max is
+    /// value max (two's-complement words decode monotonically), so the
+    /// comparator tree needs no AFU pass and touches no weight SRAM.
+    Pool {
+        /// Input height.
+        in_h: u16,
+        /// Input width.
+        in_w: u16,
+        /// Channels.
+        channels: u16,
+        /// Square window side.
+        window: u16,
+    },
 }
 
 /// A compiled microcode program.
@@ -60,29 +93,86 @@ impl Program {
         assert!(pes > 0, "need at least one PE");
         let mut ops = Vec::new();
         for layer in 0..spec.depth() {
-            let fan_in = spec.layers[layer];
-            let fan_out = spec.layers[layer + 1];
-            assert!(fan_in <= u16::MAX as usize && fan_out <= u16::MAX as usize);
-            ops.push(MicroOp::SetLayer {
-                layer: layer as u16,
-                fan_in: fan_in as u16,
-                fan_out: fan_out as u16,
-                activation: spec.activation(layer),
-            });
-            ops.push(MicroOp::LoadInput);
-            let mut neuron = 0;
-            while neuron < fan_out {
-                let active = pes.min(fan_out - neuron);
-                ops.push(MicroOp::Macc {
-                    neuron_base: neuron as u16,
-                    active: active as u16,
-                });
-                ops.push(MicroOp::Activate);
-                neuron += active;
+            match spec.layer_spec(layer) {
+                matic_nn::LayerSpec::Dense { inputs, units, act } => {
+                    let (fan_in, fan_out) = (inputs, units);
+                    assert!(fan_in <= u16::MAX as usize && fan_out <= u16::MAX as usize);
+                    ops.push(MicroOp::SetLayer {
+                        layer: layer as u16,
+                        fan_in: fan_in as u16,
+                        fan_out: fan_out as u16,
+                        activation: act,
+                    });
+                    ops.push(MicroOp::LoadInput);
+                    let mut neuron = 0;
+                    while neuron < fan_out {
+                        let active = pes.min(fan_out - neuron);
+                        ops.push(MicroOp::Macc {
+                            neuron_base: neuron as u16,
+                            active: active as u16,
+                        });
+                        ops.push(MicroOp::Activate);
+                        neuron += active;
+                    }
+                    ops.push(MicroOp::StoreOutput);
+                }
+                matic_nn::LayerSpec::Conv2d {
+                    in_h,
+                    in_w,
+                    in_c,
+                    filters,
+                    kernel,
+                    act,
+                } => {
+                    assert!(
+                        in_h <= u16::MAX as usize
+                            && in_w <= u16::MAX as usize
+                            && in_c <= u16::MAX as usize
+                            && filters <= u16::MAX as usize
+                            && kernel <= u16::MAX as usize
+                    );
+                    ops.push(MicroOp::Conv {
+                        layer: layer as u16,
+                        in_h: in_h as u16,
+                        in_w: in_w as u16,
+                        in_c: in_c as u16,
+                        filters: filters as u16,
+                        kernel: kernel as u16,
+                        activation: act,
+                    });
+                }
+                matic_nn::LayerSpec::MaxPool {
+                    in_h,
+                    in_w,
+                    channels,
+                    window,
+                } => {
+                    assert!(
+                        in_h <= u16::MAX as usize
+                            && in_w <= u16::MAX as usize
+                            && channels <= u16::MAX as usize
+                            && window <= u16::MAX as usize
+                    );
+                    ops.push(MicroOp::Pool {
+                        in_h: in_h as u16,
+                        in_w: in_w as u16,
+                        channels: channels as u16,
+                        window: window as u16,
+                    });
+                }
             }
-            ops.push(MicroOp::StoreOutput);
         }
         Program { ops }
+    }
+
+    /// Whether the program consists purely of dense-layer sequences (no
+    /// conv/pool ops). Dense programs are eligible for the batched
+    /// lane-matmul fast path.
+    pub fn is_dense(&self) -> bool {
+        !self
+            .ops
+            .iter()
+            .any(|op| matches!(op, MicroOp::Conv { .. } | MicroOp::Pool { .. }))
     }
 
     /// The operation stream.
@@ -152,5 +242,35 @@ mod tests {
         let spec = NetSpec::classifier(&[2, 3, 1]);
         let prog = Program::compile(&spec, 1);
         assert_eq!(prog.macc_groups(), 3 + 1);
+    }
+
+    #[test]
+    fn conv_chains_compile_to_whole_layer_ops() {
+        let spec = NetSpec::parse_topology("10x10x1;conv3x4;pool2;dense10").unwrap();
+        let prog = Program::compile(&spec, 8);
+        assert!(!prog.is_dense());
+        assert!(matches!(
+            prog.ops()[0],
+            MicroOp::Conv {
+                layer: 0,
+                in_h: 10,
+                filters: 4,
+                kernel: 3,
+                ..
+            }
+        ));
+        assert!(matches!(
+            prog.ops()[1],
+            MicroOp::Pool {
+                in_h: 8,
+                window: 2,
+                ..
+            }
+        ));
+        // The trailing dense layer keeps the classic bracketed sequence.
+        assert!(matches!(prog.ops()[2], MicroOp::SetLayer { layer: 2, .. }));
+        assert!(matches!(prog.ops().last(), Some(MicroOp::StoreOutput)));
+        // Dense programs stay dense.
+        assert!(Program::compile(&NetSpec::classifier(&[4, 3, 2]), 8).is_dense());
     }
 }

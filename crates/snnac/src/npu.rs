@@ -250,6 +250,120 @@ impl Snnac {
                     current_raw.clear();
                     current_raw.extend(current.iter().map(|fx| fx.raw()));
                 }
+                MicroOp::Conv {
+                    layer: l,
+                    in_h,
+                    in_w,
+                    in_c,
+                    filters,
+                    kernel,
+                    activation: act,
+                } => {
+                    let layer = l as usize;
+                    let (in_h, in_w, in_c) = (in_h as usize, in_w as usize, in_c as usize);
+                    let (filters, kernel) = (filters as usize, kernel as usize);
+                    let (out_h, out_w) = (in_h + 1 - kernel, in_w + 1 - kernel);
+                    let k2c = kernel * kernel * in_c;
+                    let in_width = in_h * in_w * in_c;
+                    assert_eq!(
+                        current.len(),
+                        in_width,
+                        "input width mismatch at layer {layer}"
+                    );
+                    // Stream the feature map in: one cycle per element.
+                    stats.cycles += in_width as u64;
+                    let tensor = weights.layer(layer);
+                    let biases = weights.bias(layer);
+                    let rows = tensor.as_raw();
+                    // Each output position runs the filter set like one
+                    // dense neuron group, time-multiplexed over the ring.
+                    let groups = filters.div_ceil(self.pes) as u64;
+                    let mut patch = vec![0i32; k2c];
+                    let mut dots = vec![0i64; filters];
+                    let mut out = Vec::with_capacity(out_h * out_w * filters);
+                    for oy in 0..out_h {
+                        for ox in 0..out_w {
+                            // Gather the receptive field in (ky, kx, c)
+                            // order — the weight-column convention.
+                            let mut t = 0;
+                            for ky in 0..kernel {
+                                for kx in 0..kernel {
+                                    let base = ((oy + ky) * in_w + (ox + kx)) * in_c;
+                                    for c in 0..in_c {
+                                        patch[t] = current_raw[base + c];
+                                        t += 1;
+                                    }
+                                }
+                            }
+                            stats.cycles += groups * (k2c as u64 + 1 + self.group_overhead);
+                            match drops {
+                                None => fx_matvec(rows, &patch, &mut dots),
+                                Some(d) => fx_matvec_dropped(rows, &patch, &mut dots, d, layer, 0),
+                            }
+                            for (f, &dot) in dots.iter().enumerate() {
+                                let mut acc = Accumulator::new();
+                                acc.add_raw(dot);
+                                acc.add_raw((biases[f] as i64) << act_frac);
+                                stats.sram_reads += k2c as u64 + 1;
+                                stats.macs += k2c as u64;
+                                let z = acc.narrow_from(
+                                    self.weight_fmt,
+                                    act_frac,
+                                    self.afu.input_format(),
+                                );
+                                out.push(self.afu.apply(act, z));
+                            }
+                        }
+                    }
+                    // AFU drains one value per output element, then the
+                    // feature map commits in one store step.
+                    stats.cycles += (out_h * out_w * filters) as u64 + 1;
+                    current = out;
+                    current_raw.clear();
+                    current_raw.extend(current.iter().map(|fx| fx.raw()));
+                }
+                MicroOp::Pool {
+                    in_h,
+                    in_w,
+                    channels,
+                    window,
+                } => {
+                    let (in_h, in_w) = (in_h as usize, in_w as usize);
+                    let (channels, window) = (channels as usize, window as usize);
+                    let (out_h, out_w) = (in_h / window, in_w / window);
+                    let in_width = in_h * in_w * channels;
+                    assert_eq!(current.len(), in_width, "input width mismatch at pool");
+                    let mut out = Vec::with_capacity(out_h * out_w * channels);
+                    for oy in 0..out_h {
+                        for ox in 0..out_w {
+                            for c in 0..channels {
+                                // Raw fixed-point max IS value max (the
+                                // sign-extended words order monotonically);
+                                // strict `>` keeps the first maximum.
+                                let mut best =
+                                    current[((oy * window) * in_w + ox * window) * channels + c];
+                                for ky in 0..window {
+                                    for kx in 0..window {
+                                        let v = current[((oy * window + ky) * in_w
+                                            + (ox * window + kx))
+                                            * channels
+                                            + c];
+                                        if v.raw() > best.raw() {
+                                            best = v;
+                                        }
+                                    }
+                                }
+                                out.push(best);
+                            }
+                        }
+                    }
+                    // Streaming comparator tree: one cycle per input
+                    // element scanned, one per output drained, one store.
+                    stats.cycles += (in_width + out_h * out_w * channels) as u64 + 1;
+                    current = out;
+                    current_raw.clear();
+                    current_raw.extend(current.iter().map(|fx| fx.raw()));
+                }
             }
         }
         (current.iter().map(|fx| fx.to_f64()).collect(), stats)
@@ -299,6 +413,22 @@ impl Snnac {
         let b = inputs.len();
         if b == 0 {
             return (Vec::new(), NpuStats::default());
+        }
+        if !program.is_dense() {
+            // Conv/pool programs run per sample: the whole-layer ops are
+            // already raw-integer and deterministic, and the per-sample
+            // path is the bit-exactness anchor the batch must match
+            // anyway. Stats are per-inference, so one sample's suffice.
+            let mut outputs = Vec::with_capacity(b);
+            let mut stats = NpuStats::default();
+            for (s, input) in inputs.iter().enumerate() {
+                let (out, st) = self.execute_composed_dropped(program, weights, input, drops);
+                if s == 0 {
+                    stats = st;
+                }
+                outputs.push(out);
+            }
+            return (outputs, stats);
         }
         let mut stats = NpuStats::default();
         // Quantize each input row through the activation format exactly as
@@ -395,6 +525,9 @@ impl Snnac {
                     stats.cycles += 1;
                     std::mem::swap(&mut current_raw, &mut next_raw);
                     next_raw.clear();
+                }
+                MicroOp::Conv { .. } | MicroOp::Pool { .. } => {
+                    unreachable!("non-dense programs take the per-sample fallback above")
                 }
             }
         }
@@ -535,6 +668,111 @@ impl Snnac {
                 MicroOp::StoreOutput => {
                     stats.cycles += 1;
                     current = std::mem::take(&mut next);
+                }
+                MicroOp::Conv {
+                    layer: l,
+                    in_h,
+                    in_w,
+                    in_c,
+                    filters,
+                    kernel,
+                    activation: act,
+                } => {
+                    let layer = l as usize;
+                    let (in_h, in_w, in_c) = (in_h as usize, in_w as usize, in_c as usize);
+                    let (filters, kernel) = (filters as usize, kernel as usize);
+                    let (out_h, out_w) = (in_h + 1 - kernel, in_w + 1 - kernel);
+                    let k2c = kernel * kernel * in_c;
+                    let in_width = in_h * in_w * in_c;
+                    assert_eq!(
+                        current.len(),
+                        in_width,
+                        "input width mismatch at layer {layer}"
+                    );
+                    stats.cycles += in_width as u64;
+                    let groups = filters.div_ceil(self.pes) as u64;
+                    let mut out = Vec::with_capacity(out_h * out_w * filters);
+                    for oy in 0..out_h {
+                        for ox in 0..out_w {
+                            stats.cycles += groups * (k2c as u64 + 1 + self.group_overhead);
+                            for f in 0..filters {
+                                let mut acc = Accumulator::new();
+                                // Taps in (ky, kx, c) order = weight
+                                // columns; every word is fetched inside
+                                // the MAC loop, one SRAM read per
+                                // multiply, exactly like the dense oracle.
+                                let mut col = 0;
+                                for ky in 0..kernel {
+                                    for kx in 0..kernel {
+                                        let base = ((oy + ky) * in_w + (ox + kx)) * in_c;
+                                        for c in 0..in_c {
+                                            let loc = layout.location_of(ParamRef::Weight {
+                                                layer,
+                                                row: f,
+                                                col,
+                                            });
+                                            let word = array.read(loc.bank, loc.word);
+                                            let w = Fx::from_word(word, self.weight_fmt);
+                                            if !drops.is_some_and(|d| d.dropped(layer, f, col)) {
+                                                acc.mac(w, current[base + c]);
+                                            }
+                                            stats.sram_reads += 1;
+                                            stats.macs += 1;
+                                            col += 1;
+                                        }
+                                    }
+                                }
+                                let loc = layout.location_of(ParamRef::Bias { layer, row: f });
+                                let word = array.read(loc.bank, loc.word);
+                                let bias = Fx::from_word(word, self.weight_fmt);
+                                acc.add_bias(bias, self.act_fmt);
+                                stats.sram_reads += 1;
+                                let z = acc.narrow_from(
+                                    self.weight_fmt,
+                                    self.act_fmt.frac_bits(),
+                                    self.afu.input_format(),
+                                );
+                                out.push(self.afu.apply(act, z));
+                            }
+                        }
+                    }
+                    stats.cycles += (out_h * out_w * filters) as u64 + 1;
+                    current = out;
+                }
+                MicroOp::Pool {
+                    in_h,
+                    in_w,
+                    channels,
+                    window,
+                } => {
+                    let (in_h, in_w) = (in_h as usize, in_w as usize);
+                    let (channels, window) = (channels as usize, window as usize);
+                    let (out_h, out_w) = (in_h / window, in_w / window);
+                    let in_width = in_h * in_w * channels;
+                    assert_eq!(current.len(), in_width, "input width mismatch at pool");
+                    let mut out = Vec::with_capacity(out_h * out_w * channels);
+                    for oy in 0..out_h {
+                        for ox in 0..out_w {
+                            for c in 0..channels {
+                                let mut best =
+                                    current[((oy * window) * in_w + ox * window) * channels + c];
+                                for ky in 0..window {
+                                    for kx in 0..window {
+                                        let v = current[((oy * window + ky) * in_w
+                                            + (ox * window + kx))
+                                            * channels
+                                            + c];
+                                        if v.raw() > best.raw() {
+                                            best = v;
+                                        }
+                                    }
+                                }
+                                out.push(best);
+                            }
+                        }
+                    }
+                    stats.cycles += (in_width + out_h * out_w * channels) as u64 + 1;
+                    current = out;
                 }
             }
         }
@@ -751,5 +989,107 @@ mod tests {
         arr.set_operating_point(0.46, 25.0);
         let (noisy, _) = npu.execute(&program, model.layout(), &mut arr, &input);
         assert_ne!(clean, noisy, "overscaling must corrupt the weight stream");
+    }
+
+    /// Trains a small conv-pool-dense model and uploads it.
+    fn conv_fixture(seed: u64) -> (NetSpec, matic_core::TrainedModel, SramArray) {
+        let spec = NetSpec::parse_topology("6x6x1;conv3x4;pool2;dense3").unwrap();
+        let data: Vec<Sample> = (0..12)
+            .map(|i| {
+                Sample::new(
+                    (0..36)
+                        .map(|c| ((i * 13 + c * 5) % 31) as f64 / 31.0)
+                        .collect(),
+                    vec![0.5; 3],
+                )
+            })
+            .collect();
+        let cfg = MatConfig {
+            sgd: SgdConfig {
+                epochs: 3,
+                ..SgdConfig::default()
+            },
+            ..MatConfig::paper()
+        };
+        let model = train_naive(&spec, &data, &cfg, 8, 576);
+        let mut arr = array(8, 576, seed);
+        matic_core::upload_weights(&model, &mut arr);
+        (spec, model, arr)
+    }
+
+    #[test]
+    fn conv_chain_paths_agree_bit_exactly() {
+        let (spec, model, mut arr) = conv_fixture(23);
+        let npu = Snnac::snnac(model.format());
+        let program = Program::compile(&spec, npu.pe_count());
+        assert!(!program.is_dense());
+        let weights = FaultedWeights::from_array(model.layout(), model.format(), &mut arr);
+        let input: Vec<f64> = (0..36)
+            .map(|i| ((i * 7 + 3) % 29) as f64 / 29.0 - 0.35)
+            .collect();
+
+        for drops in [None, Some(MacDropSpec::new(91, 0.2))] {
+            let d = drops.as_ref();
+            let (composed, cstats) = npu.execute_composed_dropped(&program, &weights, &input, d);
+            let (reference, rstats) =
+                npu.execute_reference_dropped(&program, model.layout(), &mut arr, &input, d);
+            assert_eq!(composed, reference, "conv composed vs per-MAC oracle");
+            assert_eq!(cstats, rstats, "conv traffic/cycle model must match");
+        }
+
+        // The quantized float model agrees to fixed-point/AFU tolerance.
+        let (out, _) = npu.execute_composed(&program, &weights, &input);
+        let reference = model.quantized().forward(&input);
+        assert_eq!(out.len(), 3);
+        for (a, b) in out.iter().zip(&reference) {
+            assert!((a - b).abs() < 0.05, "NPU {a} vs quantized reference {b}");
+        }
+    }
+
+    #[test]
+    fn conv_cycle_accounting_matches_model() {
+        let (spec, model, mut arr) = conv_fixture(27);
+        let npu = Snnac::snnac(model.format());
+        let program = Program::compile(&spec, npu.pe_count());
+        let weights = FaultedWeights::from_array(model.layout(), model.format(), &mut arr);
+        let input: Vec<f64> = (0..36).map(|i| i as f64 / 36.0).collect();
+        let (_, stats) = npu.execute_composed(&program, &weights, &input);
+        // Conv 6x6x1 → 4x4x4 with 3x3 taps: load 36, 16 positions × 1
+        // group × (9 + 1 + 4), 64 AFU drains, 1 store.
+        let conv = 36 + 16 * (9 + 1 + 4) + 64 + 1;
+        // Pool 4x4x4 → 2x2x4: 64 scans + 16 drains + 1 store.
+        let pool = 64 + 16 + 1;
+        // Dense 16 → 3: load 16, 1 group × (16 + 1 + 4), 3 AFU, 1 store.
+        let dense = 16 + (16 + 1 + 4) + 3 + 1;
+        assert_eq!(stats.cycles, (conv + pool + dense) as u64);
+        // MACs: 16 positions × 4 filters × 9 taps + 16×3 dense; reads add
+        // one bias word per (position, filter) and per dense neuron.
+        assert_eq!(stats.macs, 16 * 4 * 9 + 16 * 3);
+        assert_eq!(stats.sram_reads, stats.macs + 16 * 4 + 3);
+    }
+
+    #[test]
+    fn batched_conv_chain_matches_per_sample() {
+        let (spec, model, mut arr) = conv_fixture(31);
+        let npu = Snnac::snnac(model.format());
+        let program = Program::compile(&spec, npu.pe_count());
+        let weights = FaultedWeights::from_array(model.layout(), model.format(), &mut arr);
+        let inputs: Vec<Vec<f64>> = (0..5)
+            .map(|s| {
+                (0..36)
+                    .map(|c| ((s * 17 + c * 3) % 23) as f64 / 23.0 - 0.2)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let drops = MacDropSpec::new(45, 0.25);
+        for d in [None, Some(&drops)] {
+            let (batched, bstats) = npu.execute_batch_dropped(&program, &weights, &refs, d);
+            for (input, out) in refs.iter().zip(&batched) {
+                let (single, sstats) = npu.execute_composed_dropped(&program, &weights, input, d);
+                assert_eq!(out, &single);
+                assert_eq!(bstats, sstats);
+            }
+        }
     }
 }

@@ -59,6 +59,11 @@ SWEEP OPTIONS (matic sweep; also accepted by matic energy):
                         accepted by matic energy)
     --benchmarks LIST   all | comma list of mnist,facedet,inversek2j,bscholes
                                                             [default: all]
+    --topology DSL      override every benchmark's network with a layer chain:
+                        `;`-separated stages — input (N or HxWxC), convKxF
+                        (KxK kernel, F filters), poolW (WxW max-pool), denseN
+                        (e.g. 10x10x1;conv3x4;pool2;dense10); input/output
+                        widths must match the dataset [default: Table I MLPs]
     --modes LIST        comma list of naive,mat,mat-canary  [default: naive,mat]
     --scale X           dataset scale factor                [default: 0.5]
     --epochs X          epoch-budget multiplier             [default: 0.5]
@@ -91,8 +96,8 @@ CLIENT OPTIONS (matic submit/status/cancel/shutdown):
     --socket ADDR       daemon address: a socket path or http://host:port
                         (also --listen)           [default: .matic-serve.sock]
     matic submit additionally takes the sweep grid options above
-    (--chips/--voltages/--bers/--benchmarks/--modes/--scale/--epochs/
-    --seed/--no-reuse/--out/--quiet) plus:
+    (--chips/--voltages/--bers/--benchmarks/--topology/--modes/--scale/
+    --epochs/--seed/--no-reuse/--out/--quiet) plus:
     --energy            submit an energy job (voltage axis only)
     --budget-percent X / --budget-mse X   energy accuracy budgets
     Execution knobs (--threads, --cache-dir, --resume, --no-cache, --csv)
@@ -200,6 +205,7 @@ struct SweepArgs {
     bers: Option<Vec<f64>>,
     clock: Option<Vec<f64>>,
     benchmarks: String,
+    topology: Option<String>,
     modes: Vec<TrainingMode>,
     scale: f64,
     epochs: f64,
@@ -225,6 +231,7 @@ impl Default for SweepArgs {
             bers: None,
             clock: None,
             benchmarks: "all".to_string(),
+            topology: None,
             modes: vec![TrainingMode::Naive, TrainingMode::Mat],
             scale: 0.5,
             epochs: 0.5,
@@ -267,6 +274,7 @@ impl SweepArgs {
                 | "--bers"
                 | "--clock-stress"
                 | "--benchmarks"
+                | "--topology"
                 | "--modes"
                 | "--scale"
                 | "--epochs"
@@ -283,6 +291,14 @@ impl SweepArgs {
             "--bers" => self.bers = Some(parse_grid(&value("--bers")?)?),
             "--clock-stress" => self.clock = Some(parse_grid(&value("--clock-stress")?)?),
             "--benchmarks" => self.benchmarks = value("--benchmarks")?,
+            "--topology" => {
+                let dsl = value("--topology")?;
+                // Parse eagerly so a malformed chain fails at the flag,
+                // with the flag's name, not deep inside plan building.
+                matic_nn::NetSpec::parse_topology(&dsl)
+                    .map_err(|e| format!("--topology `{dsl}`: {e}"))?;
+                self.topology = Some(dsl);
+            }
             "--modes" => {
                 self.modes = value("--modes")?
                     .split(',')
@@ -332,6 +348,11 @@ impl SweepArgs {
         };
         for name in self.benchmarks.split(',') {
             builder = builder.benchmark(name.trim()).map_err(|e| e.to_string())?;
+        }
+        if let Some(dsl) = &self.topology {
+            let topo = matic_nn::NetSpec::parse_topology(dsl)
+                .map_err(|e| format!("--topology `{dsl}`: {e}"))?;
+            builder = builder.topology(topo);
         }
         if let Some(n) = self.threads {
             builder = builder.threads(n);
@@ -761,6 +782,7 @@ fn job_spec(sweep: &SweepArgs, energy: bool, budget: AccuracyBudget) -> matic_se
         budget_percent: budget.percent,
         budget_mse: budget.mse,
         chip_range: None,
+        topology: sweep.topology.clone(),
     }
 }
 
@@ -1740,5 +1762,60 @@ mod tests {
             let err = run_energy_command(&args).unwrap_err();
             assert!(err.contains("--report"), "{extra:?}: {err}");
         }
+    }
+
+    #[test]
+    fn unknown_benchmark_error_lists_valid_names() {
+        let sweep = SweepArgs {
+            benchmarks: "mnits".to_string(), // typo'd mnist
+            ..SweepArgs::default()
+        };
+        let err = sweep.build_plan().unwrap_err();
+        assert!(err.contains("unknown benchmark `mnits`"), "{err}");
+        // The error must name every valid choice, so a typo is
+        // self-correcting from the message alone.
+        for name in ["mnist", "facedet", "inversek2j", "bscholes", "all"] {
+            assert!(err.contains(name), "missing `{name}` in: {err}");
+        }
+    }
+
+    #[test]
+    fn topology_flag_parses_and_shapes_the_plan() {
+        let mut sweep = SweepArgs::default();
+        let args: Vec<String> = ["--topology", "10x10x1;conv3x4;pool2;dense10"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut it = args.iter();
+        it.next();
+        assert!(sweep.try_parse(&args[0], &mut it).unwrap());
+        assert!(sweep.sweep_shaped, "--topology shapes the sweep");
+        // The override only validates against benchmarks with matching
+        // I/O widths — mnist is the 100-in/10-out one.
+        sweep.benchmarks = "mnist".to_string();
+        let plan = sweep.build_plan().unwrap();
+        assert_eq!(plan.scenarios.len(), 1);
+        assert_eq!(plan.scenarios[0].name(), "mnist@conv3x4-pool2-dense10");
+
+        // A malformed chain fails at the flag, mentioning the flag.
+        let mut bad = SweepArgs::default();
+        let args: Vec<String> = ["--topology", "10x10x1;convXx4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut it = args.iter();
+        it.next();
+        let err = bad.try_parse(&args[0], &mut it).unwrap_err();
+        assert!(err.contains("--topology"), "{err}");
+
+        // A well-formed chain whose I/O widths don't match the dataset
+        // fails at plan build with the scenario named.
+        let mismatched = SweepArgs {
+            benchmarks: "bscholes".to_string(), // 6-in/1-out
+            topology: Some("10x10x1;conv3x4;pool2;dense10".to_string()),
+            ..SweepArgs::default()
+        };
+        let err = mismatched.build_plan().unwrap_err();
+        assert!(err.contains("bscholes"), "{err}");
     }
 }

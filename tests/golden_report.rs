@@ -1,0 +1,56 @@
+//! Golden-report anchor: the four Table I benchmarks, swept exactly as
+//! the checked-in golden file was generated, must keep producing
+//! byte-identical output.
+//!
+//! The golden file was written by the batch CLI:
+//!
+//! ```text
+//! matic sweep --chips 2 --voltages 0.50,0.90 --benchmarks all \
+//!     --modes naive,mat --scale 0.2 --epochs 0.3 --seed 42 \
+//!     --quiet --out tests/golden/sweep_all_v3.json
+//! ```
+//!
+//! This pins two contracts at once: the deterministic pipeline (same
+//! plan → same bytes, whatever the host, thread count or kernel tier),
+//! and the report's serialized layout — all-MLP plans must stay on the
+//! v3 schema with the exact v3 field set, so downstream consumers of
+//! existing reports never see a byte change they didn't opt into by
+//! sweeping an extended topology.
+
+use matic_harness::{run_sweep, SweepPlan, TrainingMode};
+
+#[test]
+fn all_benchmark_sweep_is_byte_identical_to_golden() {
+    let plan = SweepPlan::builder()
+        .chips(2)
+        .voltages(&[0.50, 0.90])
+        .all_benchmarks()
+        .modes(&[TrainingMode::Naive, TrainingMode::Mat])
+        .data_scale(0.2)
+        .epoch_scale(0.3)
+        .seed(42)
+        .build()
+        .expect("plan is valid");
+    let got = run_sweep(&plan).to_json_pretty();
+    let golden = include_str!("golden/sweep_all_v3.json");
+    assert!(
+        golden.contains("\"matic.sweep-report/v3\""),
+        "golden anchor must be a v3 (all-MLP) report"
+    );
+    // On mismatch, dump the produced report next to the golden so CI
+    // artifacts make the diff inspectable; the assert message stays
+    // short because the reports are ~30 kB each.
+    if got != golden {
+        let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("target/golden_report_actual.json");
+        let _ = std::fs::create_dir_all(out.parent().unwrap());
+        let _ = std::fs::write(&out, &got);
+        panic!(
+            "sweep report diverged from tests/golden/sweep_all_v3.json \
+             (got {} bytes vs {} golden; actual written to {})",
+            got.len(),
+            golden.len(),
+            out.display()
+        );
+    }
+}
